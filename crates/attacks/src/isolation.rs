@@ -1,0 +1,101 @@
+//! Message-drop attacks (§III-A: the attacker "can delay or drop any
+//! message between the TEE and other devices").
+//!
+//! Two escalation levels against one victim node:
+//!
+//! - **peer isolation**: drop the victim's peer traffic so every taint
+//!   falls back to the Time Authority — no direct clock manipulation, but
+//!   the victim now fully depends on TA round-trips (more load, more
+//!   surface for the delay attacks);
+//! - **full isolation**: drop the TA traffic too. The victim can never
+//!   untaint after its next AEX and stays unavailable — a denial of
+//!   service that the base protocol cannot distinguish from a slow
+//!   network.
+
+use netsim::{Addr, InterceptAction, Interceptor, MsgMeta};
+use sim::SimTime;
+
+/// What traffic of the victim to kill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IsolationScope {
+    /// Drop victim ↔ peer traffic, keep the TA reachable.
+    PeersOnly,
+    /// Drop all of the victim's traffic (peers and TA).
+    Everything,
+}
+
+/// Drops a victim's traffic per the configured scope.
+#[derive(Debug)]
+pub struct IsolationAttack {
+    victim: Addr,
+    ta: Addr,
+    scope: IsolationScope,
+    dropped: u64,
+}
+
+impl IsolationAttack {
+    /// Creates the attack against `victim` (the TA address is needed to
+    /// tell peer traffic from TA traffic).
+    pub fn new(victim: Addr, ta: Addr, scope: IsolationScope) -> Self {
+        IsolationAttack { victim, ta, scope, dropped: 0 }
+    }
+
+    /// Messages dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl Interceptor for IsolationAttack {
+    fn on_message(&mut self, _now: SimTime, meta: &MsgMeta, _ct: &[u8]) -> InterceptAction {
+        let involves_victim = meta.src == self.victim || meta.dst == self.victim;
+        if !involves_victim {
+            return InterceptAction::Deliver;
+        }
+        let involves_ta = meta.src == self.ta || meta.dst == self.ta;
+        let kill = match self.scope {
+            IsolationScope::PeersOnly => !involves_ta,
+            IsolationScope::Everything => true,
+        };
+        if kill {
+            self.dropped += 1;
+            InterceptAction::Drop
+        } else {
+            InterceptAction::Deliver
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(src: u16, dst: u16) -> MsgMeta {
+        MsgMeta { src: Addr(src), dst: Addr(dst), size: 48, send_time: SimTime::ZERO }
+    }
+
+    #[test]
+    fn peers_only_spares_the_ta_link() {
+        let mut atk = IsolationAttack::new(Addr(3), Addr(0), IsolationScope::PeersOnly);
+        // Victim ↔ peers: dropped, both directions.
+        assert_eq!(atk.on_message(SimTime::ZERO, &meta(3, 1), &[]), InterceptAction::Drop);
+        assert_eq!(atk.on_message(SimTime::ZERO, &meta(2, 3), &[]), InterceptAction::Drop);
+        // Victim ↔ TA: delivered.
+        assert_eq!(atk.on_message(SimTime::ZERO, &meta(3, 0), &[]), InterceptAction::Deliver);
+        assert_eq!(atk.on_message(SimTime::ZERO, &meta(0, 3), &[]), InterceptAction::Deliver);
+        // Honest ↔ honest and honest ↔ TA: delivered.
+        assert_eq!(atk.on_message(SimTime::ZERO, &meta(1, 2), &[]), InterceptAction::Deliver);
+        assert_eq!(atk.on_message(SimTime::ZERO, &meta(1, 0), &[]), InterceptAction::Deliver);
+        assert_eq!(atk.dropped(), 2);
+    }
+
+    #[test]
+    fn everything_kills_all_victim_traffic() {
+        let mut atk = IsolationAttack::new(Addr(3), Addr(0), IsolationScope::Everything);
+        assert_eq!(atk.on_message(SimTime::ZERO, &meta(3, 0), &[]), InterceptAction::Drop);
+        assert_eq!(atk.on_message(SimTime::ZERO, &meta(0, 3), &[]), InterceptAction::Drop);
+        assert_eq!(atk.on_message(SimTime::ZERO, &meta(3, 1), &[]), InterceptAction::Drop);
+        assert_eq!(atk.on_message(SimTime::ZERO, &meta(1, 2), &[]), InterceptAction::Deliver);
+        assert_eq!(atk.dropped(), 3);
+    }
+}

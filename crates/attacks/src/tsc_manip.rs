@@ -1,0 +1,94 @@
+//! Hypervisor-level TSC manipulation (§III-A).
+//!
+//! A malicious hypervisor virtualising the TSC "may change its value's
+//! offset and scaling factor for the guest VM running a Triad node". The
+//! [`TscAttackSchedule`] actor applies such manipulations to a victim's
+//! host at chosen reference instants; the node's INC-counter monitoring is
+//! what is supposed to catch them (RQ A.1, exercised by experiment E13).
+
+use netsim::Addr;
+use runtime::{SysEvent, World};
+use sim::{Actor, Ctx, SimTime};
+use tsc::TscManipulation;
+
+/// One planned manipulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannedManipulation {
+    /// When to apply it.
+    pub at: SimTime,
+    /// Whose TSC to manipulate.
+    pub victim: Addr,
+    /// What to do to it.
+    pub manipulation: TscManipulation,
+}
+
+/// Applies a fixed schedule of TSC manipulations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TscAttackSchedule {
+    plan: Vec<PlannedManipulation>,
+    applied: usize,
+}
+
+impl TscAttackSchedule {
+    /// Creates the schedule; entries may be in any order.
+    pub fn new(mut plan: Vec<PlannedManipulation>) -> Self {
+        plan.sort_by_key(|p| p.at);
+        TscAttackSchedule { plan, applied: 0 }
+    }
+
+    /// How many manipulations have been applied so far.
+    pub fn applied(&self) -> usize {
+        self.applied
+    }
+}
+
+impl Actor<World, SysEvent> for TscAttackSchedule {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+        for (i, p) in self.plan.iter().enumerate() {
+            ctx.schedule_at(p.at, SysEvent::timer(i as u64));
+        }
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, ev: SysEvent) {
+        let SysEvent::Timer { token } = ev else { return };
+        let p = self.plan[token as usize];
+        let now = ctx.now();
+        ctx.world.host_mut(p.victim).tsc.manipulate(now, p.manipulation);
+        self.applied += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{DelayModel, Network};
+    use runtime::Host;
+    use sim::{SimDuration, Simulation};
+
+    #[test]
+    fn schedule_applies_in_order() {
+        let net = Network::new(DelayModel::Constant(SimDuration::ZERO), 0.0);
+        let world = World::new(net, vec![Host::paper_default()]);
+        let mut s = Simulation::new(world, 1);
+        s.add_actor(Box::new(TscAttackSchedule::new(vec![
+            PlannedManipulation {
+                at: SimTime::from_secs(10),
+                victim: Addr(1),
+                manipulation: TscManipulation::ScaleRate(1.1),
+            },
+            PlannedManipulation {
+                at: SimTime::from_secs(5),
+                victim: Addr(1),
+                manipulation: TscManipulation::OffsetJump(1_000_000),
+            },
+        ])));
+        s.run_until(SimTime::from_secs(4));
+        assert_eq!(s.world().host(Addr(1)).tsc.manipulation_count(), 0);
+        s.run_until(SimTime::from_secs(6));
+        assert_eq!(s.world().host(Addr(1)).tsc.manipulation_count(), 1);
+        assert_eq!(s.world().host(Addr(1)).tsc.rate_hz(), tsc::PAPER_TSC_HZ);
+        s.run_until(SimTime::from_secs(11));
+        assert_eq!(s.world().host(Addr(1)).tsc.manipulation_count(), 2);
+        assert!((s.world().host(Addr(1)).tsc.rate_hz() - tsc::PAPER_TSC_HZ * 1.1).abs() < 1.0);
+    }
+}

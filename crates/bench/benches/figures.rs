@@ -1,0 +1,223 @@
+//! One benchmark per paper table/figure: times the simulation scenario
+//! that regenerates each artifact (shortened horizons — full-length
+//! regeneration with CSV output is `cargo run -p experiments --bin
+//! triad-experiments`).
+//!
+//! Mapping (see DESIGN.md's experiment index):
+//!
+//! | bench | paper artifact |
+//! |---|---|
+//! | `fig1a_triad_like_cdf` / `fig1b_isolated_cdf` | Fig. 1 |
+//! | `inc_table_10k_measurements` | §IV-A.1 table |
+//! | `fig2_fault_free_triad_like` | Fig. 2a/2b |
+//! | `fig3_fault_free_low_aex` | Fig. 3a/3b |
+//! | `fig4_f_plus_low_aex` | Fig. 4 |
+//! | `fig5_f_plus_triad_like` | Fig. 5 |
+//! | `fig6_f_minus_propagation` | Fig. 6a/6b |
+//! | `e12_resilience_hardened_full` | §V extension |
+//! | `e13_tsc_detection` | RQ A.1 detection |
+//! | `e19_t3e_baseline` | §II-A T3E comparison |
+
+use attacks::{CalibrationDelayAttack, DelayAttackMode, PlannedManipulation, TscAttackSchedule};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use harness::ClusterBuilder;
+use netsim::Addr;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use resilient::{ResilientConfig, ResilientNode};
+use runtime::World;
+use sim::{SimDuration, SimTime};
+use tsc::{AexModel, IncExperiment, IsolatedCore, SwitchAt, TriadLike, TscManipulation};
+
+const NODE3: Addr = Addr(3);
+
+fn fig1(c: &mut Criterion) {
+    c.bench_function("fig1a_triad_like_cdf", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut m = TriadLike::default();
+            let samples: Vec<f64> =
+                (0..10_000).map(|_| m.next_delay(SimTime::ZERO, &mut rng).as_secs_f64()).collect();
+            black_box(stats::Cdf::from_samples(samples))
+        });
+    });
+    c.bench_function("fig1b_isolated_cdf", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            let mut m = IsolatedCore::default();
+            let samples: Vec<f64> =
+                (0..10_000).map(|_| m.next_delay(SimTime::ZERO, &mut rng).as_secs_f64()).collect();
+            black_box(stats::Cdf::from_samples(samples))
+        });
+    });
+}
+
+fn inc_table(c: &mut Criterion) {
+    c.bench_function("inc_table_10k_measurements", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            black_box(IncExperiment::default().run(10_000, &mut rng))
+        });
+    });
+}
+
+fn run_cluster(builder: ClusterBuilder, secs: u64) -> f64 {
+    let mut s = builder.build();
+    s.run_until(SimTime::from_secs(secs));
+    // Return something data-dependent so the work cannot be elided.
+    s.world().recorder.node(0).drift_ms.last().map(|(_, d)| d).unwrap_or(0.0)
+}
+
+fn fig2(c: &mut Criterion) {
+    c.bench_function("fig2_fault_free_triad_like", |b| {
+        b.iter(|| {
+            let builder = ClusterBuilder::new(3, 10)
+                .all_nodes_aex(|| Box::new(TriadLike::default()))
+                .machine_aex(Box::new(IsolatedCore::default()));
+            black_box(run_cluster(builder, 60))
+        });
+    });
+}
+
+fn fig3(c: &mut Criterion) {
+    c.bench_function("fig3_fault_free_low_aex", |b| {
+        b.iter(|| {
+            let builder =
+                ClusterBuilder::new(3, 11).all_nodes_aex(|| Box::new(IsolatedCore::default()));
+            black_box(run_cluster(builder, 600))
+        });
+    });
+}
+
+fn fig4(c: &mut Criterion) {
+    c.bench_function("fig4_f_plus_low_aex", |b| {
+        b.iter(|| {
+            let builder = ClusterBuilder::new(3, 12)
+                .node_aex(0, Box::new(TriadLike::default()))
+                .node_aex(1, Box::new(TriadLike::default()))
+                .interceptor(Box::new(CalibrationDelayAttack::paper_default(
+                    NODE3,
+                    World::TA_ADDR,
+                    DelayAttackMode::FPlus,
+                )));
+            black_box(run_cluster(builder, 60))
+        });
+    });
+}
+
+fn fig5(c: &mut Criterion) {
+    c.bench_function("fig5_f_plus_triad_like", |b| {
+        b.iter(|| {
+            let builder = ClusterBuilder::new(3, 13)
+                .all_nodes_aex(|| Box::new(TriadLike::default()))
+                .interceptor(Box::new(CalibrationDelayAttack::paper_default(
+                    NODE3,
+                    World::TA_ADDR,
+                    DelayAttackMode::FPlus,
+                )));
+            black_box(run_cluster(builder, 60))
+        });
+    });
+}
+
+fn honest_switch_env(at: SimTime) -> Box<dyn AexModel> {
+    Box::new(SwitchAt {
+        at,
+        before: Box::new(IsolatedCore::default()),
+        after: Box::new(TriadLike::default()),
+    })
+}
+
+fn fig6(c: &mut Criterion) {
+    c.bench_function("fig6_f_minus_propagation", |b| {
+        b.iter(|| {
+            let switch = SimTime::from_secs(104);
+            let builder = ClusterBuilder::new(3, 14)
+                .node_aex(0, honest_switch_env(switch))
+                .node_aex(1, honest_switch_env(switch))
+                .node_aex(2, Box::new(TriadLike::default()))
+                .interceptor(Box::new(CalibrationDelayAttack::paper_default(
+                    NODE3,
+                    World::TA_ADDR,
+                    DelayAttackMode::FMinus,
+                )));
+            black_box(run_cluster(builder, 150))
+        });
+    });
+}
+
+fn e12_resilience(c: &mut Criterion) {
+    c.bench_function("e12_resilience_hardened_full", |b| {
+        b.iter(|| {
+            let switch = SimTime::from_secs(104);
+            let cfg = ResilientConfig::default();
+            let builder = ClusterBuilder::new(3, 15)
+                .node_aex(0, honest_switch_env(switch))
+                .node_aex(1, honest_switch_env(switch))
+                .node_aex(2, Box::new(TriadLike::default()))
+                .interceptor(Box::new(CalibrationDelayAttack::paper_default(
+                    NODE3,
+                    World::TA_ADDR,
+                    DelayAttackMode::FMinus,
+                )))
+                .node_factory(Box::new(move |me, peers| {
+                    Box::new(ResilientNode::new(me, peers, cfg.clone()))
+                }));
+            black_box(run_cluster(builder, 150))
+        });
+    });
+}
+
+fn e13_detection(c: &mut Criterion) {
+    c.bench_function("e13_tsc_detection", |b| {
+        b.iter(|| {
+            let builder =
+                ClusterBuilder::new(3, 16).extra_actor(Box::new(TscAttackSchedule::new(vec![
+                    PlannedManipulation {
+                        at: SimTime::from_secs(40),
+                        victim: NODE3,
+                        manipulation: TscManipulation::ScaleRate(1.001),
+                    },
+                ])));
+            black_box(run_cluster(builder, 60))
+        });
+    });
+}
+
+fn e19_baseline(c: &mut Criterion) {
+    use runtime::{ClientWorkload, Host, Sampler};
+    use t3e::{T3eConfig, T3eNode, Tpm};
+    c.bench_function("e19_t3e_baseline", |b| {
+        b.iter(|| {
+            let net = netsim::Network::new(netsim::DelayModel::lan_default(), 0.0);
+            let mut world = World::new(net, vec![Host::paper_default()]);
+            world.keys.provision_pair(Addr(1), Addr(500), [1u8; 32]);
+            world.keys.provision_pair(Addr(1000), Addr(1), [2u8; 32]);
+            let mut s = sim::Simulation::new(world, 17);
+            let node =
+                s.add_actor(Box::new(T3eNode::new(Addr(1), Addr(500), T3eConfig::default())));
+            let tpm = s.add_actor(Box::new(Tpm::new(Addr(500), 100.0)));
+            let client = s.add_actor(Box::new(ClientWorkload::new(
+                Addr(1000),
+                Addr(1),
+                SimDuration::from_millis(5),
+            )));
+            s.add_actor(Box::new(Sampler { interval: SimDuration::from_millis(250) }));
+            s.world_mut().register_actor(Addr(1), node);
+            s.world_mut().register_actor(Addr(500), tpm);
+            s.world_mut().register_actor(Addr(1000), client);
+            s.run_until(SimTime::from_secs(60));
+            black_box(s.world().recorder.node(0).client_served.count())
+        });
+    });
+}
+
+criterion_group!(
+    name = figures;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(8))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = fig1, inc_table, fig2, fig3, fig4, fig5, fig6, e12_resilience, e13_detection, e19_baseline
+);
+criterion_main!(figures);

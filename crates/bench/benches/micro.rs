@@ -1,0 +1,119 @@
+//! Substrate micro-benchmarks: the hot paths under every experiment.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto");
+    let aead = tt_crypto::Aes256Gcm::new(&[7u8; 32]);
+    for size in [32usize, 256, 4096] {
+        let pt = vec![0xAB; size];
+        let nonce = [1u8; 12];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("aes256gcm_seal_{size}B"), |b| {
+            b.iter(|| black_box(aead.seal(&nonce, b"aad", black_box(&pt))));
+        });
+        let sealed = aead.seal(&nonce, b"aad", &pt);
+        group.bench_function(format!("aes256gcm_open_{size}B"), |b| {
+            b.iter(|| black_box(aead.open(&nonce, b"aad", black_box(&sealed)).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let msg = wire::Message::CalibrationResponse {
+        nonce: 42,
+        ta_time_ns: 123_456_789_000,
+        slept_ns: 1_000_000_000,
+    };
+    c.bench_function("wire/encode_decode_round_trip", |b| {
+        b.iter(|| {
+            let bytes = black_box(&msg).encode();
+            black_box(wire::Message::decode(&bytes).unwrap())
+        });
+    });
+}
+
+fn bench_sim_kernel(c: &mut Criterion) {
+    use sim::{Actor, Ctx, SimDuration, Simulation};
+
+    struct Relay {
+        remaining: u64,
+    }
+    impl Actor<(), u64> for Relay {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, (), u64>) {
+            ctx.schedule_in(SimDuration::from_nanos(1), 0);
+        }
+        fn on_event(&mut self, ctx: &mut Ctx<'_, (), u64>, ev: u64) {
+            if ev < self.remaining {
+                ctx.schedule_in(SimDuration::from_nanos(1), ev + 1);
+            }
+        }
+    }
+    c.bench_function("sim/100k_chained_events", |b| {
+        b.iter(|| {
+            let mut s = Simulation::new((), 1);
+            s.add_actor(Box::new(Relay { remaining: 100_000 }));
+            s.run();
+            black_box(s.dispatched())
+        });
+    });
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let reg: stats::Regression = (0..64)
+        .map(|i| {
+            let x = (i % 2) as f64;
+            (x, 2.9e9 * x + tsc::sample_normal(&mut rng, 4e5, 1e5))
+        })
+        .collect();
+    c.bench_function("stats/ols_64_samples", |b| {
+        b.iter(|| black_box(reg.ols().unwrap()));
+    });
+    c.bench_function("stats/theil_sen_64_samples", |b| {
+        b.iter(|| black_box(reg.theil_sen().unwrap()));
+    });
+
+    let intervals: Vec<stats::Interval> =
+        (0..32).map(|i| stats::Interval::around(1_000.0 + (i % 7) as f64 * 3.0, 10.0)).collect();
+    c.bench_function("stats/marzullo_32_clocks", |b| {
+        b.iter(|| black_box(stats::marzullo(black_box(&intervals)).unwrap()));
+    });
+}
+
+fn bench_tsc(c: &mut Criterion) {
+    let clock = tsc::TscClock::paper_default();
+    let t = sim::SimTime::from_secs(3600);
+    c.bench_function("tsc/read", |b| {
+        b.iter(|| black_box(clock.read(black_box(t))));
+    });
+
+    let model = tsc::IncModel::default();
+    let mut rng = StdRng::seed_from_u64(3);
+    let window = sim::SimDuration::from_millis(5);
+    c.bench_function("tsc/inc_measure", |b| {
+        b.iter(|| black_box(model.measure(window, 3.5e9, &mut rng)));
+    });
+}
+
+fn bench_netsim(c: &mut Criterion) {
+    use netsim::{Addr, DelayModel, Network};
+    c.bench_function("netsim/dispatch", |b| {
+        let mut net = Network::new(DelayModel::lan_default(), 0.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let payload = vec![0u8; 64];
+        b.iter(|| {
+            black_box(net.dispatch(sim::SimTime::ZERO, &mut rng, Addr(1), Addr(0), payload.clone()))
+        });
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets = bench_crypto, bench_wire, bench_sim_kernel, bench_stats, bench_tsc, bench_netsim
+);
+criterion_main!(micro);

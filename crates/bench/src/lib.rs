@@ -1,0 +1,12 @@
+//! # tt-bench — benchmark harness for the Triad reproduction
+//!
+//! The library target is intentionally empty; all content lives in the
+//! Criterion benches:
+//!
+//! - `benches/micro.rs` — substrate micro-benchmarks (AES-256-GCM, wire
+//!   codec, event queue, regression fits, Marzullo, TSC reads);
+//! - `benches/figures.rs` — one benchmark per paper table/figure, timing
+//!   the scenario that regenerates it (shortened horizons; the full-length
+//!   regeneration lives in the `triad-experiments` binary).
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,114 @@
+//! Triad node configuration.
+
+use sim::SimDuration;
+use tsc::AexPause;
+
+/// Tunable parameters of a Triad node.
+///
+/// Defaults reproduce the paper's setup: calibration regression over
+/// round-trips with 0 s and 1 s TA sleeps (§IV: "TSC rate estimation is
+/// performed through regression over roundtrips of messages with 0s-sleep
+/// (immediate responses) and 1s-sleep at the TA").
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriadConfig {
+    /// Requested TA hold times (`s`) used as regression x-values.
+    pub calib_sleeps: Vec<SimDuration>,
+    /// Valid round-trips collected per sleep value before fitting.
+    pub samples_per_sleep: usize,
+    /// Extra wait beyond the requested sleep before a calibration probe is
+    /// retransmitted (covers loss and attacker drops).
+    pub probe_timeout: SimDuration,
+    /// How long to wait for peer timestamps after an AEX before falling
+    /// back to the TA (§III-D: "only asks the TA upon failure to receive
+    /// any responses from peers").
+    pub peer_timeout: SimDuration,
+    /// The smallest timestamp increment used to preserve monotonicity when
+    /// a peer timestamp is *behind* the local one.
+    pub epsilon_ns: u64,
+    /// How long the enclave thread stays suspended per AEX.
+    pub aex_pause: AexPause,
+    /// Cadence of the INC-vs-TSC cross-check on the monitoring thread.
+    pub monitor_interval: SimDuration,
+    /// Relative TSC-rate discrepancy (ppm) that triggers full
+    /// recalibration.
+    pub monitor_threshold_ppm: f64,
+    /// Whether the time-reference anchor compensates half the measured
+    /// round-trip (`ta_time + RTT/2`); disabling it reproduces a pure
+    /// offset-toward-the-past error.
+    pub rtt_half_correction: bool,
+}
+
+impl Default for TriadConfig {
+    fn default() -> Self {
+        TriadConfig {
+            calib_sleeps: vec![SimDuration::ZERO, SimDuration::from_secs(1)],
+            samples_per_sleep: 3,
+            probe_timeout: SimDuration::from_millis(500),
+            peer_timeout: SimDuration::from_millis(10),
+            epsilon_ns: 1,
+            aex_pause: AexPause::default(),
+            monitor_interval: SimDuration::from_millis(100),
+            monitor_threshold_ppm: 100.0,
+            rtt_half_correction: true,
+        }
+    }
+}
+
+impl TriadConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no sleeps are configured, fewer than two *distinct* sleeps
+    /// exist (the regression slope would be undefined), or
+    /// `samples_per_sleep == 0`.
+    pub fn validate(&self) {
+        assert!(
+            self.calib_sleeps.len() >= 2,
+            "calibration needs at least two sleep values for a slope"
+        );
+        let mut distinct = self.calib_sleeps.clone();
+        distinct.sort();
+        distinct.dedup();
+        assert!(distinct.len() >= 2, "calibration sleeps must not all be equal");
+        assert!(self.samples_per_sleep > 0, "need at least one sample per sleep");
+        assert!(self.epsilon_ns > 0, "epsilon must be a positive increment");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_matches_paper() {
+        let cfg = TriadConfig::default();
+        cfg.validate();
+        assert_eq!(cfg.calib_sleeps.len(), 2);
+        assert_eq!(cfg.calib_sleeps[0], SimDuration::ZERO);
+        assert_eq!(cfg.calib_sleeps[1], SimDuration::from_secs(1));
+        assert_eq!(cfg.epsilon_ns, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "two sleep values")]
+    fn single_sleep_rejected() {
+        TriadConfig { calib_sleeps: vec![SimDuration::ZERO], ..Default::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be equal")]
+    fn equal_sleeps_rejected() {
+        TriadConfig {
+            calib_sleeps: vec![SimDuration::from_secs(1), SimDuration::from_secs(1)],
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "one sample per sleep")]
+    fn zero_samples_rejected() {
+        TriadConfig { samples_per_sleep: 0, ..Default::default() }.validate();
+    }
+}

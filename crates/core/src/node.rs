@@ -1,0 +1,571 @@
+//! The Triad node state machine.
+//!
+//! Implements the protocol of §III-B/C/D as an actor over the composed
+//! runtime:
+//!
+//! - **FullCalib**: regression-based TSC frequency calibration against the
+//!   TA, followed by a time-reference exchange;
+//! - **OK**: serving monotonic timestamps, answering peer requests;
+//! - **Tainted**: an AEX severed time continuity; on resume (AEX-Notify)
+//!   the node asks its peers for a timestamp;
+//! - **RefCalib**: no peer answered — refresh the time reference with the
+//!   TA.
+//!
+//! The peer-untaint policy is the paper's: a peer timestamp higher than the
+//! local pre-interrupt one is adopted wholesale; otherwise the local clock
+//! is kept, ε-bumped if needed for monotonicity. This is the policy that
+//! makes every node follow the fastest clock in the cluster (§III-D) and
+//! what the F– attack exploits.
+
+use netsim::Addr;
+use rand::rngs::StdRng;
+use sim::{Actor, Ctx, EventId, SimDuration, SimTime};
+use trace::NodeStateTag;
+use wire::Message;
+
+use runtime::{open_delivery, send_message, ClockState, SysEvent, World};
+
+use crate::calib::Calibrator;
+use crate::config::TriadConfig;
+
+const TOKEN_MONITOR: u64 = 1 << 63;
+const TOKEN_PEER_TIMEOUT: u64 = 1 << 62;
+const TOKEN_PROBE_RETRY: u64 = 1 << 61;
+const TOKEN_MASK: u64 = (1 << 61) - 1;
+
+/// An in-flight exchange with the Time Authority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PendingProbe {
+    nonce: u64,
+    /// `Some(idx)` = speed probe for sleep index `idx`; `None` = the
+    /// time-reference exchange.
+    sleep_idx: Option<usize>,
+    send_ticks: u64,
+    aex_count_at_send: u64,
+    retry: EventId,
+}
+
+/// An in-flight peer untainting round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PendingPeerRound {
+    nonce: u64,
+    responses: Vec<u64>,
+    expected: usize,
+    timeout: EventId,
+}
+
+/// One Triad protocol node (the paper's primary artifact).
+#[derive(Debug)]
+pub struct TriadNode {
+    me: Addr,
+    index: usize,
+    peers: Vec<Addr>,
+    cfg: TriadConfig,
+    state: NodeStateTag,
+
+    // Clock: anchor + calibrated frequency (mirrored into `World::clocks`).
+    anchor_ref_ns: f64,
+    anchor_ticks: u64,
+    f_calib_hz: Option<f64>,
+    clock_valid: bool,
+    last_served_ns: f64,
+
+    calibrator: Calibrator,
+    pending_probe: Option<PendingProbe>,
+    pending_peer: Option<PendingPeerRound>,
+    taint_snapshot_ns: Option<f64>,
+    resume_pending: bool,
+    aex_count: u64,
+
+    monitor_anchor: Option<(SimTime, u64)>,
+    inc_ticks_per_inc: Option<f64>,
+    /// Detections raised by the INC monitor (visible for experiments).
+    pub monitor_detections: u64,
+
+    next_nonce: u64,
+}
+
+impl TriadNode {
+    /// Creates a node at `me` with the given cluster peers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is the TA address, appears in `peers`, or the
+    /// configuration is invalid.
+    pub fn new(me: Addr, peers: Vec<Addr>, cfg: TriadConfig) -> Self {
+        assert!(me.0 >= 1, "a Triad node cannot use the TA address");
+        assert!(!peers.contains(&me), "a node is not its own peer");
+        cfg.validate();
+        let calibrator = Calibrator::new(cfg.calib_sleeps.clone(), cfg.samples_per_sleep);
+        TriadNode {
+            me,
+            index: (me.0 - 1) as usize,
+            peers,
+            cfg,
+            state: NodeStateTag::FullCalib,
+            anchor_ref_ns: 0.0,
+            anchor_ticks: 0,
+            f_calib_hz: None,
+            clock_valid: false,
+            last_served_ns: 0.0,
+            calibrator,
+            pending_probe: None,
+            pending_peer: None,
+            taint_snapshot_ns: None,
+            resume_pending: false,
+            aex_count: 0,
+            monitor_anchor: None,
+            inc_ticks_per_inc: None,
+            monitor_detections: 0,
+            next_nonce: 0,
+        }
+    }
+
+    /// The node's network address.
+    pub fn addr(&self) -> Addr {
+        self.me
+    }
+
+    /// The node's current protocol state.
+    pub fn state(&self) -> NodeStateTag {
+        self.state
+    }
+
+    /// The calibrated TSC frequency, once the first calibration completed.
+    pub fn calibrated_hz(&self) -> Option<f64> {
+        self.f_calib_hz
+    }
+
+    // ------------------------------------------------------------------
+    // Clock arithmetic
+    // ------------------------------------------------------------------
+
+    fn clock_ns(&self, ticks: u64) -> Option<f64> {
+        let f = self.f_calib_hz?;
+        if !self.clock_valid {
+            return None;
+        }
+        let dticks = ticks as f64 - self.anchor_ticks as f64;
+        Some(self.anchor_ref_ns + dticks / f * 1e9)
+    }
+
+    fn publish_clock(&self, world: &mut World) {
+        world.clocks[self.index] = ClockState {
+            valid: self.clock_valid,
+            anchor_ref_ns: self.anchor_ref_ns,
+            anchor_ticks: self.anchor_ticks,
+            f_calib_hz: self.f_calib_hz.unwrap_or(1.0),
+        };
+    }
+
+    fn set_anchor(&mut self, world: &mut World, ticks: u64, ref_ns: f64) {
+        self.anchor_ref_ns = ref_ns;
+        self.anchor_ticks = ticks;
+        self.clock_valid = true;
+        self.publish_clock(world);
+    }
+
+    /// A monotonic timestamp for serving (peer or client). `None` while
+    /// the clock is invalid.
+    fn serve_ns(&mut self, ticks: u64) -> Option<u64> {
+        let now = self.clock_ns(ticks)?;
+        let served = if now > self.last_served_ns {
+            now
+        } else {
+            self.last_served_ns + self.cfg.epsilon_ns as f64
+        };
+        self.last_served_ns = served;
+        Some(served as u64)
+    }
+
+    // ------------------------------------------------------------------
+    // State transitions
+    // ------------------------------------------------------------------
+
+    fn enter_state(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, state: NodeStateTag) {
+        self.state = state;
+        let now = ctx.now();
+        ctx.world.recorder.node_mut(self.index).states.enter(now, state);
+    }
+
+    fn fresh_nonce(&mut self) -> u64 {
+        self.next_nonce += 1;
+        self.next_nonce & TOKEN_MASK
+    }
+
+    // ------------------------------------------------------------------
+    // Calibration (FullCalib / RefCalib)
+    // ------------------------------------------------------------------
+
+    fn begin_full_calibration(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+        self.enter_state(ctx, NodeStateTag::FullCalib);
+        self.calibrator.reset();
+        self.abandon_probe(ctx);
+        self.abandon_peer_round(ctx);
+        self.send_next_speed_probe(ctx);
+    }
+
+    fn abandon_probe(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+        if let Some(p) = self.pending_probe.take() {
+            ctx.cancel(p.retry);
+        }
+    }
+
+    fn abandon_peer_round(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+        if let Some(p) = self.pending_peer.take() {
+            ctx.cancel(p.timeout);
+        }
+    }
+
+    fn send_next_speed_probe(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+        match self.calibrator.next_probe() {
+            Some(idx) => self.send_probe(ctx, Some(idx)),
+            None => {
+                // Speed fit complete → F^calib, then anchor the reference.
+                let fit = self
+                    .calibrator
+                    .fit()
+                    .expect("complete calibrator always has two distinct sleeps");
+                self.f_calib_hz = Some(fit.slope);
+                let now = ctx.now();
+                ctx.world.recorder.node_mut(self.index).calibrations_hz.push((now, fit.slope));
+                self.send_probe(ctx, None);
+            }
+        }
+    }
+
+    fn send_probe(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, sleep_idx: Option<usize>) {
+        self.abandon_probe(ctx);
+        let nonce = self.fresh_nonce();
+        let sleep = match sleep_idx {
+            Some(idx) => self.calibrator.sleep_at(idx),
+            None => SimDuration::ZERO,
+        };
+        let msg = Message::CalibrationRequest { nonce, sleep_ns: sleep.as_nanos() };
+        send_message(ctx, self.me, World::TA_ADDR, &msg);
+        let retry = ctx.schedule_in(
+            sleep + self.cfg.probe_timeout,
+            SysEvent::timer(TOKEN_PROBE_RETRY | nonce),
+        );
+        let now = ctx.now();
+        self.pending_probe = Some(PendingProbe {
+            nonce,
+            sleep_idx,
+            send_ticks: ctx.world.read_tsc(self.me, now),
+            aex_count_at_send: self.aex_count,
+            retry,
+        });
+    }
+
+    fn on_calibration_response(
+        &mut self,
+        ctx: &mut Ctx<'_, World, SysEvent>,
+        nonce: u64,
+        ta_time_ns: u64,
+    ) {
+        let Some(probe) = self.pending_probe else { return };
+        if probe.nonce != nonce {
+            return; // stale response from an abandoned probe
+        }
+        self.pending_probe = None;
+        ctx.cancel(probe.retry);
+
+        let now = ctx.now();
+        let recv_ticks = ctx.world.read_tsc(self.me, now);
+
+        if probe.aex_count_at_send != self.aex_count {
+            // The monitoring thread was interrupted mid-round-trip: the
+            // measurement is unbounded and must be discarded (§III-C).
+            self.send_probe(ctx, probe.sleep_idx);
+            return;
+        }
+
+        match probe.sleep_idx {
+            Some(idx) => {
+                self.calibrator.record(idx, recv_ticks.saturating_sub(probe.send_ticks));
+                self.send_next_speed_probe(ctx);
+            }
+            None => {
+                // Time-reference exchange: anchor to the TA timestamp.
+                let f = self.f_calib_hz.expect("reference exchange follows speed fit");
+                let rtt_ticks = recv_ticks.saturating_sub(probe.send_ticks);
+                let correction_ns = if self.cfg.rtt_half_correction {
+                    rtt_ticks as f64 / f * 1e9 / 2.0
+                } else {
+                    0.0
+                };
+                self.set_anchor(ctx.world, recv_ticks, ta_time_ns as f64 + correction_ns);
+                ctx.world.recorder.node_mut(self.index).ta_references.increment(now);
+                self.taint_snapshot_ns = None;
+                self.enter_state(ctx, NodeStateTag::Ok);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // AEX handling (taint / resume / peer untainting)
+    // ------------------------------------------------------------------
+
+    fn on_aex(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+        self.aex_count += 1;
+        let now = ctx.now();
+        ctx.world.recorder.node_mut(self.index).aex_events.increment(now);
+        // The monitoring window is severed.
+        self.monitor_anchor = None;
+
+        match self.state {
+            NodeStateTag::FullCalib => {
+                // Probes self-invalidate via the AEX counter; nothing else.
+            }
+            NodeStateTag::Ok => {
+                let ticks = ctx.world.read_tsc(self.me, now);
+                self.taint_snapshot_ns = self.clock_ns(ticks);
+                self.enter_state(ctx, NodeStateTag::Tainted);
+                self.schedule_resume(ctx);
+            }
+            NodeStateTag::RefCalib => {
+                // Abandon the TA exchange; go back through the peer path
+                // once the enclave resumes.
+                self.abandon_probe(ctx);
+                self.enter_state(ctx, NodeStateTag::Tainted);
+                self.schedule_resume(ctx);
+            }
+            NodeStateTag::Tainted => {
+                // Another AEX while already tainted (e.g. machine-wide on
+                // top of core-local): ensure a resume is on its way.
+                self.schedule_resume(ctx);
+            }
+        }
+    }
+
+    fn schedule_resume(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+        if self.resume_pending {
+            return;
+        }
+        self.resume_pending = true;
+        let pause = self.cfg.aex_pause.sample(ctx.rng);
+        ctx.schedule_in(pause, SysEvent::AexResume);
+    }
+
+    fn on_resume(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+        self.resume_pending = false;
+        if self.state != NodeStateTag::Tainted {
+            return;
+        }
+        self.abandon_peer_round(ctx);
+        if self.peers.is_empty() {
+            self.fall_back_to_ta(ctx);
+            return;
+        }
+        let nonce = self.fresh_nonce();
+        for &peer in &self.peers.clone() {
+            send_message(ctx, self.me, peer, &Message::PeerTimeRequest { nonce });
+        }
+        let timeout =
+            ctx.schedule_in(self.cfg.peer_timeout, SysEvent::timer(TOKEN_PEER_TIMEOUT | nonce));
+        self.pending_peer = Some(PendingPeerRound {
+            nonce,
+            responses: Vec::new(),
+            expected: self.peers.len(),
+            timeout,
+        });
+    }
+
+    fn on_peer_response(
+        &mut self,
+        ctx: &mut Ctx<'_, World, SysEvent>,
+        nonce: u64,
+        timestamp_ns: u64,
+    ) {
+        let Some(round) = self.pending_peer.as_mut() else { return };
+        if round.nonce != nonce {
+            return;
+        }
+        round.responses.push(timestamp_ns);
+        if round.responses.len() == round.expected {
+            let round = self.pending_peer.take().expect("round present");
+            ctx.cancel(round.timeout);
+            self.conclude_peer_round(ctx, round.responses);
+        }
+    }
+
+    fn on_peer_timeout(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, nonce: u64) {
+        let Some(round) = self.pending_peer.as_ref() else { return };
+        if round.nonce != nonce {
+            return;
+        }
+        let round = self.pending_peer.take().expect("round present");
+        self.conclude_peer_round(ctx, round.responses);
+    }
+
+    /// Applies the §III-D untaint policy to the collected peer timestamps.
+    fn conclude_peer_round(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, responses: Vec<u64>) {
+        if self.state != NodeStateTag::Tainted {
+            return;
+        }
+        if responses.is_empty() {
+            self.fall_back_to_ta(ctx);
+            return;
+        }
+        let now = ctx.now();
+        let ticks = ctx.world.read_tsc(self.me, now);
+        let local_pre_interrupt =
+            self.taint_snapshot_ns.expect("tainted state always has a snapshot");
+        let best_peer = *responses.iter().max().expect("non-empty");
+
+        if (best_peer as f64) > local_pre_interrupt {
+            // "the incoming timestamp becomes the new reference"
+            self.set_anchor(ctx.world, ticks, best_peer as f64);
+            ctx.world.recorder.node_mut(self.index).peer_adoptions.increment(now);
+        } else {
+            // "the local timestamp is increased by the smallest possible
+            // increment to ensure monotonicity"
+            let own_now = self.clock_ns(ticks).expect("clock was valid before the taint");
+            if own_now <= local_pre_interrupt {
+                self.set_anchor(ctx.world, ticks, local_pre_interrupt + self.cfg.epsilon_ns as f64);
+            }
+        }
+        ctx.world.recorder.node_mut(self.index).peer_untaints.increment(now);
+        self.taint_snapshot_ns = None;
+        self.enter_state(ctx, NodeStateTag::Ok);
+    }
+
+    fn fall_back_to_ta(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+        self.enter_state(ctx, NodeStateTag::RefCalib);
+        self.send_probe(ctx, None);
+    }
+
+    // ------------------------------------------------------------------
+    // INC monitoring (§IV-A.1)
+    // ------------------------------------------------------------------
+
+    fn on_monitor_tick(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+        let now = ctx.now();
+        let ticks_now = ctx.world.read_tsc(self.me, now);
+        if let Some((t0, ticks0)) = self.monitor_anchor {
+            // Only windows with uninterrupted execution count; AEXs clear
+            // the anchor.
+            let wall = now - t0;
+            if !wall.is_zero() {
+                let host = ctx.world.host(self.me);
+                let core_hz = host.core.current_hz();
+                let inc_model = host.inc.clone();
+                let inc = sample_inc(&inc_model, wall, core_hz, ctx.rng);
+                if inc > 0 {
+                    let tsc_delta = ticks_now.saturating_sub(ticks0);
+                    let ratio = tsc_delta as f64 / inc as f64;
+                    match self.inc_ticks_per_inc {
+                        None => self.inc_ticks_per_inc = Some(ratio),
+                        Some(baseline) => {
+                            let ppm = (ratio / baseline - 1.0).abs() * 1e6;
+                            if ppm > self.cfg.monitor_threshold_ppm {
+                                self.monitor_detections += 1;
+                                self.inc_ticks_per_inc = None;
+                                self.monitor_anchor = Some((now, ticks_now));
+                                ctx.schedule_in(
+                                    self.cfg.monitor_interval,
+                                    SysEvent::timer(TOKEN_MONITOR),
+                                );
+                                self.begin_full_calibration(ctx);
+                                return;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.monitor_anchor = Some((now, ticks_now));
+        ctx.schedule_in(self.cfg.monitor_interval, SysEvent::timer(TOKEN_MONITOR));
+    }
+
+    // ------------------------------------------------------------------
+    // Message dispatch
+    // ------------------------------------------------------------------
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, from: Addr, msg: Message) {
+        match msg {
+            Message::CalibrationResponse { nonce, ta_time_ns, .. } if from == World::TA_ADDR => {
+                self.on_calibration_response(ctx, nonce, ta_time_ns);
+            }
+            Message::PeerTimeRequest { nonce } if self.state == NodeStateTag::Ok => {
+                let now = ctx.now();
+                let ticks = ctx.world.read_tsc(self.me, now);
+                if let Some(ts) = self.serve_ns(ticks) {
+                    send_message(
+                        ctx,
+                        self.me,
+                        from,
+                        &Message::PeerTimeResponse { nonce, timestamp_ns: ts },
+                    );
+                }
+            }
+            // Tainted/calibrating nodes stay silent (§III-D).
+            Message::PeerTimeResponse { nonce, timestamp_ns } => {
+                self.on_peer_response(ctx, nonce, timestamp_ns);
+            }
+            Message::ClientTimeRequest { nonce } => {
+                let timestamp_ns = if self.state == NodeStateTag::Ok {
+                    let now = ctx.now();
+                    let ticks = ctx.world.read_tsc(self.me, now);
+                    self.serve_ns(ticks)
+                } else {
+                    None
+                };
+                send_message(
+                    ctx,
+                    self.me,
+                    from,
+                    &Message::ClientTimeResponse { nonce, timestamp_ns },
+                );
+            }
+            // Hardened-protocol messages are ignored by the base node.
+            _ => {}
+        }
+    }
+}
+
+/// Simulates the monitoring thread's INC count over an uninterrupted wall
+/// window (the enclave counts for real; the simulation evaluates the
+/// model).
+fn sample_inc(model: &tsc::IncModel, wall: SimDuration, core_hz: f64, rng: &mut StdRng) -> u64 {
+    model.measure(wall, core_hz, rng)
+}
+
+impl Actor<World, SysEvent> for TriadNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+        let now = ctx.now();
+        ctx.world.recorder.node_mut(self.index).states.enter(now, NodeStateTag::FullCalib);
+        self.begin_full_calibration(ctx);
+        ctx.schedule_in(self.cfg.monitor_interval, SysEvent::timer(TOKEN_MONITOR));
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, ev: SysEvent) {
+        match ev {
+            SysEvent::Aex { .. } => self.on_aex(ctx),
+            SysEvent::AexResume => self.on_resume(ctx),
+            SysEvent::Deliver(d) => {
+                if let Some(msg) = open_delivery(ctx.world, self.me, &d) {
+                    self.on_message(ctx, d.src, msg);
+                }
+            }
+            SysEvent::Timer { token } => {
+                if token & TOKEN_MONITOR != 0 {
+                    self.on_monitor_tick(ctx);
+                } else if token & TOKEN_PEER_TIMEOUT != 0 {
+                    self.on_peer_timeout(ctx, token & TOKEN_MASK);
+                } else if token & TOKEN_PROBE_RETRY != 0 {
+                    let nonce = token & TOKEN_MASK;
+                    if let Some(probe) = self.pending_probe {
+                        if probe.nonce == nonce {
+                            // Response lost (or attacker-dropped): retry.
+                            let idx = probe.sleep_idx;
+                            self.pending_probe = None;
+                            self.send_probe(ctx, idx);
+                        }
+                    }
+                }
+            }
+            SysEvent::Sample => {}
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! AES-256 block cipher (encryption direction only).
+//!
+//! GCM only ever uses the forward cipher, so decryption of blocks is not
+//! implemented. This is a straightforward FIPS-197 implementation intended
+//! for the simulation's *protocol realism* (the on-path attacker must only
+//! see ciphertext), **not** hardened against timing side channels.
+
+/// The AES S-box (FIPS-197 §5.1.1).
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+const RCON: [u8; 8] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80];
+
+#[inline]
+fn xtime(b: u8) -> u8 {
+    (b << 1) ^ (((b >> 7) & 1) * 0x1b)
+}
+
+fn sub_word(w: u32) -> u32 {
+    let b = w.to_be_bytes();
+    u32::from_be_bytes([
+        SBOX[b[0] as usize],
+        SBOX[b[1] as usize],
+        SBOX[b[2] as usize],
+        SBOX[b[3] as usize],
+    ])
+}
+
+/// An expanded AES-256 key schedule.
+#[derive(Clone)]
+pub struct Aes256 {
+    round_keys: [u32; 60],
+}
+
+impl Aes256 {
+    /// Expands a 256-bit key (FIPS-197 §5.2, `Nk = 8`, `Nr = 14`).
+    pub fn new(key: &[u8; 32]) -> Self {
+        let mut w = [0u32; 60];
+        for (i, chunk) in key.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 8..60 {
+            let mut t = w[i - 1];
+            if i % 8 == 0 {
+                t = sub_word(t.rotate_left(8)) ^ ((RCON[i / 8 - 1] as u32) << 24);
+            } else if i % 8 == 4 {
+                t = sub_word(t);
+            }
+            w[i] = w[i - 8] ^ t;
+        }
+        Aes256 { round_keys: w }
+    }
+
+    /// Encrypts one 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        let mut state = *block;
+        add_round_key(&mut state, &self.round_keys[0..4]);
+        for round in 1..14 {
+            sub_bytes(&mut state);
+            shift_rows(&mut state);
+            mix_columns(&mut state);
+            add_round_key(&mut state, &self.round_keys[4 * round..4 * round + 4]);
+        }
+        sub_bytes(&mut state);
+        shift_rows(&mut state);
+        add_round_key(&mut state, &self.round_keys[56..60]);
+        *block = state;
+    }
+
+    /// Encrypts one 16-byte block, returning the ciphertext.
+    pub fn encrypt_block_copy(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut out = *block;
+        self.encrypt_block(&mut out);
+        out
+    }
+}
+
+impl std::fmt::Debug for Aes256 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never leak key material through Debug.
+        f.write_str("Aes256 { round_keys: <redacted> }")
+    }
+}
+
+fn add_round_key(state: &mut [u8; 16], rk: &[u32]) {
+    for c in 0..4 {
+        let k = rk[c].to_be_bytes();
+        for r in 0..4 {
+            state[4 * c + r] ^= k[r];
+        }
+    }
+}
+
+fn sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+/// State layout: column-major (`state[4*c + r]` is row `r`, column `c`).
+fn shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[4 * c + r] = s[4 * ((c + r) % 4) + r];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        let t = col[0] ^ col[1] ^ col[2] ^ col[3];
+        state[4 * c] = col[0] ^ t ^ xtime(col[0] ^ col[1]);
+        state[4 * c + 1] = col[1] ^ t ^ xtime(col[1] ^ col[2]);
+        state[4 * c + 2] = col[2] ^ t ^ xtime(col[2] ^ col[3]);
+        state[4 * c + 3] = col[3] ^ t ^ xtime(col[3] ^ col[0]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex::{from_hex, to_hex};
+
+    #[test]
+    fn fips197_appendix_c3_vector() {
+        // AES-256: key 00..1f, plaintext 00112233..eeff.
+        let key: [u8; 32] =
+            from_hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+                .try_into()
+                .unwrap();
+        let mut block: [u8; 16] = from_hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        Aes256::new(&key).encrypt_block(&mut block);
+        assert_eq!(to_hex(&block), "8ea2b7ca516745bfeafc49904b496089");
+    }
+
+    #[test]
+    fn all_zero_key_and_block() {
+        // NIST AESAVS KAT (AES-256, zero key, zero plaintext).
+        let cipher = Aes256::new(&[0u8; 32]);
+        let ct = cipher.encrypt_block_copy(&[0u8; 16]);
+        assert_eq!(to_hex(&ct), "dc95c078a2408989ad48a21492842087");
+    }
+
+    #[test]
+    fn encryption_is_deterministic_and_key_dependent() {
+        let c1 = Aes256::new(&[1u8; 32]);
+        let c2 = Aes256::new(&[2u8; 32]);
+        let pt = [7u8; 16];
+        assert_eq!(c1.encrypt_block_copy(&pt), c1.encrypt_block_copy(&pt));
+        assert_ne!(c1.encrypt_block_copy(&pt), c2.encrypt_block_copy(&pt));
+        assert_ne!(c1.encrypt_block_copy(&pt), pt);
+    }
+
+    #[test]
+    fn debug_redacts_key_material() {
+        let c = Aes256::new(&[9u8; 32]);
+        assert_eq!(format!("{c:?}"), "Aes256 { round_keys: <redacted> }");
+    }
+}

@@ -1,0 +1,109 @@
+//! GHASH — the GF(2^128) universal hash underlying GCM authentication.
+
+/// Multiplication in GF(2^128) with GCM's reduction polynomial
+/// `x^128 + x^7 + x^2 + x + 1` and bit ordering (SP 800-38D §6.3).
+///
+/// Operands are the big-endian integer interpretation of 16-byte blocks.
+pub fn gf_mul(x: u128, y: u128) -> u128 {
+    const R: u128 = 0xe1 << 120;
+    let mut z = 0u128;
+    let mut v = x;
+    for i in 0..128 {
+        if (y >> (127 - i)) & 1 == 1 {
+            z ^= v;
+        }
+        let lsb = v & 1;
+        v >>= 1;
+        if lsb == 1 {
+            v ^= R;
+        }
+    }
+    z
+}
+
+/// Incremental GHASH over a byte stream, zero-padding each logical section
+/// to the 16-byte block boundary as required by GCM.
+#[derive(Debug, Clone)]
+pub struct Ghash {
+    h: u128,
+    y: u128,
+}
+
+impl Ghash {
+    /// Creates a GHASH keyed by the hash subkey `H = E(K, 0^128)`.
+    pub fn new(h: &[u8; 16]) -> Self {
+        Ghash { h: u128::from_be_bytes(*h), y: 0 }
+    }
+
+    /// Absorbs `data`, zero-padded to a whole number of blocks.
+    pub fn update_padded(&mut self, data: &[u8]) {
+        for chunk in data.chunks(16) {
+            let mut block = [0u8; 16];
+            block[..chunk.len()].copy_from_slice(chunk);
+            self.y = gf_mul(self.y ^ u128::from_be_bytes(block), self.h);
+        }
+    }
+
+    /// Absorbs the final length block (`len(aad) || len(ciphertext)`, both
+    /// in bits) and returns the digest.
+    pub fn finalize(mut self, aad_len_bytes: usize, ct_len_bytes: usize) -> [u8; 16] {
+        let lens = ((aad_len_bytes as u128 * 8) << 64) | (ct_len_bytes as u128 * 8);
+        self.y = gf_mul(self.y ^ lens, self.h);
+        self.y.to_be_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_by_zero_and_identity() {
+        assert_eq!(gf_mul(0, 0x1234), 0);
+        assert_eq!(gf_mul(0x1234, 0), 0);
+        // The multiplicative identity in GCM's representation is the block
+        // 0x80000...0 (the polynomial "1" with reflected bits).
+        let one = 1u128 << 127;
+        let x = 0xdeadbeef_u128 << 64 | 0x12345678;
+        assert_eq!(gf_mul(x, one), x);
+        assert_eq!(gf_mul(one, x), x);
+    }
+
+    #[test]
+    fn mul_is_commutative() {
+        let a = u128::from_be_bytes(*b"0123456789abcdef");
+        let b = u128::from_be_bytes(*b"fedcba9876543210");
+        assert_eq!(gf_mul(a, b), gf_mul(b, a));
+    }
+
+    #[test]
+    fn mul_distributes_over_xor() {
+        let a = 0x0123_4567_89ab_cdef_u128 << 40;
+        let b = 0xfeed_face_cafe_beef_u128 << 17;
+        let c = 0x1111_2222_3333_4444_u128 << 60;
+        assert_eq!(gf_mul(a ^ b, c), gf_mul(a, c) ^ gf_mul(b, c));
+    }
+
+    #[test]
+    fn ghash_empty_input_is_zero_times_h() {
+        let g = Ghash::new(&[0xab; 16]);
+        // Empty AAD and ciphertext: digest = GHASH of just the length block
+        // with both lengths zero = gf_mul(0, H) = 0.
+        assert_eq!(g.finalize(0, 0), [0u8; 16]);
+    }
+
+    #[test]
+    fn ghash_padding_separates_sections() {
+        // Same bytes split differently across padded sections must differ.
+        let h = [0x42; 16];
+        let mut g1 = Ghash::new(&h);
+        g1.update_padded(&[1, 2, 3]);
+        g1.update_padded(&[4, 5, 6]);
+        let d1 = g1.finalize(3, 3);
+
+        let mut g2 = Ghash::new(&h);
+        g2.update_padded(&[1, 2, 3, 4, 5, 6]);
+        let d2 = g2.finalize(6, 0);
+        assert_ne!(d1, d2);
+    }
+}

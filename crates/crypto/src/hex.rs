@@ -1,0 +1,50 @@
+//! Minimal hex helpers (test vectors, debugging).
+
+/// Encodes bytes as lowercase hex.
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        use std::fmt::Write;
+        write!(s, "{b:02x}").expect("writing to String cannot fail");
+    }
+    s
+}
+
+/// Decodes a hex string (whitespace-free, even length).
+///
+/// # Panics
+///
+/// Panics on odd length or non-hex characters; intended for literals in
+/// tests and fixtures, not untrusted input.
+pub fn from_hex(s: &str) -> Vec<u8> {
+    assert!(s.len().is_multiple_of(2), "hex string must have even length");
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).expect("invalid hex digit"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let bytes = vec![0x00, 0x0f, 0xf0, 0xff, 0x12];
+        assert_eq!(to_hex(&bytes), "000ff0ff12");
+        assert_eq!(from_hex("000ff0ff12"), bytes);
+        assert_eq!(from_hex(""), Vec::<u8>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "even length")]
+    fn odd_length_panics() {
+        from_hex("abc");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid hex")]
+    fn bad_digit_panics() {
+        from_hex("zz");
+    }
+}

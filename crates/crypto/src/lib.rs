@@ -1,0 +1,36 @@
+//! # tt-crypto — AES-256-GCM for the Triad protocol messages
+//!
+//! The paper encrypts all protocol communications with AES-256-GCM (§IV,
+//! using the Maxul/SGX-AES-256 library in the original C++ implementation).
+//! This crate re-implements the AEAD from scratch so the simulated on-path
+//! attacker genuinely operates on ciphertext and timing only — the F+/F–
+//! attacks in `attacks` never parse message contents, exactly as in the
+//! paper's threat model.
+//!
+//! ## Scope and caveats
+//!
+//! This is **simulation-grade** cryptography: functionally correct (NIST
+//! SP 800-38D test vectors pass) but not hardened against timing side
+//! channels, and `#![forbid(unsafe_code)]` table-based AES is used without
+//! cache-attack countermeasures. Do not lift it into a real TEE runtime.
+//!
+//! ## Layers
+//!
+//! - [`Aes256`]: the raw block cipher (FIPS-197),
+//! - [`Aes256Gcm`]: one-shot AEAD seal/open (SP 800-38D),
+//! - [`SealingKey`]: per-session wrapper with automatic nonce sequencing
+//!   and reflection rejection — what the protocol crates actually use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aes;
+mod gcm;
+mod ghash;
+pub mod hex;
+mod session;
+
+pub use aes::Aes256;
+pub use gcm::{Aes256Gcm, AuthError, NONCE_LEN, TAG_LEN};
+pub use ghash::{gf_mul, Ghash};
+pub use session::SealingKey;

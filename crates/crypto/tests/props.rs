@@ -1,0 +1,47 @@
+//! Property-based tests: AEAD round-trip and tamper-rejection invariants.
+
+use proptest::prelude::*;
+use tt_crypto::{Aes256Gcm, SealingKey};
+
+proptest! {
+    #[test]
+    fn seal_open_round_trips(
+        key in proptest::array::uniform32(any::<u8>()),
+        nonce in proptest::array::uniform12(any::<u8>()),
+        aad in proptest::collection::vec(any::<u8>(), 0..64),
+        pt in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let aead = Aes256Gcm::new(&key);
+        let sealed = aead.seal(&nonce, &aad, &pt);
+        prop_assert_eq!(sealed.len(), pt.len() + 16);
+        prop_assert_eq!(aead.open(&nonce, &aad, &sealed).unwrap(), pt);
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_rejected(
+        key in proptest::array::uniform32(any::<u8>()),
+        pt in proptest::collection::vec(any::<u8>(), 1..64),
+        flip_bit in 0usize..64,
+    ) {
+        let aead = Aes256Gcm::new(&key);
+        let nonce = [0u8; 12];
+        let mut sealed = aead.seal(&nonce, b"", &pt);
+        let bit = flip_bit % (sealed.len() * 8);
+        sealed[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(aead.open(&nonce, b"", &sealed).is_err());
+    }
+
+    #[test]
+    fn session_round_trips_many_messages(
+        key in proptest::array::uniform32(any::<u8>()),
+        msgs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..20),
+    ) {
+        let mut tx = SealingKey::new(&key, 0);
+        let rx = SealingKey::new(&key, 1);
+        for m in &msgs {
+            let wire = tx.seal(b"hdr", m);
+            prop_assert_eq!(&rx.open(b"hdr", &wire).unwrap(), m);
+        }
+        prop_assert_eq!(tx.next_seq(), msgs.len() as u64);
+    }
+}

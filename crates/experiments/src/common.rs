@@ -1,0 +1,55 @@
+//! Helpers shared by the figure experiments.
+
+use std::path::Path;
+
+use runtime::World;
+use trace::{StepCounter, TimeSeries};
+
+/// Writes all nodes' drift series in long format
+/// (`node,ref_time_s,drift_ms`).
+pub(crate) fn write_drift_csv(dir: &Path, name: &str, world: &World) {
+    let mut rows = Vec::new();
+    for i in 0..world.recorder.node_count() {
+        for &(t, d) in world.recorder.node(i).drift_ms.points() {
+            rows.push(vec![
+                format!("{}", i + 1),
+                format!("{:.3}", t.as_secs_f64()),
+                format!("{d:.4}"),
+            ]);
+        }
+    }
+    trace::write_csv(&dir.join(name), &["node", "ref_time_s", "drift_ms"], rows)
+        .expect("write drift csv");
+}
+
+/// Writes a cumulative counter's step curve (`node,ref_time_s,count`).
+pub(crate) fn write_counter_csv(
+    dir: &Path,
+    name: &str,
+    world: &World,
+    select: impl Fn(usize) -> StepCounter,
+) {
+    let mut rows = Vec::new();
+    for i in 0..world.recorder.node_count() {
+        for (t, c) in select(i).curve() {
+            rows.push(vec![format!("{}", i + 1), format!("{:.3}", t.as_secs_f64()), c.to_string()]);
+        }
+    }
+    trace::write_csv(&dir.join(name), &["node", "ref_time_s", "count"], rows)
+        .expect("write counter csv");
+}
+
+/// Renders all nodes' drift curves as one ASCII chart.
+pub(crate) fn drift_chart(world: &World, width: usize, height: usize) -> String {
+    let labels: Vec<String> =
+        (0..world.recorder.node_count()).map(|i| world.recorder.node(i).label.clone()).collect();
+    let series: Vec<(&str, &TimeSeries)> = (0..world.recorder.node_count())
+        .map(|i| (labels[i].as_str(), &world.recorder.node(i).drift_ms))
+        .collect();
+    trace::ascii_chart(&series, width, height)
+}
+
+/// Formats a frequency in MHz with three decimals, paper-style.
+pub(crate) fn mhz(hz: f64) -> String {
+    format!("{:.3} MHz", hz / 1e6)
+}

@@ -1,0 +1,151 @@
+//! # experiments — regenerating the paper's evaluation
+//!
+//! One module per table/figure of §IV plus the two extension experiments;
+//! each exposes `run(&RunOpts) -> …Result` with `render()` (human text),
+//! CSV side-outputs, and `comparisons()` — the paper-vs-measured rows
+//! aggregated into EXPERIMENTS.md.
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`fig1`] | Fig. 1a/1b — inter-AEX delay CDFs |
+//! | [`inc_table`] | §IV-A.1 — INC-counter statistics |
+//! | [`fig2`] | Fig. 2a/2b — fault-free drift & TA references (Triad-like AEX) |
+//! | [`fig3`] | Fig. 3a/3b — fault-free drift & state diagram (low AEX) |
+//! | [`fig4`] | Fig. 4 — F+ attack, low-AEX victim |
+//! | [`fig5`] | Fig. 5 — F+ attack, Triad-like AEXs everywhere |
+//! | [`fig6`] | Fig. 6a/6b — F– attack and its propagation |
+//! | [`resilience`] | E12 — §V hardened protocol + ablations |
+//! | [`tsc_detect`] | E13 — INC monitor vs TSC manipulation |
+//! | [`sweeps`] | E14–E18 — delay / size / AEX-rate / network / TA-load sweeps |
+//! | [`baseline`] | E19 — Triad vs a T3E-style TPM baseline |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+mod common;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod inc_table;
+mod output;
+pub mod resilience;
+pub mod sweeps;
+pub mod tsc_detect;
+
+pub use output::{comparison_markdown, comparison_table, write_text, Comparison, RunOpts};
+
+/// Every experiment id accepted by the runner.
+pub const ALL_EXPERIMENTS: [&str; 11] = [
+    "fig1",
+    "inc-table",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "resilience",
+    "tsc-detect",
+    "sweeps",
+    "baseline",
+];
+
+/// Runs one experiment by id, returning its rendered report and
+/// comparison rows.
+///
+/// # Panics
+///
+/// Panics on an unknown id (the CLI validates beforehand).
+pub fn run_by_id(id: &str, opts: &RunOpts) -> (String, Vec<Comparison>) {
+    match id {
+        "fig1" => {
+            let r = fig1::run(opts);
+            (r.render(), r.comparisons())
+        }
+        "inc-table" => {
+            let r = inc_table::run(opts);
+            (r.render(), r.comparisons())
+        }
+        "fig2" => {
+            let r = fig2::run(opts);
+            (r.render(), r.comparisons())
+        }
+        "fig3" => {
+            let r = fig3::run(opts);
+            (r.render(), r.comparisons())
+        }
+        "fig4" => {
+            let r = fig4::run(opts);
+            (r.render(), r.comparisons())
+        }
+        "fig5" => {
+            let r = fig5::run(opts);
+            (r.render(), r.comparisons())
+        }
+        "fig6" => {
+            let r = fig6::run(opts);
+            (r.render(), r.comparisons())
+        }
+        "resilience" => {
+            let r = resilience::run(opts);
+            (r.render(), r.comparisons())
+        }
+        "tsc-detect" => {
+            let r = tsc_detect::run(opts);
+            (r.render(), r.comparisons())
+        }
+        "sweeps" => {
+            let r = sweeps::run(opts);
+            (r.render(), r.comparisons())
+        }
+        "baseline" => {
+            let r = baseline::run(opts);
+            (r.render(), r.comparisons())
+        }
+        other => panic!("unknown experiment id {other:?} (known: {ALL_EXPERIMENTS:?})"),
+    }
+}
+
+/// Runs all experiments in parallel (one thread each) and returns their
+/// reports in `ALL_EXPERIMENTS` order.
+pub fn run_all(opts: &RunOpts) -> Vec<(String, String, Vec<Comparison>)> {
+    let mut results: Vec<Option<(String, String, Vec<Comparison>)>> =
+        (0..ALL_EXPERIMENTS.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for &id in &ALL_EXPERIMENTS {
+            let opts = opts.clone();
+            handles.push(scope.spawn(move |_| {
+                let (report, comparisons) = run_by_id(id, &opts);
+                (id.to_string(), report, comparisons)
+            }));
+        }
+        for (slot, handle) in results.iter_mut().zip(handles) {
+            *slot = Some(handle.join().expect("experiment thread panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "unknown experiment id")]
+    fn unknown_id_panics() {
+        run_by_id("fig99", &RunOpts::quick("/tmp/x"));
+    }
+
+    #[test]
+    fn experiment_ids_are_unique() {
+        let mut ids = ALL_EXPERIMENTS.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), ALL_EXPERIMENTS.len());
+    }
+}

@@ -1,0 +1,104 @@
+//! `triad-experiments` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! triad-experiments [EXPERIMENT ...] [--quick] [--seed N] [--out DIR]
+//!
+//! EXPERIMENT   one or more of: fig1 inc-table fig2 fig3 fig4 fig5 fig6
+//!              resilience tsc-detect all     (default: all)
+//! --quick      shortened horizons (minutes instead of the paper's hours)
+//! --seed N     base RNG seed (default: the release seed)
+//! --out DIR    output directory (default: results/)
+//! ```
+//!
+//! Outputs per experiment: CSV series (for plotting), a rendered text
+//! report, and a consolidated paper-vs-measured table written to
+//! `<out>/comparison.md`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use experiments::{
+    comparison_markdown, comparison_table, run_all, run_by_id, write_text, RunOpts, ALL_EXPERIMENTS,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: triad-experiments [EXPERIMENT ...] [--quick] [--seed N] [--out DIR]\n\
+         experiments: {} all",
+        ALL_EXPERIMENTS.join(" ")
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut opts = RunOpts::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.seed = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--out" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.out_dir = PathBuf::from(v);
+            }
+            "--help" | "-h" => usage(),
+            id if id.starts_with('-') => usage(),
+            id => ids.push(id.to_string()),
+        }
+    }
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    for id in &ids {
+        if !ALL_EXPERIMENTS.contains(&id.as_str()) {
+            eprintln!("unknown experiment: {id}");
+            usage();
+        }
+    }
+
+    println!(
+        "Running {} experiment(s), seed {}, {} mode, output to {}",
+        ids.len(),
+        opts.seed,
+        if opts.quick { "quick" } else { "full" },
+        opts.out_dir.display()
+    );
+
+    let mut all_rows = Vec::new();
+    let mut all_ok = true;
+    let results = if ids.len() == ALL_EXPERIMENTS.len() {
+        run_all(&opts)
+    } else {
+        ids.iter()
+            .map(|id| {
+                let (report, rows) = run_by_id(id, &opts);
+                (id.clone(), report, rows)
+            })
+            .collect()
+    };
+
+    for (id, report, rows) in results {
+        println!("\n=== {id} ===\n{report}");
+        write_text(&opts.dir_for(&id), "report.txt", &report).expect("write report");
+        all_ok &= rows.iter().all(|r| r.matches);
+        all_rows.extend(rows);
+    }
+
+    let table = comparison_table(&all_rows);
+    println!("\n=== paper vs measured ===\n{table}");
+    write_text(&opts.out_dir, "comparison.md", &comparison_markdown(&all_rows))
+        .expect("write comparison");
+    write_text(&opts.out_dir, "comparison.txt", &table).expect("write comparison");
+
+    if all_ok {
+        println!("all shape criteria hold");
+        ExitCode::SUCCESS
+    } else {
+        println!("SOME SHAPE CRITERIA FAILED — see the table above");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,136 @@
+//! Shared experiment plumbing: options, output locations, and the
+//! paper-vs-measured comparison rows that feed EXPERIMENTS.md.
+
+use std::path::{Path, PathBuf};
+
+/// How to run an experiment.
+#[derive(Debug, Clone)]
+pub struct RunOpts {
+    /// Base RNG seed (every figure derives sub-seeds from it).
+    pub seed: u64,
+    /// Shorten long scenarios (CI-friendly); full durations reproduce the
+    /// paper's horizons (30 min for Fig. 2, 8 h for Fig. 3).
+    pub quick: bool,
+    /// Where CSVs and rendered text go.
+    pub out_dir: PathBuf,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts { seed: 0xD51A_2025, quick: false, out_dir: PathBuf::from("results") }
+    }
+}
+
+impl RunOpts {
+    /// A quick-mode configuration writing to `out_dir`.
+    pub fn quick(out_dir: impl Into<PathBuf>) -> Self {
+        RunOpts { quick: true, out_dir: out_dir.into(), ..Default::default() }
+    }
+
+    /// Output sub-directory for one experiment.
+    pub fn dir_for(&self, experiment: &str) -> PathBuf {
+        self.out_dir.join(experiment)
+    }
+}
+
+/// One paper-vs-measured row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Experiment id ("fig2", "inc-table", …).
+    pub experiment: &'static str,
+    /// What is being compared.
+    pub metric: String,
+    /// The paper's reported value (verbatim where possible).
+    pub paper: String,
+    /// Our measured value.
+    pub measured: String,
+    /// Whether the *shape* criterion holds (sign/factor/crossover).
+    pub matches: bool,
+}
+
+impl Comparison {
+    /// Builds a row.
+    pub fn new(
+        experiment: &'static str,
+        metric: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+        matches: bool,
+    ) -> Self {
+        Comparison {
+            experiment,
+            metric: metric.into(),
+            paper: paper.into(),
+            measured: measured.into(),
+            matches,
+        }
+    }
+}
+
+/// Renders comparison rows as an aligned table.
+pub fn comparison_table(rows: &[Comparison]) -> String {
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|c| {
+            vec![
+                c.experiment.to_string(),
+                c.metric.clone(),
+                c.paper.clone(),
+                c.measured.clone(),
+                if c.matches { "yes".into() } else { "NO".into() },
+            ]
+        })
+        .collect();
+    trace::render_table(&["experiment", "metric", "paper", "measured", "match"], &table_rows)
+}
+
+/// Renders comparison rows as a Markdown table (for EXPERIMENTS.md).
+pub fn comparison_markdown(rows: &[Comparison]) -> String {
+    let mut out =
+        String::from("| experiment | metric | paper | measured | match |\n|---|---|---|---|---|\n");
+    for c in rows {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} |\n",
+            c.experiment,
+            c.metric,
+            c.paper,
+            c.measured,
+            if c.matches { "✔" } else { "✘" }
+        ));
+    }
+    out
+}
+
+/// Writes a rendered text artifact next to the CSVs.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_text(dir: &Path, name: &str, content: &str) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join(name), content)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opts_paths() {
+        let o = RunOpts::quick("/tmp/x");
+        assert!(o.quick);
+        assert_eq!(o.dir_for("fig2"), PathBuf::from("/tmp/x/fig2"));
+    }
+
+    #[test]
+    fn tables_render() {
+        let rows = vec![
+            Comparison::new("fig4", "drift rate", "-91 ms/s", "-90.9 ms/s", true),
+            Comparison::new("fig4", "F3_calib", "3191 MHz", "3190 MHz", true),
+        ];
+        let t = comparison_table(&rows);
+        assert!(t.contains("drift rate"));
+        let md = comparison_markdown(&rows);
+        assert!(md.contains("| fig4 | drift rate | -91 ms/s | -90.9 ms/s | ✔ |"));
+    }
+}

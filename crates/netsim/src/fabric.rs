@@ -1,0 +1,341 @@
+//! The datagram fabric: delay, loss, interception, per-link statistics.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use sim::{SimDuration, SimTime};
+
+use crate::delay::DelayModel;
+use crate::intercept::{Addr, InterceptAction, Interceptor, MsgMeta};
+
+/// A datagram scheduled for delivery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// Sender address.
+    pub src: Addr,
+    /// Destination address.
+    pub dst: Addr,
+    /// Sealed payload.
+    pub payload: Vec<u8>,
+    /// Instant the sender dispatched it.
+    pub send_time: SimTime,
+}
+
+/// Counters kept per directed link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Datagrams handed to the fabric.
+    pub sent: u64,
+    /// Datagrams scheduled for delivery.
+    pub delivered: u64,
+    /// Datagrams lost to random loss.
+    pub lost: u64,
+    /// Datagrams dropped by an interceptor.
+    pub attacker_dropped: u64,
+    /// Datagrams delayed by an interceptor.
+    pub attacker_delayed: u64,
+    /// Total interceptor-added delay (ns).
+    pub attacker_delay_ns: u64,
+    /// Duplicate datagrams re-injected by an interceptor.
+    pub attacker_replayed: u64,
+}
+
+/// The simulated network connecting all endpoints.
+///
+/// # Examples
+///
+/// ```
+/// use netsim::{Addr, DelayModel, Network};
+/// use rand::SeedableRng;
+/// use sim::{SimDuration, SimTime};
+///
+/// let mut net = Network::new(DelayModel::Constant(SimDuration::from_micros(100)), 0.0);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let out = net.dispatch(SimTime::ZERO, &mut rng, Addr(1), Addr(0), vec![0xAB]);
+/// assert_eq!(out.len(), 1, "one delivery, no loss configured");
+/// assert_eq!(out[0].0, SimTime::ZERO + SimDuration::from_micros(100));
+/// assert_eq!(out[0].1.payload, vec![0xAB]);
+/// ```
+#[derive(Debug)]
+pub struct Network {
+    default_delay: DelayModel,
+    link_delay: HashMap<(Addr, Addr), DelayModel>,
+    loss_probability: f64,
+    interceptors: Vec<Box<dyn Interceptor>>,
+    stats: HashMap<(Addr, Addr), LinkStats>,
+}
+
+impl Network {
+    /// Creates a fabric with a default delay model and an i.i.d. loss
+    /// probability applied to every datagram.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `loss_probability ∈ [0, 1)`.
+    pub fn new(default_delay: DelayModel, loss_probability: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&loss_probability),
+            "loss probability must be in [0,1), got {loss_probability}"
+        );
+        Network {
+            default_delay,
+            link_delay: HashMap::new(),
+            loss_probability,
+            interceptors: Vec::new(),
+            stats: HashMap::new(),
+        }
+    }
+
+    /// Overrides the delay model of one directed link.
+    pub fn set_link_delay(&mut self, src: Addr, dst: Addr, model: DelayModel) {
+        self.link_delay.insert((src, dst), model);
+    }
+
+    /// Installs an interceptor; interceptors see every datagram in order of
+    /// installation and their delays accumulate.
+    pub fn add_interceptor(&mut self, interceptor: Box<dyn Interceptor>) {
+        self.interceptors.push(interceptor);
+    }
+
+    /// Statistics for a directed link (zeroes if never used).
+    pub fn link_stats(&self, src: Addr, dst: Addr) -> LinkStats {
+        self.stats.get(&(src, dst)).copied().unwrap_or_default()
+    }
+
+    /// Aggregated statistics over all links.
+    pub fn total_stats(&self) -> LinkStats {
+        let mut total = LinkStats::default();
+        for s in self.stats.values() {
+            total.sent += s.sent;
+            total.delivered += s.delivered;
+            total.lost += s.lost;
+            total.attacker_dropped += s.attacker_dropped;
+            total.attacker_delayed += s.attacker_delayed;
+            total.attacker_delay_ns += s.attacker_delay_ns;
+            total.attacker_replayed += s.attacker_replayed;
+        }
+        total
+    }
+
+    /// Sends a datagram: samples propagation delay, applies loss, runs
+    /// interceptors, and returns the scheduled deliveries — empty when the
+    /// datagram dies en route, two entries when an interceptor replays it.
+    pub fn dispatch(
+        &mut self,
+        now: SimTime,
+        rng: &mut StdRng,
+        src: Addr,
+        dst: Addr,
+        payload: Vec<u8>,
+    ) -> Vec<(SimTime, Delivery)> {
+        let stats = self.stats.entry((src, dst)).or_default();
+        stats.sent += 1;
+
+        if self.loss_probability > 0.0 && rng.gen_bool(self.loss_probability) {
+            stats.lost += 1;
+            return Vec::new();
+        }
+
+        let model = self.link_delay.get(&(src, dst)).unwrap_or(&self.default_delay);
+        let mut delay = model.sample(rng);
+
+        let meta = MsgMeta { src, dst, size: payload.len(), send_time: now };
+        let mut attacker_delay = SimDuration::ZERO;
+        let mut delayed = false;
+        let mut replay_after: Option<SimDuration> = None;
+        for interceptor in &mut self.interceptors {
+            match interceptor.on_message(now, &meta, &payload) {
+                InterceptAction::Deliver => {}
+                InterceptAction::Delay(d) => {
+                    attacker_delay += d;
+                    delayed = true;
+                }
+                InterceptAction::Replay(d) => {
+                    replay_after = Some(d);
+                }
+                InterceptAction::Drop => {
+                    let stats = self.stats.entry((src, dst)).or_default();
+                    stats.attacker_dropped += 1;
+                    return Vec::new();
+                }
+            }
+        }
+        delay += attacker_delay;
+
+        let stats = self.stats.entry((src, dst)).or_default();
+        stats.delivered += 1;
+        if delayed {
+            stats.attacker_delayed += 1;
+            stats.attacker_delay_ns += attacker_delay.as_nanos();
+        }
+        let original =
+            (now + delay, Delivery { src, dst, payload: payload.clone(), send_time: now });
+        match replay_after {
+            None => vec![original],
+            Some(extra) => {
+                stats.attacker_replayed += 1;
+                let copy = (now + delay + extra, Delivery { src, dst, payload, send_time: now });
+                vec![original, copy]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn fixed_net(delay_us: u64) -> Network {
+        Network::new(DelayModel::Constant(SimDuration::from_micros(delay_us)), 0.0)
+    }
+
+    #[test]
+    fn dispatch_applies_link_delay() {
+        let mut net = fixed_net(150);
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = net.dispatch(SimTime::from_secs(1), &mut rng, Addr(1), Addr(2), vec![9]);
+        let (at, d) = out.into_iter().next().unwrap();
+        assert_eq!(at, SimTime::from_secs(1) + SimDuration::from_micros(150));
+        assert_eq!(d.src, Addr(1));
+        assert_eq!(d.dst, Addr(2));
+        assert_eq!(d.send_time, SimTime::from_secs(1));
+        assert_eq!(net.link_stats(Addr(1), Addr(2)).sent, 1);
+        assert_eq!(net.link_stats(Addr(1), Addr(2)).delivered, 1);
+    }
+
+    #[test]
+    fn per_link_override_beats_default() {
+        let mut net = fixed_net(150);
+        net.set_link_delay(Addr(1), Addr(2), DelayModel::Constant(SimDuration::from_millis(5)));
+        let mut rng = StdRng::seed_from_u64(0);
+        let (at, _) = net
+            .dispatch(SimTime::ZERO, &mut rng, Addr(1), Addr(2), vec![])
+            .into_iter()
+            .next()
+            .unwrap();
+        assert_eq!(at, SimTime::ZERO + SimDuration::from_millis(5));
+        // Reverse direction still uses the default.
+        let (at, _) = net
+            .dispatch(SimTime::ZERO, &mut rng, Addr(2), Addr(1), vec![])
+            .into_iter()
+            .next()
+            .unwrap();
+        assert_eq!(at, SimTime::ZERO + SimDuration::from_micros(150));
+    }
+
+    #[test]
+    fn loss_drops_roughly_the_configured_fraction() {
+        let mut net = Network::new(DelayModel::Constant(SimDuration::ZERO), 0.3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut delivered = 0;
+        for _ in 0..10_000 {
+            if !net.dispatch(SimTime::ZERO, &mut rng, Addr(1), Addr(2), vec![]).is_empty() {
+                delivered += 1;
+            }
+        }
+        assert!((delivered as f64 / 10_000.0 - 0.7).abs() < 0.02);
+        let s = net.link_stats(Addr(1), Addr(2));
+        assert_eq!(s.sent, 10_000);
+        assert_eq!(s.delivered + s.lost, 10_000);
+    }
+
+    #[derive(Debug)]
+    struct DelayBig {
+        threshold: usize,
+    }
+    impl Interceptor for DelayBig {
+        fn on_message(&mut self, _now: SimTime, meta: &MsgMeta, _ct: &[u8]) -> InterceptAction {
+            if meta.size > self.threshold {
+                InterceptAction::Delay(SimDuration::from_millis(100))
+            } else {
+                InterceptAction::Deliver
+            }
+        }
+    }
+
+    #[test]
+    fn interceptor_delays_selected_messages() {
+        let mut net = fixed_net(100);
+        net.add_interceptor(Box::new(DelayBig { threshold: 4 }));
+        let mut rng = StdRng::seed_from_u64(2);
+        let (small_at, _) = net
+            .dispatch(SimTime::ZERO, &mut rng, Addr(1), Addr(0), vec![0; 3])
+            .into_iter()
+            .next()
+            .unwrap();
+        let (big_at, _) = net
+            .dispatch(SimTime::ZERO, &mut rng, Addr(1), Addr(0), vec![0; 64])
+            .into_iter()
+            .next()
+            .unwrap();
+        assert_eq!(small_at, SimTime::ZERO + SimDuration::from_micros(100));
+        assert_eq!(
+            big_at,
+            SimTime::ZERO + SimDuration::from_micros(100) + SimDuration::from_millis(100)
+        );
+        let s = net.link_stats(Addr(1), Addr(0));
+        assert_eq!(s.attacker_delayed, 1);
+        assert_eq!(s.attacker_delay_ns, 100_000_000);
+    }
+
+    #[derive(Debug)]
+    struct DropAll;
+    impl Interceptor for DropAll {
+        fn on_message(&mut self, _: SimTime, _: &MsgMeta, _: &[u8]) -> InterceptAction {
+            InterceptAction::Drop
+        }
+    }
+
+    #[test]
+    fn interceptor_can_drop() {
+        let mut net = fixed_net(100);
+        net.add_interceptor(Box::new(DropAll));
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(net.dispatch(SimTime::ZERO, &mut rng, Addr(1), Addr(0), vec![1]).is_empty());
+        assert_eq!(net.link_stats(Addr(1), Addr(0)).attacker_dropped, 1);
+        assert_eq!(net.total_stats().sent, 1);
+    }
+
+    #[test]
+    fn multiple_interceptor_delays_accumulate() {
+        let mut net = fixed_net(0);
+        net.add_interceptor(Box::new(DelayBig { threshold: 0 }));
+        net.add_interceptor(Box::new(DelayBig { threshold: 0 }));
+        let mut rng = StdRng::seed_from_u64(4);
+        let (at, _) = net
+            .dispatch(SimTime::ZERO, &mut rng, Addr(1), Addr(0), vec![1])
+            .into_iter()
+            .next()
+            .unwrap();
+        assert_eq!(at, SimTime::ZERO + SimDuration::from_millis(200));
+    }
+
+    #[derive(Debug)]
+    struct ReplayAll(SimDuration);
+    impl Interceptor for ReplayAll {
+        fn on_message(&mut self, _: SimTime, _: &MsgMeta, _: &[u8]) -> InterceptAction {
+            InterceptAction::Replay(self.0)
+        }
+    }
+
+    #[test]
+    fn replay_produces_two_identical_deliveries() {
+        let mut net = fixed_net(100);
+        net.add_interceptor(Box::new(ReplayAll(SimDuration::from_secs(2))));
+        let mut rng = StdRng::seed_from_u64(5);
+        let out = net.dispatch(SimTime::ZERO, &mut rng, Addr(0), Addr(3), vec![7, 8, 9]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, SimTime::ZERO + SimDuration::from_micros(100));
+        assert_eq!(out[1].0, out[0].0 + SimDuration::from_secs(2));
+        assert_eq!(out[0].1, out[1].1, "the copy is byte-identical");
+        assert_eq!(net.link_stats(Addr(0), Addr(3)).attacker_replayed, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn invalid_loss_rejected() {
+        Network::new(DelayModel::Constant(SimDuration::ZERO), 1.5);
+    }
+}

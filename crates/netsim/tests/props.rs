@@ -1,0 +1,81 @@
+//! Property-based tests for the network fabric.
+
+use netsim::{Addr, DelayModel, InterceptAction, Interceptor, MsgMeta, Network};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sim::{SimDuration, SimTime};
+
+proptest! {
+    /// Deliveries never travel back in time and statistics balance.
+    #[test]
+    fn delivery_times_and_stats_are_consistent(
+        seed in any::<u64>(),
+        sends in 1usize..200,
+        loss in 0.0..0.5f64,
+        delay_us in 1u64..10_000,
+    ) {
+        let mut net = Network::new(
+            DelayModel::Uniform {
+                lo: SimDuration::from_micros(delay_us),
+                hi: SimDuration::from_micros(delay_us * 2),
+            },
+            loss,
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut delivered = 0u64;
+        for i in 0..sends {
+            let now = SimTime::from_nanos(i as u64 * 1000);
+            if let Some((at, d)) = net.dispatch(now, &mut rng, Addr(1), Addr(2), vec![0; 8]).into_iter().next() {
+                prop_assert!(at >= now + SimDuration::from_micros(delay_us));
+                prop_assert!(at <= now + SimDuration::from_micros(delay_us * 2));
+                prop_assert_eq!(d.send_time, now);
+                delivered += 1;
+            }
+        }
+        let stats = net.link_stats(Addr(1), Addr(2));
+        prop_assert_eq!(stats.sent, sends as u64);
+        prop_assert_eq!(stats.delivered, delivered);
+        prop_assert_eq!(stats.delivered + stats.lost, sends as u64);
+    }
+
+    /// An interceptor delay shifts delivery by exactly the added amount
+    /// and is fully accounted in the statistics.
+    #[test]
+    fn interceptor_delay_is_exact(extra_ms in 1u64..500, sends in 1usize..50) {
+        #[derive(Debug)]
+        struct FixedDelay(SimDuration);
+        impl Interceptor for FixedDelay {
+            fn on_message(&mut self, _: SimTime, _: &MsgMeta, _: &[u8]) -> InterceptAction {
+                InterceptAction::Delay(self.0)
+            }
+        }
+        let base = SimDuration::from_micros(100);
+        let extra = SimDuration::from_millis(extra_ms);
+        let mut net = Network::new(DelayModel::Constant(base), 0.0);
+        net.add_interceptor(Box::new(FixedDelay(extra)));
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..sends {
+            let now = SimTime::from_nanos(i as u64);
+            let (at, _) = net.dispatch(now, &mut rng, Addr(1), Addr(0), vec![]).into_iter().next().unwrap();
+            prop_assert_eq!(at, now + base + extra);
+        }
+        let stats = net.link_stats(Addr(1), Addr(0));
+        prop_assert_eq!(stats.attacker_delayed, sends as u64);
+        prop_assert_eq!(stats.attacker_delay_ns, extra.as_nanos() * sends as u64);
+    }
+
+    /// Payloads pass through the fabric unmodified (interceptors are
+    /// read-only by construction).
+    #[test]
+    fn payloads_are_immutable(payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut net = Network::new(DelayModel::Constant(SimDuration::ZERO), 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (_, d) = net
+            .dispatch(SimTime::ZERO, &mut rng, Addr(1), Addr(2), payload.clone())
+            .into_iter()
+            .next()
+            .unwrap();
+        prop_assert_eq!(d.payload, payload);
+    }
+}

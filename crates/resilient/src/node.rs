@@ -1,0 +1,770 @@
+//! The hardened node implementing §V's protocol changes.
+
+use std::collections::VecDeque;
+
+use netsim::Addr;
+use sim::{Actor, Ctx, EventId, SimDuration};
+use stats::{marzullo, Interval, Regression};
+use trace::NodeStateTag;
+use wire::Message;
+
+use runtime::{open_delivery, send_message, ClockState, SysEvent, World};
+use triad_core::Calibrator;
+
+use crate::config::ResilientConfig;
+
+const TOKEN_PEER_TIMEOUT: u64 = 1 << 62;
+const TOKEN_PROBE_RETRY: u64 = 1 << 61;
+const TOKEN_DEADLINE: u64 = 1 << 60;
+const TOKEN_TA_CHECK: u64 = 1 << 59;
+const TOKEN_MASK: u64 = (1 << 59) - 1;
+
+/// What an outstanding TA exchange is for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProbeKind {
+    /// Initial frequency calibration sample for sleep index `i`.
+    Speed(usize),
+    /// (Re-)anchoring the time reference (node is unavailable meanwhile).
+    Anchor,
+    /// Background consistency check while serving (node stays available).
+    CrossCheck,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PendingProbe {
+    nonce: u64,
+    kind: ProbeKind,
+    send_ticks: u64,
+    aex_count_at_send: u64,
+    retry: EventId,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct IntervalRound {
+    nonce: u64,
+    proactive: bool,
+    responses: Vec<(Addr, u64, u64)>, // (peer, timestamp_ns, error_bound_ns)
+    expected: usize,
+    timeout: EventId,
+}
+
+/// A Triad node hardened with the countermeasures of §V.
+///
+/// Shares the base protocol's shape — calibrate, serve, taint on AEX,
+/// refresh via peers or TA — but changes *whom it believes*:
+///
+/// - peer timestamps carry error bounds and are accepted only when a
+///   strict majority of clock intervals mutually intersect (Marzullo's
+///   true-chimers), so a single fast clock is outvoted instead of
+///   followed;
+/// - refresh checks also fire from an in-TCB deadline, not only from
+///   attacker-controlled AEXs;
+/// - the TSC frequency is continuously refined over a long sample window
+///   (NTP-style), erasing a poisoned initial calibration;
+/// - TA anchors with implausible round-trips are retried, bounding
+///   message-delay offsets.
+#[derive(Debug)]
+pub struct ResilientNode {
+    me: Addr,
+    index: usize,
+    peers: Vec<Addr>,
+    cfg: ResilientConfig,
+    state: NodeStateTag,
+
+    anchor_ref_ns: f64,
+    anchor_ticks: u64,
+    f_calib_hz: Option<f64>,
+    clock_valid: bool,
+    last_served_ns: f64,
+
+    calibrator: Calibrator,
+    pending_probe: Option<PendingProbe>,
+    pending_round: Option<IntervalRound>,
+    taint_snapshot_ns: Option<f64>,
+    resume_pending: bool,
+    aex_count: u64,
+
+    rtt_rejects: u32,
+    extra_bound_ns: f64,
+    ta_samples: VecDeque<(f64, f64)>, // (recv ticks, estimated reference ns)
+    drift_bound_ppm: f64,
+    refined: bool,
+
+    epoch: u64,
+    gossip_suspicion: u32,
+    next_nonce: u64,
+}
+
+impl ResilientNode {
+    /// Creates a hardened node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the TA address, self-peering, or invalid configuration.
+    pub fn new(me: Addr, peers: Vec<Addr>, cfg: ResilientConfig) -> Self {
+        assert!(me.0 >= 1, "a node cannot use the TA address");
+        assert!(!peers.contains(&me), "a node is not its own peer");
+        cfg.validate();
+        let calibrator = Calibrator::new(cfg.base.calib_sleeps.clone(), cfg.base.samples_per_sleep);
+        let drift_bound = cfg.drift_bound_ppm_initial;
+        ResilientNode {
+            me,
+            index: (me.0 - 1) as usize,
+            peers,
+            cfg,
+            state: NodeStateTag::FullCalib,
+            anchor_ref_ns: 0.0,
+            anchor_ticks: 0,
+            f_calib_hz: None,
+            clock_valid: false,
+            last_served_ns: 0.0,
+            calibrator,
+            pending_probe: None,
+            pending_round: None,
+            taint_snapshot_ns: None,
+            resume_pending: false,
+            aex_count: 0,
+            rtt_rejects: 0,
+            extra_bound_ns: 0.0,
+            ta_samples: VecDeque::new(),
+            drift_bound_ppm: drift_bound,
+            refined: false,
+            epoch: 0,
+            gossip_suspicion: 0,
+            next_nonce: 0,
+        }
+    }
+
+    /// True once the long-window refinement replaced the bootstrap fit.
+    pub fn is_refined(&self) -> bool {
+        self.refined
+    }
+
+    // ------------------------------------------------------------------
+    // Clock
+    // ------------------------------------------------------------------
+
+    fn clock_ns(&self, ticks: u64) -> Option<f64> {
+        let f = self.f_calib_hz?;
+        if !self.clock_valid {
+            return None;
+        }
+        Some(self.anchor_ref_ns + (ticks as f64 - self.anchor_ticks as f64) / f * 1e9)
+    }
+
+    fn publish_clock(&self, world: &mut World) {
+        world.clocks[self.index] = ClockState {
+            valid: self.clock_valid,
+            anchor_ref_ns: self.anchor_ref_ns,
+            anchor_ticks: self.anchor_ticks,
+            f_calib_hz: self.f_calib_hz.unwrap_or(1.0),
+        };
+    }
+
+    fn set_anchor(&mut self, world: &mut World, ticks: u64, ref_ns: f64) {
+        self.anchor_ref_ns = ref_ns;
+        self.anchor_ticks = ticks;
+        self.clock_valid = true;
+        self.publish_clock(world);
+    }
+
+    fn serve_ns(&mut self, ticks: u64) -> Option<u64> {
+        let now = self.clock_ns(ticks)?;
+        let served = if now > self.last_served_ns {
+            now
+        } else {
+            self.last_served_ns + self.cfg.base.epsilon_ns as f64
+        };
+        self.last_served_ns = served;
+        Some(served as u64)
+    }
+
+    /// Self-assessed half-width error bound at TSC value `ticks`.
+    fn error_bound_ns(&self, ticks: u64) -> f64 {
+        let secs_since_anchor = self
+            .f_calib_hz
+            .map(|f| ((ticks as f64 - self.anchor_ticks as f64) / f).abs())
+            .unwrap_or(0.0);
+        self.cfg.base_error_bound.as_nanos() as f64
+            + self.drift_bound_ppm * 1e-6 * secs_since_anchor * 1e9
+            + self.extra_bound_ns
+    }
+
+    fn enter_state(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, state: NodeStateTag) {
+        self.state = state;
+        let now = ctx.now();
+        ctx.world.recorder.node_mut(self.index).states.enter(now, state);
+    }
+
+    fn fresh_nonce(&mut self) -> u64 {
+        self.next_nonce += 1;
+        self.next_nonce & TOKEN_MASK
+    }
+
+    // ------------------------------------------------------------------
+    // TA exchanges
+    // ------------------------------------------------------------------
+
+    fn abandon_probe(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+        if let Some(p) = self.pending_probe.take() {
+            ctx.cancel(p.retry);
+        }
+    }
+
+    fn send_probe(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, kind: ProbeKind) {
+        self.abandon_probe(ctx);
+        let nonce = self.fresh_nonce();
+        let sleep = match kind {
+            ProbeKind::Speed(idx) => self.calibrator.sleep_at(idx),
+            _ => SimDuration::ZERO,
+        };
+        send_message(
+            ctx,
+            self.me,
+            World::TA_ADDR,
+            &Message::CalibrationRequest { nonce, sleep_ns: sleep.as_nanos() },
+        );
+        let retry = ctx.schedule_in(
+            sleep + self.cfg.base.probe_timeout,
+            SysEvent::timer(TOKEN_PROBE_RETRY | nonce),
+        );
+        let now = ctx.now();
+        self.pending_probe = Some(PendingProbe {
+            nonce,
+            kind,
+            send_ticks: ctx.world.read_tsc(self.me, now),
+            aex_count_at_send: self.aex_count,
+            retry,
+        });
+    }
+
+    fn send_next_speed_probe(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+        match self.calibrator.next_probe() {
+            Some(idx) => self.send_probe(ctx, ProbeKind::Speed(idx)),
+            None => {
+                let fit = self.calibrator.fit().expect("two distinct sleeps configured");
+                self.f_calib_hz = Some(fit.slope);
+                let now = ctx.now();
+                ctx.world.recorder.node_mut(self.index).calibrations_hz.push((now, fit.slope));
+                self.send_probe(ctx, ProbeKind::Anchor);
+            }
+        }
+    }
+
+    fn on_calibration_response(
+        &mut self,
+        ctx: &mut Ctx<'_, World, SysEvent>,
+        nonce: u64,
+        ta_time_ns: u64,
+    ) {
+        let Some(probe) = self.pending_probe else { return };
+        if probe.nonce != nonce {
+            return;
+        }
+        self.pending_probe = None;
+        ctx.cancel(probe.retry);
+
+        let now = ctx.now();
+        let recv_ticks = ctx.world.read_tsc(self.me, now);
+
+        if probe.aex_count_at_send != self.aex_count {
+            // Interrupted round-trip: unusable measurement.
+            match probe.kind {
+                ProbeKind::Speed(idx) => self.send_probe(ctx, ProbeKind::Speed(idx)),
+                ProbeKind::Anchor => self.send_probe(ctx, ProbeKind::Anchor),
+                ProbeKind::CrossCheck => {} // next periodic check will retry
+            }
+            return;
+        }
+
+        match probe.kind {
+            ProbeKind::Speed(idx) => {
+                self.calibrator.record(idx, recv_ticks.saturating_sub(probe.send_ticks));
+                self.send_next_speed_probe(ctx);
+            }
+            ProbeKind::Anchor | ProbeKind::CrossCheck => {
+                self.accept_ta_sample(ctx, probe.kind, probe.send_ticks, recv_ticks, ta_time_ns);
+            }
+        }
+    }
+
+    fn accept_ta_sample(
+        &mut self,
+        ctx: &mut Ctx<'_, World, SysEvent>,
+        kind: ProbeKind,
+        send_ticks: u64,
+        recv_ticks: u64,
+        ta_time_ns: u64,
+    ) {
+        let f = self.f_calib_hz.expect("anchor/check follows the speed fit");
+        let rtt_ns = recv_ticks.saturating_sub(send_ticks) as f64 / f * 1e9;
+        let implausible = rtt_ns > self.cfg.max_rtt.as_nanos() as f64;
+        if self.cfg.enable_rtt_filter && implausible && self.rtt_rejects < self.cfg.max_rtt_rejects
+        {
+            // An on-path attacker is (or congestion is) stretching the
+            // exchange: retry rather than anchor to a skewed estimate.
+            self.rtt_rejects += 1;
+            match kind {
+                ProbeKind::Anchor => self.send_probe(ctx, ProbeKind::Anchor),
+                ProbeKind::CrossCheck => self.send_probe(ctx, ProbeKind::CrossCheck),
+                ProbeKind::Speed(_) => unreachable!("speed probes skip the RTT filter"),
+            }
+            return;
+        }
+        let forced = self.cfg.enable_rtt_filter && implausible;
+        self.rtt_rejects = 0;
+        let est_ns = ta_time_ns as f64 + rtt_ns / 2.0;
+        let sample_extra_bound = if forced { rtt_ns } else { 0.0 };
+
+        // Feed the long-window (NTP-style) refinement.
+        self.ta_samples.push_back((recv_ticks as f64, est_ns));
+        while self.ta_samples.len() > self.cfg.ntp_max_samples {
+            self.ta_samples.pop_front();
+        }
+        self.maybe_refit(ctx);
+
+        let now = ctx.now();
+        match kind {
+            ProbeKind::Anchor => {
+                self.set_anchor(ctx.world, recv_ticks, est_ns);
+                self.extra_bound_ns = sample_extra_bound;
+                ctx.world.recorder.node_mut(self.index).ta_references.increment(now);
+                self.taint_snapshot_ns = None;
+                self.enter_state(ctx, NodeStateTag::Ok);
+            }
+            ProbeKind::CrossCheck => {
+                let own = self.clock_ns(recv_ticks).expect("checked only while serving");
+                let bound = self.error_bound_ns(recv_ticks) + sample_extra_bound;
+                if (est_ns - own).abs() > bound {
+                    // The clock fell outside its own confidence interval
+                    // against the root of trust: correct it.
+                    let target = est_ns.max(self.last_served_ns + self.cfg.base.epsilon_ns as f64);
+                    self.set_anchor(ctx.world, recv_ticks, target);
+                    self.extra_bound_ns = sample_extra_bound;
+                    ctx.world.recorder.node_mut(self.index).corrections.increment(now);
+                    ctx.world.recorder.node_mut(self.index).ta_references.increment(now);
+                }
+            }
+            ProbeKind::Speed(_) => unreachable!("handled by caller"),
+        }
+    }
+
+    /// NTP-style long-window frequency refinement: once TA samples span
+    /// the configured window, a robust fit of reference time over TSC
+    /// ticks replaces the short-window bootstrap estimate (§V: "calibration
+    /// phases with short-duration measurements ... can be replaced by more
+    /// mature synchronization protocols like NTPsec").
+    fn maybe_refit(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+        if !self.cfg.enable_long_window || self.ta_samples.len() < 8 {
+            return;
+        }
+        let f = self.f_calib_hz.expect("samples only exist after bootstrap");
+        let span_ticks = self.ta_samples.back().expect("non-empty").0
+            - self.ta_samples.front().expect("non-empty").0;
+        let span_ns = span_ticks / f * 1e9;
+        if span_ns < self.cfg.ntp_min_window.as_nanos() as f64 {
+            return;
+        }
+        let reg: Regression = self.ta_samples.iter().copied().collect();
+        // Theil–Sen resists the occasional attacker-delayed sample.
+        let Some(fit) = reg.theil_sen() else { return };
+        if fit.slope <= 0.0 {
+            return;
+        }
+        let f_new = 1e9 / fit.slope; // slope is ns of reference per tick
+                                     // Sanity: reject fits wildly off the current estimate (a poisoned
+                                     // majority of samples cannot silently take over).
+        if (f_new / f - 1.0).abs() > 0.2 {
+            return;
+        }
+        let first_refit = !self.refined;
+        let changed_ppm = (f_new / f - 1.0).abs() * 1e6;
+        if first_refit || changed_ppm > 1.0 {
+            // Re-anchor at the current instant so the slope change does not
+            // retroactively move the clock.
+            let now = ctx.now();
+            let ticks = ctx.world.read_tsc(self.me, now);
+            if let Some(own) = self.clock_ns(ticks) {
+                self.f_calib_hz = Some(f_new);
+                self.set_anchor(ctx.world, ticks, own);
+            } else {
+                self.f_calib_hz = Some(f_new);
+            }
+            self.drift_bound_ppm = self.cfg.drift_bound_ppm_refined;
+            self.refined = true;
+            let refit_at = ctx.now();
+            ctx.world.recorder.node_mut(self.index).calibrations_hz.push((refit_at, f_new));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // AEX / taint
+    // ------------------------------------------------------------------
+
+    fn on_aex(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+        self.aex_count += 1;
+        let now = ctx.now();
+        ctx.world.recorder.node_mut(self.index).aex_events.increment(now);
+        match self.state {
+            NodeStateTag::FullCalib => {}
+            NodeStateTag::Ok => {
+                let ticks = ctx.world.read_tsc(self.me, now);
+                self.taint_snapshot_ns = self.clock_ns(ticks);
+                self.enter_state(ctx, NodeStateTag::Tainted);
+                self.schedule_resume(ctx);
+            }
+            NodeStateTag::RefCalib => {
+                self.abandon_probe(ctx);
+                self.enter_state(ctx, NodeStateTag::Tainted);
+                self.schedule_resume(ctx);
+            }
+            NodeStateTag::Tainted => self.schedule_resume(ctx),
+        }
+    }
+
+    fn schedule_resume(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+        if self.resume_pending {
+            return;
+        }
+        self.resume_pending = true;
+        let pause = self.cfg.base.aex_pause.sample(ctx.rng);
+        ctx.schedule_in(pause, SysEvent::AexResume);
+    }
+
+    fn on_resume(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+        self.resume_pending = false;
+        if self.state != NodeStateTag::Tainted {
+            return;
+        }
+        self.start_round(ctx, false);
+    }
+
+    // ------------------------------------------------------------------
+    // Interval rounds (peer consistency)
+    // ------------------------------------------------------------------
+
+    fn abandon_round(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+        if let Some(r) = self.pending_round.take() {
+            ctx.cancel(r.timeout);
+        }
+    }
+
+    fn start_round(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, proactive: bool) {
+        self.abandon_round(ctx);
+        if self.peers.is_empty() {
+            if !proactive {
+                self.fall_back_to_ta(ctx);
+            }
+            return;
+        }
+        let nonce = self.fresh_nonce();
+        for &peer in &self.peers {
+            send_message(ctx, self.me, peer, &Message::IntervalRequest { nonce });
+        }
+        let timeout = ctx
+            .schedule_in(self.cfg.base.peer_timeout, SysEvent::timer(TOKEN_PEER_TIMEOUT | nonce));
+        self.pending_round = Some(IntervalRound {
+            nonce,
+            proactive,
+            responses: Vec::new(),
+            expected: self.peers.len(),
+            timeout,
+        });
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_interval_response(
+        &mut self,
+        ctx: &mut Ctx<'_, World, SysEvent>,
+        from: Addr,
+        nonce: u64,
+        timestamp_ns: u64,
+        error_bound_ns: u64,
+        tainted: bool,
+    ) {
+        let Some(round) = self.pending_round.as_mut() else { return };
+        if round.nonce != nonce {
+            return;
+        }
+        if !tainted {
+            round.responses.push((from, timestamp_ns, error_bound_ns));
+        }
+        if round.responses.len() == round.expected {
+            let round = self.pending_round.take().expect("present");
+            ctx.cancel(round.timeout);
+            self.conclude_round(ctx, round);
+        }
+    }
+
+    fn on_round_timeout(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, nonce: u64) {
+        let Some(round) = self.pending_round.as_ref() else { return };
+        if round.nonce != nonce {
+            return;
+        }
+        let round = self.pending_round.take().expect("present");
+        self.conclude_round(ctx, round);
+    }
+
+    fn conclude_round(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, round: IntervalRound) {
+        if round.proactive {
+            if self.state == NodeStateTag::Ok {
+                self.apply_consistency(ctx, &round.responses, true);
+            }
+            return;
+        }
+        if self.state != NodeStateTag::Tainted {
+            return;
+        }
+        if round.responses.is_empty() {
+            self.fall_back_to_ta(ctx);
+            return;
+        }
+        if self.cfg.enable_chimer_filter {
+            let resolved = self.apply_consistency(ctx, &round.responses, false);
+            if resolved {
+                let now = ctx.now();
+                ctx.world.recorder.node_mut(self.index).peer_untaints.increment(now);
+                self.taint_snapshot_ns = None;
+                self.enter_state(ctx, NodeStateTag::Ok);
+            } else {
+                self.fall_back_to_ta(ctx);
+            }
+        } else {
+            // Base Triad policy (ablation baseline).
+            let now = ctx.now();
+            let ticks = ctx.world.read_tsc(self.me, now);
+            let local = self.taint_snapshot_ns.expect("tainted has a snapshot");
+            let best = round.responses.iter().map(|&(_, ts, _)| ts).max().expect("non-empty");
+            if (best as f64) > local {
+                self.set_anchor(ctx.world, ticks, best as f64);
+                ctx.world.recorder.node_mut(self.index).peer_adoptions.increment(now);
+            } else if self.clock_ns(ticks).expect("valid before taint") <= local {
+                self.set_anchor(ctx.world, ticks, local + self.cfg.base.epsilon_ns as f64);
+            }
+            ctx.world.recorder.node_mut(self.index).peer_untaints.increment(now);
+            self.taint_snapshot_ns = None;
+            self.enter_state(ctx, NodeStateTag::Ok);
+        }
+    }
+
+    /// Runs the Marzullo majority test over peer intervals plus our own
+    /// clock. Returns `true` when a majority agreement existed (whether or
+    /// not our clock needed correcting).
+    fn apply_consistency(
+        &mut self,
+        ctx: &mut Ctx<'_, World, SysEvent>,
+        responses: &[(Addr, u64, u64)],
+        proactive: bool,
+    ) -> bool {
+        let now = ctx.now();
+        let ticks = ctx.world.read_tsc(self.me, now);
+        // A small allowance for the network delay on peer responses.
+        let net_margin_ns = self.cfg.base.peer_timeout.as_nanos() as f64;
+
+        let mut intervals: Vec<Interval> = responses
+            .iter()
+            .map(|&(_, ts, bound)| Interval::around(ts as f64, bound as f64 + net_margin_ns))
+            .collect();
+        let own_idx = intervals.len();
+        let own_now = match self.clock_ns(ticks) {
+            Some(v) => v,
+            None => return false,
+        };
+        intervals.push(Interval::around(own_now, self.error_bound_ns(ticks)));
+
+        let Some(agreement) = marzullo(&intervals) else { return false };
+        let total = intervals.len();
+        if !agreement.is_majority_of(total) {
+            return false;
+        }
+        // Flag the outvoted clocks (false-chimers) — the paper's §V
+        // suggestion of publishing true-chimer lists reduces to counting
+        // them here.
+        let rejected = total - agreement.support;
+        for _ in 0..rejected {
+            ctx.world.recorder.node_mut(self.index).chimer_rejections.increment(now);
+        }
+        // §V: publish the true-chimer set ("Nodes may publish ... their
+        // list of true-chimers"). Peers excluded by all of their peers
+        // self-check against the TA.
+        if self.cfg.enable_gossip {
+            self.epoch += 1;
+            let chimer_ids: Vec<wire::NodeId> = agreement
+                .chimers
+                .iter()
+                .map(|&idx| {
+                    if idx == own_idx {
+                        wire::NodeId(self.me.0)
+                    } else {
+                        wire::NodeId(responses[idx].0 .0)
+                    }
+                })
+                .collect();
+            let announcement =
+                Message::ChimerAnnouncement { epoch: self.epoch, chimers: chimer_ids };
+            for &peer in &self.peers {
+                send_message(ctx, self.me, peer, &announcement);
+            }
+        }
+        if agreement.chimers.contains(&own_idx) {
+            // Our clock is consistent with the majority: keep it.
+            return true;
+        }
+        // Outvoted: correct toward the agreement midpoint, monotonic.
+        let target =
+            agreement.interval.center().max(self.last_served_ns + self.cfg.base.epsilon_ns as f64);
+        self.set_anchor(ctx.world, ticks, target);
+        ctx.world.recorder.node_mut(self.index).corrections.increment(now);
+        let _ = proactive;
+        true
+    }
+
+    fn fall_back_to_ta(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+        self.enter_state(ctx, NodeStateTag::RefCalib);
+        self.send_probe(ctx, ProbeKind::Anchor);
+    }
+
+    // ------------------------------------------------------------------
+    // Messages
+    // ------------------------------------------------------------------
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, from: Addr, msg: Message) {
+        match msg {
+            Message::CalibrationResponse { nonce, ta_time_ns, .. }
+                if from == World::TA_ADDR => {
+                    self.on_calibration_response(ctx, nonce, ta_time_ns);
+                }
+            Message::IntervalRequest { nonce }
+                if self.state == NodeStateTag::Ok => {
+                    let now = ctx.now();
+                    let ticks = ctx.world.read_tsc(self.me, now);
+                    let bound = self.error_bound_ns(ticks) as u64;
+                    if let Some(ts) = self.serve_ns(ticks) {
+                        send_message(
+                            ctx,
+                            self.me,
+                            from,
+                            &Message::IntervalResponse {
+                                nonce,
+                                timestamp_ns: ts,
+                                error_bound_ns: bound,
+                                tainted: false,
+                            },
+                        );
+                    }
+                }
+            Message::IntervalResponse { nonce, timestamp_ns, error_bound_ns, tainted } => {
+                self.on_interval_response(
+                    ctx,
+                    from,
+                    nonce,
+                    timestamp_ns,
+                    error_bound_ns,
+                    tainted,
+                );
+            }
+            Message::ChimerAnnouncement { chimers, .. }
+                if self.cfg.enable_gossip => {
+                    let me_id = wire::NodeId(self.me.0);
+                    if !chimers.contains(&me_id) {
+                        let now = ctx.now();
+                        ctx.world.recorder.node_mut(self.index).gossip_alerts.increment(now);
+                        self.gossip_suspicion += 1;
+                        if self.gossip_suspicion as usize >= self.peers.len().max(1) {
+                            self.gossip_suspicion = 0;
+                            // Every peer thinks our clock is off: verify
+                            // against the root of trust right away.
+                            if self.state == NodeStateTag::Ok && self.pending_probe.is_none() {
+                                self.send_probe(ctx, ProbeKind::CrossCheck);
+                            }
+                        }
+                    } else {
+                        self.gossip_suspicion = 0;
+                    }
+                }
+            Message::PeerTimeRequest { nonce }
+                // Base-protocol peers may coexist in mixed clusters.
+                if self.state == NodeStateTag::Ok => {
+                    let now = ctx.now();
+                    let ticks = ctx.world.read_tsc(self.me, now);
+                    if let Some(ts) = self.serve_ns(ticks) {
+                        send_message(
+                            ctx,
+                            self.me,
+                            from,
+                            &Message::PeerTimeResponse { nonce, timestamp_ns: ts },
+                        );
+                    }
+                }
+            Message::ClientTimeRequest { nonce } => {
+                let timestamp_ns = if self.state == NodeStateTag::Ok {
+                    let now = ctx.now();
+                    let ticks = ctx.world.read_tsc(self.me, now);
+                    self.serve_ns(ticks)
+                } else {
+                    None
+                };
+                send_message(
+                    ctx,
+                    self.me,
+                    from,
+                    &Message::ClientTimeResponse { nonce, timestamp_ns },
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Actor<World, SysEvent> for ResilientNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+        let now = ctx.now();
+        ctx.world.recorder.node_mut(self.index).states.enter(now, NodeStateTag::FullCalib);
+        self.send_next_speed_probe(ctx);
+        if self.cfg.enable_deadline {
+            ctx.schedule_in(self.cfg.deadline, SysEvent::timer(TOKEN_DEADLINE));
+        }
+        if self.cfg.enable_ta_cross_check {
+            ctx.schedule_in(self.cfg.ta_check_interval, SysEvent::timer(TOKEN_TA_CHECK));
+        }
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, ev: SysEvent) {
+        match ev {
+            SysEvent::Aex { .. } => self.on_aex(ctx),
+            SysEvent::AexResume => self.on_resume(ctx),
+            SysEvent::Deliver(d) => {
+                if let Some(msg) = open_delivery(ctx.world, self.me, &d) {
+                    self.on_message(ctx, d.src, msg);
+                }
+            }
+            SysEvent::Timer { token } => {
+                if token & TOKEN_DEADLINE != 0 {
+                    if self.state == NodeStateTag::Ok && self.pending_round.is_none() {
+                        let now = ctx.now();
+                        ctx.world.recorder.node_mut(self.index).deadline_checks.increment(now);
+                        self.start_round(ctx, true);
+                    }
+                    ctx.schedule_in(self.cfg.deadline, SysEvent::timer(TOKEN_DEADLINE));
+                } else if token & TOKEN_TA_CHECK != 0 {
+                    if self.state == NodeStateTag::Ok && self.pending_probe.is_none() {
+                        self.send_probe(ctx, ProbeKind::CrossCheck);
+                    }
+                    ctx.schedule_in(self.cfg.ta_check_interval, SysEvent::timer(TOKEN_TA_CHECK));
+                } else if token & TOKEN_PEER_TIMEOUT != 0 {
+                    self.on_round_timeout(ctx, token & TOKEN_MASK);
+                } else if token & TOKEN_PROBE_RETRY != 0 {
+                    let nonce = token & TOKEN_MASK;
+                    if let Some(probe) = self.pending_probe {
+                        if probe.nonce == nonce {
+                            let kind = probe.kind;
+                            self.pending_probe = None;
+                            self.send_probe(ctx, kind);
+                        }
+                    }
+                }
+            }
+            SysEvent::Sample => {}
+        }
+    }
+}

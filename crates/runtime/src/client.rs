@@ -1,0 +1,108 @@
+//! A client application workload against one Triad node.
+//!
+//! The paper measures availability from the node's state machine; this
+//! actor measures it the way a *user* would — by asking for timestamps and
+//! counting answers — and enforces the serving contract (monotonicity)
+//! from outside the TCB.
+
+use netsim::Addr;
+use sim::{Actor, Ctx, SimDuration};
+use wire::Message;
+
+use crate::event::SysEvent;
+use crate::messaging::{open_delivery, send_message};
+use crate::world::World;
+
+/// Periodically requests timestamps from a node and records the outcomes
+/// into the target node's trace (`client_served` / `client_denied`).
+///
+/// # Panics
+///
+/// The actor panics the simulation if the node ever serves a
+/// non-increasing timestamp — the one contract Triad must never break.
+#[derive(Debug)]
+pub struct ClientWorkload {
+    me: Addr,
+    target: Addr,
+    target_index: usize,
+    period: SimDuration,
+    next_nonce: u64,
+    last_timestamp: u64,
+}
+
+impl ClientWorkload {
+    /// Creates a workload from `me` against `target` with the given
+    /// request period.
+    ///
+    /// The caller must provision a key for the pair and register the
+    /// actor's address; `harness::ClusterBuilder::client` does both.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not a node address.
+    pub fn new(me: Addr, target: Addr, period: SimDuration) -> Self {
+        assert!(target.0 >= 1, "clients query nodes, not the TA");
+        ClientWorkload {
+            me,
+            target,
+            target_index: (target.0 - 1) as usize,
+            period,
+            next_nonce: 0,
+            last_timestamp: 0,
+        }
+    }
+}
+
+impl Actor<World, SysEvent> for ClientWorkload {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+        ctx.schedule_in(self.period, SysEvent::timer(0));
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, ev: SysEvent) {
+        match ev {
+            SysEvent::Timer { .. } => {
+                self.next_nonce += 1;
+                send_message(
+                    ctx,
+                    self.me,
+                    self.target,
+                    &Message::ClientTimeRequest { nonce: self.next_nonce },
+                );
+                ctx.schedule_in(self.period, SysEvent::timer(0));
+            }
+            SysEvent::Deliver(d) => {
+                if let Some(Message::ClientTimeResponse { timestamp_ns, .. }) =
+                    open_delivery(ctx.world, self.me, &d)
+                {
+                    let now = ctx.now();
+                    let trace = ctx.world.recorder.node_mut(self.target_index);
+                    match timestamp_ns {
+                        Some(ts) => {
+                            assert!(
+                                ts > self.last_timestamp,
+                                "{} served non-monotonic timestamp {ts} after {}",
+                                self.target,
+                                self.last_timestamp
+                            );
+                            self.last_timestamp = ts;
+                            trace.client_served.increment(now);
+                        }
+                        None => trace.client_denied.increment(now),
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "not the TA")]
+    fn client_cannot_target_the_ta() {
+        ClientWorkload::new(Addr(100), Addr(0), SimDuration::from_millis(10));
+    }
+}

@@ -1,0 +1,36 @@
+//! # runtime — composition layer wiring protocol actors into the simulation
+//!
+//! Sits between the substrate crates (`sim`, `tsc`, `netsim`, `tt-crypto`,
+//! `wire`, `trace`) and the protocol crates (`triad-core`, `authority`,
+//! `attacks`, `resilient`):
+//!
+//! - [`World`]: the shared environment — per-node [`Host`] platforms
+//!   (TSC + core + INC model), the network fabric, the pairwise
+//!   [`KeyTable`], each node's published [`ClockState`], and the run's
+//!   [`trace::Recorder`];
+//! - [`SysEvent`]: the one event vocabulary all actors share;
+//! - [`send_message`] / [`open_delivery`]: sealed protocol messaging;
+//! - [`EnvDriver`]: OS-side AEX injection (per-core and machine-wide);
+//! - [`Sampler`]: the external drift-measurement harness.
+//!
+//! Address conventions: `Addr(0)` is the Time Authority, `Addr(i + 1)` is
+//! node index `i` (the paper's "Node i+1").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod env;
+mod event;
+mod keys;
+mod messaging;
+mod sampler;
+mod world;
+
+pub use client::ClientWorkload;
+pub use env::EnvDriver;
+pub use event::SysEvent;
+pub use keys::{link_aad, KeyTable};
+pub use messaging::{open_delivery, send_message};
+pub use sampler::Sampler;
+pub use world::{ClockState, Host, World};

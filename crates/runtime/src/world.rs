@@ -1,0 +1,258 @@
+//! The shared simulation world: hosts, network, keys, clock blackboard,
+//! measurement recorder.
+
+use std::collections::HashMap;
+
+use netsim::{Addr, Network};
+use sim::{ActorId, SimTime};
+use trace::Recorder;
+use tsc::{CoreFrequency, IncModel, TscClock};
+
+use crate::keys::KeyTable;
+
+/// One node's physical platform: its TSC, its monitoring core's frequency,
+/// and the INC-counting behaviour on that core.
+#[derive(Debug, Clone)]
+pub struct Host {
+    /// The (manipulable) TimeStamp Counter.
+    pub tsc: TscClock,
+    /// The monitoring core's frequency model.
+    pub core: CoreFrequency,
+    /// The INC-counter model on that core.
+    pub inc: IncModel,
+}
+
+impl Host {
+    /// The paper's platform: 2899.999 MHz TSC, performance governor at
+    /// 3500 MHz, default INC model.
+    pub fn paper_default() -> Self {
+        Host {
+            tsc: TscClock::paper_default(),
+            core: CoreFrequency::paper_default(),
+            inc: IncModel::default(),
+        }
+    }
+}
+
+/// A node's published clock parameters — enough for anyone holding the TSC
+/// value to evaluate the node's current timestamp.
+///
+/// Node actors update this blackboard whenever they re-anchor; the
+/// [`crate::Sampler`] reads it to record drift without poking the actors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockState {
+    /// Whether the node has completed its first calibration.
+    pub valid: bool,
+    /// Node's reference timestamp (ns) at the anchor instant.
+    pub anchor_ref_ns: f64,
+    /// TSC value at the anchor instant.
+    pub anchor_ticks: u64,
+    /// Calibrated TSC frequency `F^calib` (ticks per second).
+    pub f_calib_hz: f64,
+}
+
+impl Default for ClockState {
+    fn default() -> Self {
+        ClockState { valid: false, anchor_ref_ns: 0.0, anchor_ticks: 0, f_calib_hz: 1.0 }
+    }
+}
+
+impl ClockState {
+    /// The node's timestamp (ns) when its TSC reads `ticks_now`, or `None`
+    /// before first calibration.
+    pub fn now_ns(&self, ticks_now: u64) -> Option<f64> {
+        if !self.valid {
+            return None;
+        }
+        let dticks = ticks_now as f64 - self.anchor_ticks as f64;
+        Some(self.anchor_ref_ns + dticks / self.f_calib_hz * 1e9)
+    }
+}
+
+/// The shared environment of one simulation run.
+#[derive(Debug)]
+pub struct World {
+    /// The datagram fabric (with any attacker interceptors installed).
+    pub net: Network,
+    /// Per-node platforms; index `i` belongs to the node at `Addr(i + 1)`.
+    pub hosts: Vec<Host>,
+    /// Per-node published clock parameters (same indexing as `hosts`).
+    pub clocks: Vec<ClockState>,
+    /// All measurements of the run.
+    pub recorder: Recorder,
+    /// Pairwise AEAD sessions.
+    pub keys: KeyTable,
+    actors: HashMap<Addr, ActorId>,
+}
+
+impl World {
+    /// Creates a world for `hosts.len()` nodes over `net`.
+    pub fn new(net: Network, hosts: Vec<Host>) -> Self {
+        let n = hosts.len();
+        World {
+            net,
+            hosts,
+            clocks: vec![ClockState::default(); n],
+            recorder: Recorder::for_nodes(n),
+            keys: KeyTable::new(),
+            actors: HashMap::new(),
+        }
+    }
+
+    /// Number of Triad nodes.
+    pub fn node_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// The network address of node index `i` (0-based index, 1-based addr).
+    pub fn node_addr(i: usize) -> Addr {
+        Addr(u16::try_from(i + 1).expect("node count fits u16"))
+    }
+
+    /// The Time Authority's address.
+    pub const TA_ADDR: Addr = Addr(0);
+
+    /// Host of the node at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for the TA address or unknown nodes.
+    pub fn host(&self, addr: Addr) -> &Host {
+        assert!(addr.0 >= 1, "the TA has no enclave host");
+        &self.hosts[(addr.0 - 1) as usize]
+    }
+
+    /// Mutable host access (TSC manipulation by the attacker).
+    ///
+    /// # Panics
+    ///
+    /// Panics for the TA address or unknown nodes.
+    pub fn host_mut(&mut self, addr: Addr) -> &mut Host {
+        assert!(addr.0 >= 1, "the TA has no enclave host");
+        &mut self.hosts[(addr.0 - 1) as usize]
+    }
+
+    /// Reads the TSC of the node at `addr` at instant `now`.
+    pub fn read_tsc(&self, addr: Addr, now: SimTime) -> u64 {
+        self.host(addr).tsc.read(now)
+    }
+
+    /// Binds a network address to the actor that owns it.
+    pub fn register_actor(&mut self, addr: Addr, actor: ActorId) {
+        let prev = self.actors.insert(addr, actor);
+        assert!(prev.is_none(), "{addr} registered twice");
+    }
+
+    /// The actor owning `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for unregistered addresses.
+    pub fn actor_of(&self, addr: Addr) -> ActorId {
+        *self.actors.get(&addr).unwrap_or_else(|| panic!("no actor registered for {addr}"))
+    }
+
+    /// Provisions pairwise keys: every node with the TA, and every node
+    /// pair, derived deterministically from `seed`.
+    pub fn provision_all_keys(&mut self, seed: u64) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x6b65_7973); // "keys"
+        let n = self.node_count();
+        let mut endpoints = vec![Self::TA_ADDR];
+        endpoints.extend((0..n).map(Self::node_addr));
+        for i in 0..endpoints.len() {
+            for j in (i + 1)..endpoints.len() {
+                let mut key = [0u8; 32];
+                rng.fill(&mut key);
+                self.keys.provision_pair(endpoints[i], endpoints[j], key);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::DelayModel;
+    use sim::SimDuration;
+
+    fn world(n: usize) -> World {
+        World::new(
+            Network::new(DelayModel::Constant(SimDuration::from_micros(100)), 0.0),
+            (0..n).map(|_| Host::paper_default()).collect(),
+        )
+    }
+
+    #[test]
+    fn addressing_conventions() {
+        assert_eq!(World::node_addr(0), Addr(1));
+        assert_eq!(World::node_addr(2), Addr(3));
+        assert_eq!(World::TA_ADDR, Addr(0));
+        let w = world(3);
+        assert_eq!(w.node_count(), 3);
+    }
+
+    #[test]
+    fn clock_state_before_and_after_calibration() {
+        let c = ClockState::default();
+        assert_eq!(c.now_ns(123), None);
+        let c = ClockState {
+            valid: true,
+            anchor_ref_ns: 1e9,
+            anchor_ticks: 2_900_000_000,
+            f_calib_hz: 2.9e9,
+        };
+        // One second of ticks past the anchor → exactly one more second.
+        let ns = c.now_ns(2 * 2_900_000_000).unwrap();
+        assert!((ns - 2e9).abs() < 1.0);
+        // Ticks *before* the anchor also evaluate (negative progress).
+        let ns = c.now_ns(0).unwrap();
+        assert!((ns - 0.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn tsc_access_via_addresses() {
+        let w = world(2);
+        let t = SimTime::from_secs(1);
+        let ticks = w.read_tsc(Addr(1), t);
+        assert!((ticks as f64 - 2.899999e9).abs() < 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no enclave host")]
+    fn ta_has_no_host() {
+        let w = world(1);
+        let _ = w.host(Addr(0));
+    }
+
+    #[test]
+    fn actor_registration() {
+        let mut w = world(1);
+        // ActorIds cannot be fabricated outside `sim`; drive a tiny sim to
+        // obtain real ones.
+        let mut s: sim::Simulation<(), ()> = sim::Simulation::new((), 0);
+        struct Noop;
+        impl sim::Actor<(), ()> for Noop {
+            fn on_event(&mut self, _: &mut sim::Ctx<'_, (), ()>, _: ()) {}
+        }
+        let id = s.add_actor(Box::new(Noop));
+        w.register_actor(Addr(1), id);
+        assert_eq!(w.actor_of(Addr(1)), id);
+    }
+
+    #[test]
+    fn key_provisioning_covers_all_pairs() {
+        let mut w = world(3);
+        w.provision_all_keys(42);
+        for i in 0..3 {
+            let a = World::node_addr(i);
+            assert!(w.keys.has_session(a, World::TA_ADDR));
+            assert!(w.keys.has_session(World::TA_ADDR, a));
+            for j in 0..3 {
+                if i != j {
+                    assert!(w.keys.has_session(a, World::node_addr(j)));
+                }
+            }
+        }
+    }
+}

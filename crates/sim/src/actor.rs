@@ -1,0 +1,71 @@
+//! The actor abstraction: everything that reacts to events.
+//!
+//! A simulation is a set of actors sharing a *world* (`W`) — the mutable
+//! environment (hosts, network fabric, recorders) — and exchanging events of
+//! a scenario-defined payload type (`M`). Actors never hold references to
+//! each other; all interaction happens through scheduled events or through
+//! state deposited in the world, which keeps the simulation single-threaded,
+//! borrow-checker-friendly, and deterministic.
+
+use crate::Ctx;
+
+/// Identifies an actor within one [`crate::Simulation`].
+///
+/// Assigned by [`crate::Simulation::add_actor`] in registration order;
+/// stable for the lifetime of the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ActorId(pub(crate) usize);
+
+impl ActorId {
+    /// The underlying index (registration order).
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for ActorId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "actor#{}", self.0)
+    }
+}
+
+/// A deterministic event handler participating in a simulation.
+///
+/// Implementations react to events delivered in timestamp order. An actor
+/// may mutate the shared world, schedule future events (to itself or to
+/// other actors), and draw randomness from the simulation's seeded RNG —
+/// all through the [`Ctx`] passed to each callback.
+///
+/// # Examples
+///
+/// ```
+/// use sim::{Actor, Ctx, SimDuration, Simulation};
+///
+/// struct Counter(u32);
+///
+/// impl Actor<u32, ()> for Counter {
+///     fn on_start(&mut self, ctx: &mut Ctx<'_, u32, ()>) {
+///         ctx.schedule_in(SimDuration::from_secs(1), ());
+///     }
+///     fn on_event(&mut self, ctx: &mut Ctx<'_, u32, ()>, _event: ()) {
+///         self.0 += 1;
+///         *ctx.world += 1;
+///         if self.0 < 3 {
+///             ctx.schedule_in(SimDuration::from_secs(1), ());
+///         }
+///     }
+/// }
+///
+/// let mut simulation = Simulation::new(0u32, 42);
+/// simulation.add_actor(Box::new(Counter(0)));
+/// simulation.run();
+/// assert_eq!(*simulation.world(), 3);
+/// ```
+pub trait Actor<W, M> {
+    /// Called once, before the first event is dispatched, in registration
+    /// order. Typical use: schedule the actor's initial events.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, W, M>) {}
+
+    /// Called for every event addressed to this actor, in timestamp order.
+    fn on_event(&mut self, ctx: &mut Ctx<'_, W, M>, event: M);
+}

@@ -1,0 +1,70 @@
+//! Event-queue internals: scheduled events and their deterministic ordering.
+
+use crate::actor::ActorId;
+use crate::time::SimTime;
+
+/// Opaque handle to a scheduled event, usable for cancellation.
+///
+/// Returned by the scheduling methods on [`crate::Ctx`] and
+/// [`crate::Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub(crate) u64);
+
+/// An event waiting in the simulation queue.
+///
+/// Ordering is by `(time, seq)`: earlier deadlines first, and FIFO among
+/// events scheduled for the same instant. `seq` is a global monotonically
+/// increasing counter assigned at scheduling time, which makes execution
+/// order fully deterministic regardless of payload contents.
+#[derive(Debug)]
+pub(crate) struct Scheduled<M> {
+    pub time: SimTime,
+    pub seq: u64,
+    pub id: EventId,
+    pub target: ActorId,
+    pub payload: M,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for Scheduled<M> {}
+
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn ev(t: u64, seq: u64) -> Scheduled<()> {
+        Scheduled {
+            time: SimTime::from_nanos(t),
+            seq,
+            id: EventId(seq),
+            target: ActorId(0),
+            payload: (),
+        }
+    }
+
+    #[test]
+    fn orders_by_time_then_seq() {
+        assert!(ev(1, 10) < ev(2, 0));
+        assert!(ev(5, 1) < ev(5, 2));
+        assert!(ev(5, 2) > ev(5, 1));
+        assert_eq!(ev(5, 1), ev(5, 1));
+    }
+}

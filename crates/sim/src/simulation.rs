@@ -1,0 +1,504 @@
+//! The deterministic discrete-event scheduler.
+
+use std::collections::{BinaryHeap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::actor::{Actor, ActorId};
+use crate::event::{EventId, Scheduled};
+use crate::time::{SimDuration, SimTime};
+
+/// A single-threaded, seeded discrete-event simulation.
+///
+/// Owns the shared world `W`, all registered actors, the event queue, and
+/// one [`StdRng`] seeded at construction: two runs with identical actors,
+/// world, and seed produce identical event sequences.
+///
+/// Lifecycle: construct with [`Simulation::new`], register actors with
+/// [`Simulation::add_actor`], then drive with [`Simulation::run`],
+/// [`Simulation::run_until`], or [`Simulation::step`]. Results are read back
+/// from the world ([`Simulation::world`] / [`Simulation::into_world`]).
+pub struct Simulation<W, M> {
+    now: SimTime,
+    queue: BinaryHeap<std::cmp::Reverse<Scheduled<M>>>,
+    cancelled: HashSet<EventId>,
+    actors: Vec<Option<Box<dyn Actor<W, M>>>>,
+    world: W,
+    rng: StdRng,
+    next_seq: u64,
+    next_event_id: u64,
+    dispatched: u64,
+    started: bool,
+}
+
+/// Per-dispatch context handed to actor callbacks.
+///
+/// Grants access to the current time, the shared world, the deterministic
+/// RNG, and the scheduling interface. Events scheduled through a `Ctx` are
+/// committed to the queue when the callback returns.
+pub struct Ctx<'a, W, M> {
+    now: SimTime,
+    self_id: ActorId,
+    /// The shared simulation world (environment state).
+    pub world: &'a mut W,
+    /// The simulation-wide deterministic RNG.
+    pub rng: &'a mut StdRng,
+    staged: &'a mut Vec<Scheduled<M>>,
+    cancelled: &'a mut HashSet<EventId>,
+    next_seq: &'a mut u64,
+    next_event_id: &'a mut u64,
+}
+
+impl<'a, W, M> Ctx<'a, W, M> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The actor this context belongs to.
+    pub fn self_id(&self) -> ActorId {
+        self.self_id
+    }
+
+    fn stage(&mut self, time: SimTime, target: ActorId, payload: M) -> EventId {
+        let id = EventId(*self.next_event_id);
+        *self.next_event_id += 1;
+        let seq = *self.next_seq;
+        *self.next_seq += 1;
+        self.staged.push(Scheduled { time, seq, id, target, payload });
+        id
+    }
+
+    /// Schedules `payload` for this actor after `delay`.
+    pub fn schedule_in(&mut self, delay: SimDuration, payload: M) -> EventId {
+        let target = self.self_id;
+        self.stage(self.now + delay, target, payload)
+    }
+
+    /// Schedules `payload` for this actor at the absolute instant `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past.
+    pub fn schedule_at(&mut self, time: SimTime, payload: M) -> EventId {
+        assert!(time >= self.now, "cannot schedule into the past ({time} < {})", self.now);
+        let target = self.self_id;
+        self.stage(time, target, payload)
+    }
+
+    /// Schedules `payload` for another actor after `delay`.
+    pub fn send(&mut self, target: ActorId, delay: SimDuration, payload: M) -> EventId {
+        self.stage(self.now + delay, target, payload)
+    }
+
+    /// Schedules `payload` for another actor at the absolute instant `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past.
+    pub fn send_at(&mut self, target: ActorId, time: SimTime, payload: M) -> EventId {
+        assert!(time >= self.now, "cannot schedule into the past ({time} < {})", self.now);
+        self.stage(time, target, payload)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Cancelling an event that has already fired (or was already cancelled)
+    /// is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id);
+    }
+}
+
+impl<W, M> Simulation<W, M> {
+    /// Creates an empty simulation over `world`, with all randomness derived
+    /// from `seed`.
+    pub fn new(world: W, seed: u64) -> Self {
+        Simulation {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            actors: Vec::new(),
+            world,
+            rng: StdRng::seed_from_u64(seed),
+            next_seq: 0,
+            next_event_id: 0,
+            dispatched: 0,
+            started: false,
+        }
+    }
+
+    /// Registers an actor and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has already started running; the actor set
+    /// is fixed at start.
+    pub fn add_actor(&mut self, actor: Box<dyn Actor<W, M>>) -> ActorId {
+        assert!(!self.started, "actors must be registered before the simulation runs");
+        let id = ActorId(self.actors.len());
+        self.actors.push(Some(actor));
+        id
+    }
+
+    /// Current simulated time (the timestamp of the last dispatched event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events dispatched so far.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Shared world, immutably.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Shared world, mutably (e.g. to reconfigure between phases).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Consumes the simulation and returns the world for result extraction.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Schedules an event from outside any actor (scenario setup).
+    pub fn schedule(&mut self, time: SimTime, target: ActorId, payload: M) -> EventId {
+        assert!(time >= self.now, "cannot schedule into the past");
+        let id = EventId(self.next_event_id);
+        self.next_event_id += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(std::cmp::Reverse(Scheduled { time, seq, id, target, payload }));
+        id
+    }
+
+    /// Cancels an event scheduled via [`Simulation::schedule`] or a `Ctx`.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id);
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let mut staged = Vec::new();
+        for idx in 0..self.actors.len() {
+            let mut actor = self.actors[idx].take().expect("actor present at start");
+            let mut ctx = Ctx {
+                now: self.now,
+                self_id: ActorId(idx),
+                world: &mut self.world,
+                rng: &mut self.rng,
+                staged: &mut staged,
+                cancelled: &mut self.cancelled,
+                next_seq: &mut self.next_seq,
+                next_event_id: &mut self.next_event_id,
+            };
+            actor.on_start(&mut ctx);
+            self.actors[idx] = Some(actor);
+        }
+        for ev in staged.drain(..) {
+            self.queue.push(std::cmp::Reverse(ev));
+        }
+    }
+
+    /// Dispatches the single next event, if any.
+    ///
+    /// Returns the timestamp of the dispatched event, or `None` when the
+    /// queue is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event targets an actor id that was never registered.
+    pub fn step(&mut self) -> Option<SimTime> {
+        self.start_if_needed();
+        loop {
+            let std::cmp::Reverse(ev) = self.queue.pop()?;
+            if self.cancelled.remove(&ev.id) {
+                continue;
+            }
+            debug_assert!(ev.time >= self.now, "event queue went backwards");
+            self.now = ev.time;
+            self.dispatched += 1;
+            let idx = ev.target.0;
+            let mut actor = self
+                .actors
+                .get_mut(idx)
+                .unwrap_or_else(|| panic!("event targets unknown {}", ev.target))
+                .take()
+                .expect("actor is not re-entrant");
+            let mut staged = Vec::new();
+            let mut ctx = Ctx {
+                now: self.now,
+                self_id: ev.target,
+                world: &mut self.world,
+                rng: &mut self.rng,
+                staged: &mut staged,
+                cancelled: &mut self.cancelled,
+                next_seq: &mut self.next_seq,
+                next_event_id: &mut self.next_event_id,
+            };
+            actor.on_event(&mut ctx, ev.payload);
+            self.actors[idx] = Some(actor);
+            for ev in staged {
+                self.queue.push(std::cmp::Reverse(ev));
+            }
+            return Some(self.now);
+        }
+    }
+
+    /// Runs until the queue is empty.
+    pub fn run(&mut self) {
+        while self.step().is_some() {}
+    }
+
+    /// Runs until the queue is empty or the next event is strictly after
+    /// `horizon`. Events at exactly `horizon` are dispatched; the clock
+    /// then advances to `horizon` even if the last event was earlier.
+    pub fn run_until(&mut self, horizon: SimTime) {
+        self.start_if_needed();
+        loop {
+            let next_time = loop {
+                match self.queue.peek() {
+                    None => break None,
+                    Some(std::cmp::Reverse(ev)) => {
+                        if self.cancelled.contains(&ev.id) {
+                            let std::cmp::Reverse(ev) = self.queue.pop().expect("peeked");
+                            self.cancelled.remove(&ev.id);
+                            continue;
+                        }
+                        break Some(ev.time);
+                    }
+                }
+            };
+            match next_time {
+                Some(t) if t <= horizon => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.now < horizon {
+            self.now = horizon;
+        }
+    }
+
+    /// Runs for `span` of simulated time past the current instant.
+    pub fn run_for(&mut self, span: SimDuration) {
+        let horizon = self.now + span;
+        self.run_until(horizon);
+    }
+}
+
+impl<W: std::fmt::Debug, M> std::fmt::Debug for Simulation<W, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("actors", &self.actors.len())
+            .field("queued", &self.queue.len())
+            .field("dispatched", &self.dispatched)
+            .field("world", &self.world)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[derive(Default, Debug)]
+    struct Log {
+        entries: Vec<(SimTime, usize, u32)>,
+    }
+
+    struct Emitter {
+        tag: u32,
+        period: SimDuration,
+        remaining: u32,
+    }
+
+    impl Actor<Log, u32> for Emitter {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Log, u32>) {
+            ctx.schedule_in(self.period, self.tag);
+        }
+        fn on_event(&mut self, ctx: &mut Ctx<'_, Log, u32>, event: u32) {
+            ctx.world.entries.push((ctx.now(), ctx.self_id().index(), event));
+            self.remaining -= 1;
+            if self.remaining > 0 {
+                ctx.schedule_in(self.period, self.tag);
+            }
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut s = Simulation::new(Log::default(), 1);
+        s.add_actor(Box::new(Emitter {
+            tag: 1,
+            period: SimDuration::from_millis(30),
+            remaining: 3,
+        }));
+        s.add_actor(Box::new(Emitter {
+            tag: 2,
+            period: SimDuration::from_millis(20),
+            remaining: 3,
+        }));
+        s.run();
+        let times: Vec<u64> = s.world().entries.iter().map(|e| e.0.as_nanos()).collect();
+        let mut sorted = times.clone();
+        sorted.sort();
+        assert_eq!(times, sorted);
+        assert_eq!(s.world().entries.len(), 6);
+        assert_eq!(s.now(), SimTime::from_nanos(90_000_000));
+    }
+
+    #[test]
+    fn same_time_events_are_fifo_by_scheduling_order() {
+        struct Burst;
+        impl Actor<Log, u32> for Burst {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Log, u32>) {
+                for i in 0..5 {
+                    ctx.schedule_in(SimDuration::from_secs(1), i);
+                }
+            }
+            fn on_event(&mut self, ctx: &mut Ctx<'_, Log, u32>, event: u32) {
+                ctx.world.entries.push((ctx.now(), 0, event));
+            }
+        }
+        let mut s = Simulation::new(Log::default(), 1);
+        s.add_actor(Box::new(Burst));
+        s.run();
+        let tags: Vec<u32> = s.world().entries.iter().map(|e| e.2).collect();
+        assert_eq!(tags, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cancellation_prevents_delivery() {
+        struct Canceller;
+        impl Actor<Log, u32> for Canceller {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Log, u32>) {
+                let doomed = ctx.schedule_in(SimDuration::from_secs(2), 99);
+                ctx.schedule_in(SimDuration::from_secs(1), 1);
+                ctx.cancel(doomed);
+            }
+            fn on_event(&mut self, ctx: &mut Ctx<'_, Log, u32>, event: u32) {
+                ctx.world.entries.push((ctx.now(), 0, event));
+            }
+        }
+        let mut s = Simulation::new(Log::default(), 1);
+        s.add_actor(Box::new(Canceller));
+        s.run();
+        assert_eq!(s.world().entries.len(), 1);
+        assert_eq!(s.world().entries[0].2, 1);
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon_and_advances_clock() {
+        let mut s = Simulation::new(Log::default(), 1);
+        s.add_actor(Box::new(Emitter {
+            tag: 7,
+            period: SimDuration::from_secs(1),
+            remaining: 100,
+        }));
+        s.run_until(SimTime::from_secs_f64(3.5));
+        assert_eq!(s.world().entries.len(), 3);
+        assert_eq!(s.now(), SimTime::from_secs_f64(3.5));
+        // Events at exactly the horizon are included.
+        s.run_until(SimTime::from_secs(4));
+        assert_eq!(s.world().entries.len(), 4);
+    }
+
+    #[test]
+    fn ping_pong_between_actors() {
+        struct Ping {
+            peer: Option<ActorId>,
+        }
+        impl Actor<Log, u32> for Ping {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Log, u32>) {
+                if let Some(peer) = self.peer {
+                    ctx.send(peer, SimDuration::from_millis(10), 0);
+                }
+            }
+            fn on_event(&mut self, ctx: &mut Ctx<'_, Log, u32>, event: u32) {
+                ctx.world.entries.push((ctx.now(), ctx.self_id().index(), event));
+                if event < 5 {
+                    if let Some(peer) = self.peer {
+                        ctx.send(peer, SimDuration::from_millis(10), event + 1);
+                    } else {
+                        // Reply to the other actor: ids are 0 and 1.
+                        let me = ctx.self_id().index();
+                        let other = ActorId(1 - me);
+                        ctx.send(other, SimDuration::from_millis(10), event + 1);
+                    }
+                }
+            }
+        }
+        let mut s = Simulation::new(Log::default(), 1);
+        let _a = s.add_actor(Box::new(Ping { peer: None }));
+        s.add_actor(Box::new(Ping { peer: Some(ActorId(0)) }));
+        s.run();
+        assert_eq!(s.world().entries.len(), 6);
+        // Alternating receivers.
+        let receivers: Vec<usize> = s.world().entries.iter().map(|e| e.1).collect();
+        assert_eq!(receivers, vec![0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn identical_seeds_are_bit_deterministic() {
+        struct RandomWalk;
+        impl Actor<Log, u32> for RandomWalk {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Log, u32>) {
+                ctx.schedule_in(SimDuration::from_millis(1), 0);
+            }
+            fn on_event(&mut self, ctx: &mut Ctx<'_, Log, u32>, event: u32) {
+                let jitter: u64 = ctx.rng.gen_range(1..1000);
+                ctx.world.entries.push((ctx.now(), jitter as usize, event));
+                if event < 50 {
+                    ctx.schedule_in(SimDuration::from_micros(jitter), event + 1);
+                }
+            }
+        }
+        let run = |seed| {
+            let mut s = Simulation::new(Log::default(), seed);
+            s.add_actor(Box::new(RandomWalk));
+            s.run();
+            s.into_world().entries
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "before the simulation runs")]
+    fn adding_actor_after_start_panics() {
+        let mut s: Simulation<Log, u32> = Simulation::new(Log::default(), 1);
+        s.add_actor(Box::new(Emitter { tag: 0, period: SimDuration::from_secs(1), remaining: 1 }));
+        s.run();
+        s.add_actor(Box::new(Emitter { tag: 0, period: SimDuration::from_secs(1), remaining: 1 }));
+    }
+
+    #[test]
+    fn external_schedule_reaches_actor() {
+        struct Sink;
+        impl Actor<Log, u32> for Sink {
+            fn on_event(&mut self, ctx: &mut Ctx<'_, Log, u32>, event: u32) {
+                ctx.world.entries.push((ctx.now(), 0, event));
+            }
+        }
+        let mut s = Simulation::new(Log::default(), 1);
+        let id = s.add_actor(Box::new(Sink));
+        s.schedule(SimTime::from_secs(5), id, 42);
+        let doomed = s.schedule(SimTime::from_secs(6), id, 43);
+        s.cancel(doomed);
+        s.run();
+        assert_eq!(s.world().entries, vec![(SimTime::from_secs(5), 0, 42)]);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the simulation kernel's core guarantees.
+
+use proptest::prelude::*;
+use sim::{Actor, Ctx, SimDuration, SimTime, Simulation};
+
+/// An actor that schedules a random tree of future events and logs every
+/// delivery.
+struct Spammer {
+    fanout: Vec<(u64, u32)>, // (delay ns, payload)
+}
+
+impl Actor<Vec<(u64, u32)>, u32> for Spammer {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Vec<(u64, u32)>, u32>) {
+        for &(delay, tag) in &self.fanout {
+            ctx.schedule_in(SimDuration::from_nanos(delay), tag);
+        }
+    }
+    fn on_event(&mut self, ctx: &mut Ctx<'_, Vec<(u64, u32)>, u32>, ev: u32) {
+        ctx.world.push((ctx.now().as_nanos(), ev));
+        // Fan out two children per event, bounded by the payload value.
+        if ev > 0 {
+            ctx.schedule_in(SimDuration::from_nanos(u64::from(ev)), ev / 2);
+            ctx.schedule_in(SimDuration::from_nanos(u64::from(ev) * 2 + 1), ev / 3);
+        }
+    }
+}
+
+proptest! {
+    /// Delivered timestamps are non-decreasing regardless of the schedule
+    /// shape, and identical inputs give identical logs.
+    #[test]
+    fn time_is_monotone_and_deterministic(
+        fanout in proptest::collection::vec((1u64..1_000_000, 0u32..64), 1..20),
+        seed in any::<u64>(),
+    ) {
+        let run = || {
+            let mut s = Simulation::new(Vec::new(), seed);
+            s.add_actor(Box::new(Spammer { fanout: fanout.clone() }));
+            s.run();
+            (s.dispatched(), s.into_world())
+        };
+        let (n1, log1) = run();
+        let (n2, log2) = run();
+        prop_assert_eq!(n1, n2);
+        prop_assert_eq!(&log1, &log2);
+        for w in log1.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time went backwards: {:?}", w);
+        }
+    }
+
+    /// `run_until` never dispatches past the horizon and always leaves the
+    /// clock exactly at it.
+    #[test]
+    fn run_until_respects_the_horizon(
+        fanout in proptest::collection::vec((1u64..1_000_000, 1u32..64), 1..10),
+        horizon_ns in 1u64..2_000_000,
+    ) {
+        let mut s = Simulation::new(Vec::new(), 0);
+        s.add_actor(Box::new(Spammer { fanout }));
+        let horizon = SimTime::from_nanos(horizon_ns);
+        s.run_until(horizon);
+        prop_assert_eq!(s.now(), horizon);
+        for &(t, _) in s.world() {
+            prop_assert!(t <= horizon_ns);
+        }
+    }
+
+    /// Splitting a run into two `run_until` halves is equivalent to one.
+    #[test]
+    fn run_until_composes(
+        fanout in proptest::collection::vec((1u64..1_000_000, 1u32..64), 1..10),
+        split_ns in 1u64..1_000_000,
+    ) {
+        let horizon = SimTime::from_nanos(2_000_000);
+        let one_shot = {
+            let mut s = Simulation::new(Vec::new(), 0);
+            s.add_actor(Box::new(Spammer { fanout: fanout.clone() }));
+            s.run_until(horizon);
+            s.into_world()
+        };
+        let two_shot = {
+            let mut s = Simulation::new(Vec::new(), 0);
+            s.add_actor(Box::new(Spammer { fanout }));
+            s.run_until(SimTime::from_nanos(split_ns.min(2_000_000)));
+            s.run_until(horizon);
+            s.into_world()
+        };
+        prop_assert_eq!(one_shot, two_shot);
+    }
+}

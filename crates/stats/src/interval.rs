@@ -1,0 +1,263 @@
+//! Time intervals and Marzullo's agreement algorithm.
+//!
+//! Section V of the paper proposes accepting peer timestamps only when they
+//! are *consistent*: given clocks with timestamps `t_i` and error bounds
+//! `e_i`, the intervals `t_i ± e_i` of honest clocks ("true-chimers") must
+//! share a non-empty intersection. Marzullo's algorithm (Marzullo & Owicki,
+//! 1983) finds the smallest interval contained in the maximum number of
+//! input intervals — the same primitive NTP's clock-selection uses.
+
+/// A closed interval `[lo, hi]` on the timeline (nanoseconds as `f64`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound (inclusive).
+    pub lo: f64,
+    /// Upper bound (inclusive).
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Creates an interval from its bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is NaN.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(!lo.is_nan() && !hi.is_nan(), "interval bounds must not be NaN");
+        assert!(lo <= hi, "interval bounds out of order: [{lo}, {hi}]");
+        Interval { lo, hi }
+    }
+
+    /// The interval `center ± radius`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is negative or any value is NaN.
+    pub fn around(center: f64, radius: f64) -> Self {
+        assert!(radius >= 0.0, "radius must be non-negative, got {radius}");
+        Interval::new(center - radius, center + radius)
+    }
+
+    /// Midpoint of the interval.
+    pub fn center(&self) -> f64 {
+        (self.lo + self.hi) / 2.0
+    }
+
+    /// Width `hi - lo`.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// True if `x` lies within the closed interval.
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// True if the two closed intervals share at least one point.
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Intersection of two intervals, if non-empty.
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo <= hi {
+            Some(Interval { lo, hi })
+        } else {
+            None
+        }
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+/// Outcome of running [`marzullo`] over a set of intervals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Agreement {
+    /// The smallest interval contained in [`Agreement::support`] inputs.
+    pub interval: Interval,
+    /// How many input intervals contain [`Agreement::interval`].
+    pub support: usize,
+    /// Indices (into the input slice) of the intervals containing
+    /// [`Agreement::interval`] — the *true-chimers*.
+    pub chimers: Vec<usize>,
+}
+
+impl Agreement {
+    /// True when the supporting set is a strict majority of `total` clocks.
+    pub fn is_majority_of(&self, total: usize) -> bool {
+        2 * self.support > total
+    }
+}
+
+/// Marzullo's algorithm: finds the smallest interval lying within the
+/// largest number of the input intervals.
+///
+/// Returns `None` for an empty input. For ties in support, the earliest
+/// such interval on the timeline is returned (deterministic).
+///
+/// # Examples
+///
+/// ```
+/// use stats::{marzullo, Interval};
+///
+/// let clocks = [
+///     Interval::around(100.0, 5.0),  // honest
+///     Interval::around(102.0, 5.0),  // honest
+///     Interval::around(250.0, 5.0),  // false-chimer (attacked clock)
+/// ];
+/// let agreement = marzullo(&clocks).unwrap();
+/// assert_eq!(agreement.support, 2);
+/// assert_eq!(agreement.chimers, vec![0, 1]);
+/// assert!(agreement.interval.contains(100.0));
+/// ```
+pub fn marzullo(intervals: &[Interval]) -> Option<Agreement> {
+    if intervals.is_empty() {
+        return None;
+    }
+    // Edge table: (+1 at lo, -1 just after hi). Sorting lo-edges before
+    // hi-edges at equal offsets treats closed-interval touching as overlap.
+    let mut edges: Vec<(f64, i32)> = Vec::with_capacity(intervals.len() * 2);
+    for iv in intervals {
+        edges.push((iv.lo, 1));
+        edges.push((iv.hi, -1));
+    }
+    edges.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0).expect("interval bounds are never NaN").then(b.1.cmp(&a.1))
+        // +1 edges before -1 edges at same offset
+    });
+
+    let mut depth = 0;
+    let mut best_depth = 0;
+    let mut best_lo = f64::NAN;
+    let mut best_hi = f64::NAN;
+    let mut current_lo = f64::NAN;
+    for &(offset, kind) in &edges {
+        if kind == 1 {
+            depth += 1;
+            if depth > best_depth {
+                best_depth = depth;
+                current_lo = offset;
+                best_lo = f64::NAN; // a deeper region supersedes earlier best
+            }
+        } else {
+            if depth == best_depth && best_lo.is_nan() {
+                best_lo = current_lo;
+                best_hi = offset;
+            }
+            depth -= 1;
+        }
+    }
+    let interval = Interval::new(best_lo, best_hi);
+    let chimers: Vec<usize> = intervals
+        .iter()
+        .enumerate()
+        .filter(|(_, iv)| iv.lo <= interval.lo && interval.hi <= iv.hi)
+        .map(|(i, _)| i)
+        .collect();
+    debug_assert_eq!(chimers.len(), best_depth);
+    Some(Agreement { interval, support: best_depth, chimers })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_construction_and_queries() {
+        let iv = Interval::around(10.0, 2.0);
+        assert_eq!(iv, Interval::new(8.0, 12.0));
+        assert_eq!(iv.center(), 10.0);
+        assert_eq!(iv.width(), 4.0);
+        assert!(iv.contains(8.0) && iv.contains(12.0));
+        assert!(!iv.contains(12.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn inverted_interval_panics() {
+        let _ = Interval::new(2.0, 1.0);
+    }
+
+    #[test]
+    fn intersection() {
+        let a = Interval::new(0.0, 10.0);
+        let b = Interval::new(5.0, 15.0);
+        assert_eq!(a.intersect(&b), Some(Interval::new(5.0, 10.0)));
+        assert!(a.overlaps(&b));
+        let c = Interval::new(11.0, 12.0);
+        assert_eq!(a.intersect(&c), None);
+        assert!(!a.overlaps(&c));
+        // Touching endpoints count as overlap (closed intervals).
+        let d = Interval::new(10.0, 11.0);
+        assert_eq!(a.intersect(&d), Some(Interval::new(10.0, 10.0)));
+    }
+
+    #[test]
+    fn marzullo_all_agree() {
+        let ivs = [
+            Interval::around(100.0, 10.0),
+            Interval::around(103.0, 10.0),
+            Interval::around(98.0, 10.0),
+        ];
+        let a = marzullo(&ivs).unwrap();
+        assert_eq!(a.support, 3);
+        assert_eq!(a.chimers, vec![0, 1, 2]);
+        // Intersection of all three: [93, 108] ∩ ... = [93, 108]∩[88,108]
+        assert_eq!(a.interval, Interval::new(93.0, 108.0));
+    }
+
+    #[test]
+    fn marzullo_rejects_false_chimer() {
+        let ivs = [
+            Interval::around(0.0, 1.0),
+            Interval::around(0.5, 1.0),
+            Interval::around(1000.0, 1.0), // attacked clock far in the future
+        ];
+        let a = marzullo(&ivs).unwrap();
+        assert_eq!(a.support, 2);
+        assert_eq!(a.chimers, vec![0, 1]);
+        assert!(a.is_majority_of(3));
+        assert!(!a.interval.contains(1000.0));
+    }
+
+    #[test]
+    fn marzullo_disjoint_inputs_pick_first() {
+        let ivs = [Interval::new(0.0, 1.0), Interval::new(5.0, 6.0)];
+        let a = marzullo(&ivs).unwrap();
+        assert_eq!(a.support, 1);
+        assert_eq!(a.interval, Interval::new(0.0, 1.0));
+        assert!(!a.is_majority_of(2));
+    }
+
+    #[test]
+    fn marzullo_classic_example() {
+        // Marzullo's canonical example: 8..12, 11..13, 10..12 → [11,12] @ 3.
+        let ivs = [Interval::new(8.0, 12.0), Interval::new(11.0, 13.0), Interval::new(10.0, 12.0)];
+        let a = marzullo(&ivs).unwrap();
+        assert_eq!(a.support, 3);
+        assert_eq!(a.interval, Interval::new(11.0, 12.0));
+    }
+
+    #[test]
+    fn marzullo_empty_and_single() {
+        assert!(marzullo(&[]).is_none());
+        let a = marzullo(&[Interval::new(1.0, 2.0)]).unwrap();
+        assert_eq!(a.support, 1);
+        assert_eq!(a.interval, Interval::new(1.0, 2.0));
+        assert_eq!(a.chimers, vec![0]);
+    }
+
+    #[test]
+    fn marzullo_touching_intervals_agree() {
+        let ivs = [Interval::new(0.0, 5.0), Interval::new(5.0, 10.0)];
+        let a = marzullo(&ivs).unwrap();
+        assert_eq!(a.support, 2);
+        assert_eq!(a.interval, Interval::new(5.0, 5.0));
+    }
+}

@@ -1,0 +1,286 @@
+//! # t3e — a T3E-style TPM-based trusted-time baseline
+//!
+//! The paper's related work (§II-A) contrasts Triad with **T3E** (Hamidy,
+//! Philippaerts, Joosen, NSS'23): instead of a remote Time Authority, the
+//! enclave uses a *colocated TPM* as its time source. The OS still relays
+//! TPM messages, so an attacker can delay them; T3E's defence is to limit
+//! how many times one TPM timestamp may be served and to **stall** the
+//! enclave when the budget is depleted — turning a delay attack into a
+//! *visible throughput drop* instead of silently skewed timestamps.
+//!
+//! This crate implements that design faithfully enough for a head-to-head
+//! with Triad (experiment E19):
+//!
+//! - [`Tpm`]: a response-on-request time source with its own drift — the
+//!   TPM spec tolerates up to ±32.5% rate deviation, and the TPM's owner
+//!   (the attacker, §II-A) may configure it anywhere in that range;
+//! - [`T3eNode`]: serves timestamps from the latest TPM reading, at most
+//!   [`T3eConfig::max_uses`] times per reading, stalling (unavailable)
+//!   when depleted until a fresh reading arrives.
+//!
+//! The trade-off the paper describes falls out measurably: under a
+//! time-source delay attack, T3E loses *availability* while its served
+//! timestamps stay near the TPM's time; Triad keeps availability but loses
+//! *correctness* (F± skew). Neither dominates — which is the paper's point.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use netsim::Addr;
+use runtime::{open_delivery, send_message, ClockState, SysEvent, World};
+use sim::{Actor, Ctx, EventId, SimDuration};
+use trace::NodeStateTag;
+use wire::Message;
+
+/// Largest TPM rate deviation the TPM 2.0 spec tolerates (±32.5%,
+/// cited by the paper as `±32.5%` drift-rate).
+pub const TPM_SPEC_MAX_DRIFT_PPM: f64 = 325_000.0;
+
+/// A colocated TPM acting as a time source.
+///
+/// Responds to [`Message::CalibrationRequest`]s immediately (the hold
+/// field is ignored — TPMs answer `TPM2_ReadClock` right away) with its
+/// own, possibly drifting, notion of time.
+#[derive(Debug)]
+pub struct Tpm {
+    me: Addr,
+    drift_ppm: f64,
+    served: u64,
+}
+
+impl Tpm {
+    /// Creates a TPM at `me` whose clock runs `drift_ppm` fast (negative =
+    /// slow) relative to reference time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the drift exceeds the spec's ±32.5%.
+    pub fn new(me: Addr, drift_ppm: f64) -> Self {
+        assert!(
+            drift_ppm.abs() <= TPM_SPEC_MAX_DRIFT_PPM,
+            "TPM drift {drift_ppm} ppm exceeds the spec's ±32.5%"
+        );
+        Tpm { me, drift_ppm, served: 0 }
+    }
+
+    /// Readings served so far.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+}
+
+impl Actor<World, SysEvent> for Tpm {
+    fn on_event(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, ev: SysEvent) {
+        let SysEvent::Deliver(d) = ev else { return };
+        let Some(Message::CalibrationRequest { nonce, .. }) = open_delivery(ctx.world, self.me, &d)
+        else {
+            return;
+        };
+        self.served += 1;
+        let now_ns = ctx.now().as_nanos() as f64;
+        let tpm_time_ns = (now_ns * (1.0 + self.drift_ppm * 1e-6)) as u64;
+        send_message(
+            ctx,
+            self.me,
+            d.src,
+            &Message::CalibrationResponse { nonce, ta_time_ns: tpm_time_ns, slept_ns: 0 },
+        );
+    }
+}
+
+/// T3E node parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct T3eConfig {
+    /// Proactive TPM polling period.
+    pub poll_interval: SimDuration,
+    /// How many timestamps one TPM reading may serve before the node
+    /// stalls (the paper: "limiting how many times the same timestamp can
+    /// be used by the TEE and by stalling TEE execution if uses are
+    /// depleted").
+    pub max_uses: u32,
+    /// Retransmit an unanswered TPM request after this long.
+    pub request_timeout: SimDuration,
+}
+
+impl Default for T3eConfig {
+    fn default() -> Self {
+        T3eConfig {
+            poll_interval: SimDuration::from_millis(100),
+            max_uses: 32,
+            request_timeout: SimDuration::from_millis(50),
+        }
+    }
+}
+
+const TOKEN_POLL: u64 = 1;
+const TOKEN_RETRY: u64 = 2;
+
+/// A TEE node using a T3E-style TPM time source.
+///
+/// State mapping onto the shared timeline vocabulary: `Ok` = serving,
+/// `Tainted` = stalled (budget depleted, waiting for a fresh TPM reading).
+#[derive(Debug)]
+pub struct T3eNode {
+    me: Addr,
+    index: usize,
+    tpm: Addr,
+    cfg: T3eConfig,
+    state: NodeStateTag,
+    last_reading_ns: Option<u64>,
+    uses_left: u32,
+    last_served_ns: u64,
+    pending_retry: Option<EventId>,
+    next_nonce: u64,
+}
+
+impl T3eNode {
+    /// Creates a node at `me` (a regular node address, so its trace lands
+    /// in the recorder) backed by the TPM at `tpm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the TA address or a zero-use budget.
+    pub fn new(me: Addr, tpm: Addr, cfg: T3eConfig) -> Self {
+        assert!(me.0 >= 1, "a node cannot use the TA address");
+        assert!(cfg.max_uses > 0, "a zero-use budget can never serve");
+        T3eNode {
+            me,
+            index: (me.0 - 1) as usize,
+            tpm,
+            cfg,
+            state: NodeStateTag::Tainted,
+            last_reading_ns: None,
+            uses_left: 0,
+            last_served_ns: 0,
+            pending_retry: None,
+            next_nonce: 0,
+        }
+    }
+
+    fn enter_state(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, state: NodeStateTag) {
+        self.state = state;
+        let now = ctx.now();
+        ctx.world.recorder.node_mut(self.index).states.enter(now, state);
+    }
+
+    fn request_reading(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+        if let Some(retry) = self.pending_retry.take() {
+            ctx.cancel(retry);
+        }
+        self.next_nonce += 1;
+        send_message(
+            ctx,
+            self.me,
+            self.tpm,
+            &Message::CalibrationRequest { nonce: self.next_nonce, sleep_ns: 0 },
+        );
+        self.pending_retry =
+            Some(ctx.schedule_in(self.cfg.request_timeout, SysEvent::timer(TOKEN_RETRY)));
+    }
+
+    fn serve(&mut self) -> Option<u64> {
+        if self.state != NodeStateTag::Ok || self.uses_left == 0 {
+            return None;
+        }
+        let reading = self.last_reading_ns.expect("Ok implies a reading");
+        self.uses_left -= 1;
+        let served = reading.max(self.last_served_ns + 1);
+        self.last_served_ns = served;
+        Some(served)
+    }
+}
+
+impl Actor<World, SysEvent> for T3eNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+        let now = ctx.now();
+        ctx.world.recorder.node_mut(self.index).states.enter(now, NodeStateTag::Tainted);
+        self.request_reading(ctx);
+        ctx.schedule_in(self.cfg.poll_interval, SysEvent::timer(TOKEN_POLL));
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, ev: SysEvent) {
+        match ev {
+            SysEvent::Timer { token: TOKEN_POLL } => {
+                self.request_reading(ctx);
+                ctx.schedule_in(self.cfg.poll_interval, SysEvent::timer(TOKEN_POLL));
+            }
+            SysEvent::Timer { token: TOKEN_RETRY } => {
+                // The outstanding request went unanswered (delayed or
+                // dropped by the OS): try again.
+                self.request_reading(ctx);
+            }
+            SysEvent::Deliver(d) => {
+                match open_delivery(ctx.world, self.me, &d) {
+                    Some(Message::CalibrationResponse { ta_time_ns, .. }) => {
+                        if let Some(retry) = self.pending_retry.take() {
+                            ctx.cancel(retry);
+                        }
+                        // Monotone TPM readings only (a delayed older
+                        // reading must not roll time back).
+                        let fresh =
+                            self.last_reading_ns.map(|prev| ta_time_ns > prev).unwrap_or(true);
+                        if fresh {
+                            self.last_reading_ns = Some(ta_time_ns);
+                            self.uses_left = self.cfg.max_uses;
+                            if self.state != NodeStateTag::Ok {
+                                self.enter_state(ctx, NodeStateTag::Ok);
+                            }
+                            // Publish for the drift sampler: the node's
+                            // notion of time is the reading, held constant
+                            // until the next one (zero-rate clock).
+                            let now = ctx.now();
+                            let ticks = ctx.world.read_tsc(self.me, now);
+                            ctx.world.clocks[self.index] = ClockState {
+                                valid: true,
+                                anchor_ref_ns: ta_time_ns as f64,
+                                anchor_ticks: ticks,
+                                f_calib_hz: ctx.world.host(self.me).tsc.nominal_hz(),
+                            };
+                        }
+                    }
+                    Some(Message::ClientTimeRequest { nonce }) => {
+                        let timestamp_ns = self.serve();
+                        let depleted = self.uses_left == 0 && self.state == NodeStateTag::Ok;
+                        send_message(
+                            ctx,
+                            self.me,
+                            d.src,
+                            &Message::ClientTimeResponse { nonce, timestamp_ns },
+                        );
+                        if depleted {
+                            // Budget exhausted: stall until a fresh
+                            // reading arrives (and ask for one now).
+                            self.enter_state(ctx, NodeStateTag::Tainted);
+                            self.request_reading(ctx);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tpm_drift_bounds_enforced() {
+        let _ = Tpm::new(Addr(500), 325_000.0);
+        let _ = Tpm::new(Addr(500), -325_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the spec")]
+    fn excessive_tpm_drift_rejected() {
+        let _ = Tpm::new(Addr(500), 400_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-use budget")]
+    fn zero_uses_rejected() {
+        let _ = T3eNode::new(Addr(1), Addr(500), T3eConfig { max_uses: 0, ..Default::default() });
+    }
+}

@@ -1,0 +1,113 @@
+//! Cumulative event counters over time (Fig. 2b TA references, Fig. 6b AEX
+//! counts).
+
+use sim::SimTime;
+
+/// A counter that records the instant of every increment, reconstructing
+/// the cumulative-count-over-time curves the paper plots.
+///
+/// # Examples
+///
+/// ```
+/// use sim::SimTime;
+/// use trace::StepCounter;
+///
+/// let mut c = StepCounter::new();
+/// c.increment(SimTime::from_secs(10));
+/// c.increment(SimTime::from_secs(20));
+/// assert_eq!(c.count(), 2);
+/// assert_eq!(c.count_at(SimTime::from_secs(15)), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StepCounter {
+    events: Vec<SimTime>,
+}
+
+impl StepCounter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        StepCounter { events: Vec::new() }
+    }
+
+    /// Records one event at `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the last recorded event.
+    pub fn increment(&mut self, t: SimTime) {
+        if let Some(&last) = self.events.last() {
+            assert!(t >= last, "counter events must be recorded in time order");
+        }
+        self.events.push(t);
+    }
+
+    /// Total events recorded.
+    pub fn count(&self) -> u64 {
+        self.events.len() as u64
+    }
+
+    /// Events recorded at or before `t`.
+    pub fn count_at(&self, t: SimTime) -> u64 {
+        self.events.partition_point(|&e| e <= t) as u64
+    }
+
+    /// Events recorded within `[from, to]`.
+    pub fn count_in(&self, from: SimTime, to: SimTime) -> u64 {
+        self.count_at(to)
+            - if from == SimTime::ZERO {
+                0
+            } else {
+                self.count_at(from - sim::SimDuration::from_nanos(1))
+            }
+    }
+
+    /// The raw event instants.
+    pub fn events(&self) -> &[SimTime] {
+        &self.events
+    }
+
+    /// The cumulative step curve as `(time, count)` points, one per event.
+    pub fn curve(&self) -> Vec<(SimTime, u64)> {
+        self.events.iter().enumerate().map(|(i, &t)| (t, (i + 1) as u64)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn counting_and_curves() {
+        let mut c = StepCounter::new();
+        for s in [5, 10, 10, 30] {
+            c.increment(t(s));
+        }
+        assert_eq!(c.count(), 4);
+        assert_eq!(c.count_at(t(4)), 0);
+        assert_eq!(c.count_at(t(10)), 3);
+        assert_eq!(c.count_at(t(100)), 4);
+        assert_eq!(c.curve(), vec![(t(5), 1), (t(10), 2), (t(10), 3), (t(30), 4)]);
+        assert_eq!(c.count_in(t(6), t(30)), 3);
+        assert_eq!(c.count_in(SimTime::ZERO, t(100)), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_increment_panics() {
+        let mut c = StepCounter::new();
+        c.increment(t(10));
+        c.increment(t(5));
+    }
+
+    #[test]
+    fn empty_counter() {
+        let c = StepCounter::new();
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.count_at(t(10)), 0);
+        assert!(c.curve().is_empty());
+    }
+}

@@ -1,0 +1,28 @@
+//! # trace — measurement recording and figure regeneration
+//!
+//! Everything the evaluation (§IV) measures about a run lives here:
+//!
+//! - [`TimeSeries`]: drift-vs-reference curves (Figs. 2a, 3a, 4, 5, 6a),
+//! - [`StateTimeline`] / [`NodeStateTag`]: the FullCalib / RefCalib /
+//!   Tainted / OK timing diagram (Fig. 3b) and the availability metric,
+//! - [`StepCounter`]: cumulative TA-reference and AEX counts (Figs. 2b,
+//!   6b),
+//! - [`NodeTrace`] / [`Recorder`]: the per-node bundle a simulation run
+//!   fills in,
+//! - rendering: ASCII charts/Gantt diagrams for the terminal and CSV export
+//!   for external plotting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counter;
+mod recorder;
+mod render;
+mod series;
+mod timeline;
+
+pub use counter::StepCounter;
+pub use recorder::{NodeTrace, Recorder};
+pub use render::{ascii_chart, ascii_gantt, render_table, write_csv};
+pub use series::TimeSeries;
+pub use timeline::{NodeStateTag, Segment, StateTimeline};

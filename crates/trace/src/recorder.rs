@@ -1,0 +1,136 @@
+//! Per-node and per-run measurement recording.
+
+use sim::SimTime;
+
+use crate::counter::StepCounter;
+use crate::series::TimeSeries;
+use crate::timeline::StateTimeline;
+
+/// Everything measured about one Triad node during a run — the inputs to
+/// every figure in §IV.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NodeTrace {
+    /// Display label ("Node 1", …).
+    pub label: String,
+    /// Clock drift vs reference time, in milliseconds (Figs. 2a/3a/4/5/6a).
+    pub drift_ms: TimeSeries,
+    /// State transitions (Fig. 3b timing diagram, availability).
+    pub states: StateTimeline,
+    /// Time references received from the TA (Fig. 2b).
+    pub ta_references: StepCounter,
+    /// AEX events experienced (Fig. 6b).
+    pub aex_events: StepCounter,
+    /// Untaintings served by a peer timestamp (adopted or ε-bumped).
+    pub peer_untaints: StepCounter,
+    /// Untaintings where the peer timestamp was *adopted* (forward jump).
+    pub peer_adoptions: StepCounter,
+    /// Calibrated TSC frequency after each full calibration (`F_i^calib`).
+    pub calibrations_hz: Vec<(SimTime, f64)>,
+    /// Hardened protocol: peer intervals rejected as false-chimers (§V).
+    pub chimer_rejections: StepCounter,
+    /// Hardened protocol: clock corrections forced by TA cross-checks or
+    /// majority agreement (§V).
+    pub corrections: StepCounter,
+    /// Hardened protocol: proactive in-TCB deadline checks performed (§V).
+    pub deadline_checks: StepCounter,
+    /// Hardened protocol: received true-chimer announcements that exclude
+    /// this node (§V gossip; a high count marks a suspected clock).
+    pub gossip_alerts: StepCounter,
+    /// Client workload: timestamps successfully served to clients.
+    pub client_served: StepCounter,
+    /// Client workload: requests answered "unavailable" (tainted or
+    /// calibrating).
+    pub client_denied: StepCounter,
+}
+
+impl NodeTrace {
+    /// Creates an empty trace with a label.
+    pub fn new(label: impl Into<String>) -> Self {
+        NodeTrace { label: label.into(), ..Default::default() }
+    }
+
+    /// The most recent calibrated frequency, if any calibration completed.
+    pub fn latest_calibrated_hz(&self) -> Option<f64> {
+        self.calibrations_hz.last().map(|&(_, hz)| hz)
+    }
+}
+
+/// All traces of one simulation run, indexed by node (0-based; node ids in
+/// plots are 1-based like the paper's).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Recorder {
+    nodes: Vec<NodeTrace>,
+}
+
+impl Recorder {
+    /// Creates a recorder for `n` nodes labelled "Node 1" … "Node n".
+    pub fn for_nodes(n: usize) -> Self {
+        Recorder { nodes: (1..=n).map(|i| NodeTrace::new(format!("Node {i}"))).collect() }
+    }
+
+    /// Number of nodes tracked.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Immutable access to one node's trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn node(&self, index: usize) -> &NodeTrace {
+        &self.nodes[index]
+    }
+
+    /// Mutable access to one node's trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn node_mut(&mut self, index: usize) -> &mut NodeTrace {
+        &mut self.nodes[index]
+    }
+
+    /// Iterates over all node traces.
+    pub fn iter(&self) -> impl Iterator<Item = &NodeTrace> {
+        self.nodes.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::NodeStateTag;
+
+    #[test]
+    fn recorder_construction_and_access() {
+        let mut r = Recorder::for_nodes(3);
+        assert_eq!(r.node_count(), 3);
+        assert_eq!(r.node(0).label, "Node 1");
+        assert_eq!(r.node(2).label, "Node 3");
+        r.node_mut(1).drift_ms.push(SimTime::from_secs(1), 0.5);
+        assert_eq!(r.node(1).drift_ms.len(), 1);
+        assert_eq!(r.iter().count(), 3);
+    }
+
+    #[test]
+    fn node_trace_records_everything() {
+        let mut t = NodeTrace::new("Node 1");
+        t.states.enter(SimTime::ZERO, NodeStateTag::FullCalib);
+        t.states.enter(SimTime::from_secs(5), NodeStateTag::Ok);
+        t.ta_references.increment(SimTime::from_secs(5));
+        t.aex_events.increment(SimTime::from_secs(9));
+        t.calibrations_hz.push((SimTime::from_secs(5), 2.9001e9));
+        assert_eq!(t.latest_calibrated_hz(), Some(2.9001e9));
+        assert_eq!(t.ta_references.count(), 1);
+        assert!(t.states.availability(SimTime::ZERO, SimTime::from_secs(10)) > 0.4);
+    }
+
+    #[test]
+    fn empty_trace_defaults() {
+        let t = NodeTrace::new("x");
+        assert!(t.latest_calibrated_hz().is_none());
+        assert_eq!(t.aex_events.count(), 0);
+        assert!(t.drift_ms.is_empty());
+    }
+}

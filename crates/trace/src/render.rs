@@ -1,0 +1,271 @@
+//! Plain-text rendering of figures and tables, plus CSV export.
+//!
+//! The experiment binaries regenerate each paper figure twice: as a CSV (for
+//! external plotting) and as an ASCII chart/Gantt for immediate inspection.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use sim::SimTime;
+
+use crate::series::TimeSeries;
+use crate::timeline::{NodeStateTag, StateTimeline};
+
+/// Renders one or more time series as an ASCII chart.
+///
+/// Each series is drawn with its own glyph (`1`, `2`, `3`, …, matching the
+/// paper's node numbering); later series overwrite earlier ones where they
+/// collide, mirroring the paper's note that Node 1 points may hide Node 2's.
+pub fn ascii_chart(series: &[(&str, &TimeSeries)], width: usize, height: usize) -> String {
+    assert!(width >= 16 && height >= 4, "chart too small to be legible");
+    let mut t_min = f64::INFINITY;
+    let mut t_max = f64::NEG_INFINITY;
+    let mut v_min = f64::INFINITY;
+    let mut v_max = f64::NEG_INFINITY;
+    for (_, s) in series {
+        for &(t, v) in s.points() {
+            t_min = t_min.min(t.as_secs_f64());
+            t_max = t_max.max(t.as_secs_f64());
+            v_min = v_min.min(v);
+            v_max = v_max.max(v);
+        }
+    }
+    if !t_min.is_finite() {
+        return String::from("(no data)\n");
+    }
+    if (v_max - v_min).abs() < f64::EPSILON {
+        v_max = v_min + 1.0;
+    }
+    if (t_max - t_min).abs() < f64::EPSILON {
+        t_max = t_min + 1.0;
+    }
+
+    let mut grid = vec![vec![b' '; width]; height];
+    for (idx, (_, s)) in series.iter().enumerate() {
+        let glyph = char::from_digit((idx as u32 + 1) % 36, 36).unwrap_or('*') as u8;
+        for &(t, v) in s.points() {
+            let x =
+                ((t.as_secs_f64() - t_min) / (t_max - t_min) * (width - 1) as f64).round() as usize;
+            let y = ((v - v_min) / (v_max - v_min) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - y][x] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{v_max:>12.3} ┤"));
+    out.push_str(std::str::from_utf8(&grid[0]).expect("ascii"));
+    out.push('\n');
+    for row in &grid[1..height - 1] {
+        out.push_str("             │");
+        out.push_str(std::str::from_utf8(row).expect("ascii"));
+        out.push('\n');
+    }
+    out.push_str(&format!("{v_min:>12.3} ┤"));
+    out.push_str(std::str::from_utf8(&grid[height - 1]).expect("ascii"));
+    out.push('\n');
+    out.push_str(&format!(
+        "             └{}\n              {:<12.1}{:>width$.1}\n",
+        "─".repeat(width),
+        t_min,
+        t_max,
+        width = width - 12
+    ));
+    for (idx, (label, _)) in series.iter().enumerate() {
+        out.push_str(&format!("              [{}] {label}\n", idx + 1));
+    }
+    out
+}
+
+/// Renders node state timelines as an ASCII Gantt chart over `[from, to]`
+/// (the Figure 3b timing diagram). One row per node; glyphs: `F` FullCalib,
+/// `R` RefCalib, `T` Tainted, `·` OK.
+pub fn ascii_gantt(
+    timelines: &[(&str, &StateTimeline)],
+    from: SimTime,
+    to: SimTime,
+    width: usize,
+) -> String {
+    assert!(width >= 16, "gantt too narrow");
+    assert!(from < to, "gantt window must be non-empty");
+    let span = (to - from).as_secs_f64();
+    let mut out = String::new();
+    for (label, tl) in timelines {
+        let mut row = vec![b' '; width];
+        for seg in tl.segments(from, to) {
+            let glyph = match seg.state {
+                NodeStateTag::FullCalib => b'F',
+                NodeStateTag::RefCalib => b'R',
+                NodeStateTag::Tainted => b'T',
+                NodeStateTag::Ok => b'.',
+            };
+            let x0 = ((seg.from - from).as_secs_f64() / span * (width - 1) as f64) as usize;
+            let x1 = ((seg.to - from).as_secs_f64() / span * (width - 1) as f64) as usize;
+            for cell in row.iter_mut().take(x1 + 1).skip(x0) {
+                // Never let the (usually dominant) OK glyph overwrite a
+                // short calibration/taint episode within the same cell.
+                if *cell == b' ' || *cell == b'.' || glyph != b'.' {
+                    *cell = glyph;
+                }
+            }
+        }
+        out.push_str(&format!("{label:>8} │{}│\n", std::str::from_utf8(&row).expect("ascii")));
+    }
+    out.push_str(&format!(
+        "         {:<10.0}{:>width$.0} (s)\n",
+        from.as_secs_f64(),
+        to.as_secs_f64(),
+        width = width - 8
+    ));
+    out.push_str("         F=FullCalib R=RefCalib T=Tainted .=OK\n");
+    out
+}
+
+/// Renders an aligned plain-text table.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "table row width mismatch");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (cell, w) in cells.iter().zip(widths) {
+            line.push_str(&format!(" {cell:<w$} |"));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(), &widths));
+    out.push('|');
+    for w in &widths {
+        out.push_str(&format!("{}|", "-".repeat(w + 2)));
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Writes a CSV file (simple quoting: fields containing commas or quotes
+/// are double-quoted).
+///
+/// # Errors
+///
+/// Propagates any I/O error from creating or writing the file.
+pub fn write_csv(
+    path: &Path,
+    headers: &[&str],
+    rows: impl IntoIterator<Item = Vec<String>>,
+) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    let quote = |s: &str| -> String {
+        if s.contains(',') || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    };
+    writeln!(file, "{}", headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","))?;
+    for row in rows {
+        writeln!(file, "{}", row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_renders_extremes_and_legend() {
+        let s1: TimeSeries = (0..10).map(|i| (SimTime::from_secs(i), i as f64)).collect();
+        let s2: TimeSeries = (0..10).map(|i| (SimTime::from_secs(i), 9.0 - i as f64)).collect();
+        let chart = ascii_chart(&[("rising", &s1), ("falling", &s2)], 40, 10);
+        assert!(chart.contains("[1] rising"));
+        assert!(chart.contains("[2] falling"));
+        assert!(chart.contains("9.000"));
+        assert!(chart.contains("0.000"));
+        assert!(chart.contains('1'));
+        assert!(chart.contains('2'));
+    }
+
+    #[test]
+    fn chart_with_no_data() {
+        let s = TimeSeries::new();
+        assert_eq!(ascii_chart(&[("empty", &s)], 40, 10), "(no data)\n");
+    }
+
+    #[test]
+    fn gantt_shows_states() {
+        let mut tl = StateTimeline::new();
+        tl.enter(SimTime::ZERO, NodeStateTag::FullCalib);
+        tl.enter(SimTime::from_secs(25), NodeStateTag::Ok);
+        tl.enter(SimTime::from_secs(50), NodeStateTag::Tainted);
+        tl.enter(SimTime::from_secs(75), NodeStateTag::RefCalib);
+        let g = ascii_gantt(&[("Node 1", &tl)], SimTime::ZERO, SimTime::from_secs(100), 40);
+        assert!(g.contains('F'));
+        assert!(g.contains('.'));
+        assert!(g.contains('T'));
+        assert!(g.contains('R'));
+        assert!(g.contains("Node 1"));
+    }
+
+    #[test]
+    fn short_episode_is_not_hidden_by_ok() {
+        // A 1-second taint inside hours of OK must still be visible.
+        let mut tl = StateTimeline::new();
+        tl.enter(SimTime::ZERO, NodeStateTag::Ok);
+        tl.enter(SimTime::from_secs(5000), NodeStateTag::Tainted);
+        tl.enter(SimTime::from_secs(5001), NodeStateTag::Ok);
+        let g = ascii_gantt(&[("n", &tl)], SimTime::ZERO, SimTime::from_secs(10_000), 60);
+        assert!(g.contains('T'), "taint glyph missing:\n{g}");
+    }
+
+    #[test]
+    fn table_alignment_and_mismatch() {
+        let t = render_table(
+            &["node", "drift"],
+            &[vec!["Node 1".into(), "0.11".into()], vec!["Node 3".into(), "-91.0".into()]],
+        );
+        assert!(t.contains("| node   | drift |"));
+        assert!(t.lines().count() == 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn table_row_mismatch_panics() {
+        render_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn csv_round_trip_with_quoting() {
+        let dir = std::env::temp_dir().join("trace_csv_test");
+        let path = dir.join("out.csv");
+        write_csv(
+            &path,
+            &["t", "label"],
+            vec![
+                vec!["1".to_string(), "plain".to_string()],
+                vec!["2".to_string(), "has,comma".to_string()],
+                vec!["3".to_string(), "has\"quote".to_string()],
+            ],
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "t,label\n1,plain\n2,\"has,comma\"\n3,\"has\"\"quote\"\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

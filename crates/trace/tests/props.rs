@@ -1,0 +1,106 @@
+//! Property-based tests for the measurement-recording invariants.
+
+use proptest::prelude::*;
+use sim::SimTime;
+use trace::{NodeStateTag, StateTimeline, StepCounter, TimeSeries};
+
+fn arb_state() -> impl Strategy<Value = NodeStateTag> {
+    prop_oneof![
+        Just(NodeStateTag::FullCalib),
+        Just(NodeStateTag::RefCalib),
+        Just(NodeStateTag::Tainted),
+        Just(NodeStateTag::Ok),
+    ]
+}
+
+proptest! {
+    /// Availability is always a fraction, and the per-state durations of a
+    /// window partition it exactly.
+    #[test]
+    fn timeline_durations_partition_the_window(
+        steps in proptest::collection::vec((1u64..10_000, arb_state()), 1..50),
+        window_ns in 1u64..2_000_000,
+    ) {
+        let mut tl = StateTimeline::new();
+        let mut t = 0u64;
+        for (dt, state) in steps {
+            tl.enter(SimTime::from_nanos(t), state);
+            t += dt;
+        }
+        let from = SimTime::ZERO;
+        let to = SimTime::from_nanos(window_ns);
+        let avail = tl.availability(from, to);
+        prop_assert!((0.0..=1.0).contains(&avail), "availability {avail}");
+        let total: u64 = NodeStateTag::ALL
+            .iter()
+            .map(|&s| tl.time_in(s, from, to).as_nanos())
+            .sum();
+        // Time before the first transition belongs to no state.
+        let first = tl.transitions().first().map(|&(t, _)| t.as_nanos()).unwrap_or(0);
+        let covered = window_ns.saturating_sub(first.min(window_ns));
+        prop_assert_eq!(total, covered, "durations partition the covered window");
+    }
+
+    /// Segments are contiguous, ordered, and consistent with `state_at`.
+    #[test]
+    fn segments_are_contiguous_and_consistent(
+        steps in proptest::collection::vec((1u64..10_000, arb_state()), 1..50),
+    ) {
+        let mut tl = StateTimeline::new();
+        let mut t = 1000u64;
+        for (dt, state) in steps {
+            tl.enter(SimTime::from_nanos(t), state);
+            t += dt;
+        }
+        let to = SimTime::from_nanos(t + 1000);
+        let segs = tl.segments(SimTime::ZERO, to);
+        for w in segs.windows(2) {
+            prop_assert_eq!(w[0].to, w[1].from, "segments are contiguous");
+            prop_assert!(w[0].state != w[1].state, "adjacent segments differ");
+        }
+        for seg in &segs {
+            prop_assert!(seg.from < seg.to);
+            prop_assert_eq!(tl.state_at(seg.from), Some(seg.state));
+        }
+    }
+
+    /// A counter's curve is strictly cumulative and `count_at` agrees with
+    /// it.
+    #[test]
+    fn counter_curve_is_cumulative(deltas in proptest::collection::vec(0u64..1_000, 1..100)) {
+        let mut c = StepCounter::new();
+        let mut t = 0u64;
+        for d in &deltas {
+            t += d;
+            c.increment(SimTime::from_nanos(t));
+        }
+        let curve = c.curve();
+        prop_assert_eq!(curve.len(), deltas.len());
+        for (i, &(at, count)) in curve.iter().enumerate() {
+            prop_assert_eq!(count, i as u64 + 1);
+            prop_assert_eq!(c.count_at(at), c.count_at(at)); // self-consistent
+            prop_assert!(c.count_at(at) >= count);
+        }
+        prop_assert_eq!(c.count(), deltas.len() as u64);
+    }
+
+    /// Series slope of an exact line is recovered over any window.
+    #[test]
+    fn series_slope_recovers_lines(
+        slope in -100.0..100.0f64,
+        n in 3usize..100,
+    ) {
+        let s: TimeSeries = (0..n)
+            .map(|i| (SimTime::from_secs(i as u64), slope * i as f64))
+            .collect();
+        let measured = s.slope_per_sec().unwrap();
+        prop_assert!((measured - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+        // Windowed slope agrees.
+        if n >= 6 {
+            let w = s
+                .slope_per_sec_in(SimTime::from_secs(2), SimTime::from_secs(n as u64 - 2))
+                .unwrap();
+            prop_assert!((w - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! INC-counter monitoring model (§IV-A.1).
+//!
+//! Triad's monitoring enclave thread spins incrementing a register and
+//! cross-checks the count against TSC progress: at a fixed core frequency,
+//! a TSC window of `ΔTSC` ticks must always take the same number of INC
+//! instructions, so any rate/offset manipulation of the TSC shows up as a
+//! discrepancy. The paper measures 10k windows of `ΔTSC = 15×10⁶` ticks
+//! (≈5 ms) at 3500 MHz and reports 632 181 INC mean, 109.5 INC σ — and,
+//! after removing two outliers (a cold first run at 621 448 and a stray at
+//! 630 012), 632 182 mean, 2.9 σ, 10 INC range.
+//!
+//! [`IncModel`] reproduces the steady-state statistics (uniform ±5 INC
+//! jitter gives exactly σ≈2.89 and range 10) and [`IncExperiment`] injects
+//! the two documented outliers so the full-table numbers match too.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use sim::SimDuration;
+
+/// Loop cost calibrated so the paper's window (15e6 ticks @ 2899.999 MHz,
+/// core at 3500 MHz) counts ≈632 182 INC.
+pub const PAPER_CYCLES_PER_ITER: f64 = 28.6365;
+
+/// The monitoring loop's counting behaviour at a fixed core frequency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncModel {
+    /// Average core cycles consumed per loop iteration (one INC).
+    pub cycles_per_iter: f64,
+    /// Half-width of the uniform per-measurement jitter, in INC units.
+    pub jitter_inc: u64,
+}
+
+impl Default for IncModel {
+    fn default() -> Self {
+        IncModel { cycles_per_iter: PAPER_CYCLES_PER_ITER, jitter_inc: 5 }
+    }
+}
+
+impl IncModel {
+    /// Expected INC count over a wall-clock window at `core_hz`.
+    pub fn expected_count(&self, window: SimDuration, core_hz: f64) -> f64 {
+        window.as_secs_f64() * core_hz / self.cycles_per_iter
+    }
+
+    /// Expected INC count while the TSC advances `tsc_delta` ticks, given
+    /// the TSC's true rate.
+    pub fn expected_count_for_ticks(&self, tsc_delta: u64, tsc_hz: f64, core_hz: f64) -> f64 {
+        (tsc_delta as f64 / tsc_hz) * core_hz / self.cycles_per_iter
+    }
+
+    /// One simulated measurement: INC counted over `window` at `core_hz`,
+    /// with per-run jitter.
+    pub fn measure(&self, window: SimDuration, core_hz: f64, rng: &mut StdRng) -> u64 {
+        let expected = self.expected_count(window, core_hz);
+        let jitter = if self.jitter_inc == 0 {
+            0
+        } else {
+            rng.gen_range(-(self.jitter_inc as i64)..=self.jitter_inc as i64)
+        };
+        (expected.round() as i64 + jitter).max(0) as u64
+    }
+
+    /// Relative discrepancy (ppm) between an observed INC count and the
+    /// count implied by the observed TSC progress.
+    ///
+    /// Zero means the TSC behaved; a large magnitude means the TSC rate or
+    /// offset was manipulated during the window (or the core frequency
+    /// changed). Positive = TSC advanced *less* than the INC count implies
+    /// (slowed/negative-offset TSC).
+    pub fn discrepancy_ppm(
+        &self,
+        observed_inc: u64,
+        tsc_delta: u64,
+        tsc_hz: f64,
+        core_hz: f64,
+    ) -> f64 {
+        let expected = self.expected_count_for_ticks(tsc_delta, tsc_hz, core_hz);
+        (observed_inc as f64 - expected) / expected * 1e6
+    }
+}
+
+/// The §IV-A.1 measurement campaign: repeated INC counts over fixed-size
+/// TSC windows, with the two outliers the paper documents.
+#[derive(Debug, Clone)]
+pub struct IncExperiment {
+    /// Counting model.
+    pub model: IncModel,
+    /// TSC window per measurement, in ticks (paper: 15×10⁶).
+    pub tsc_window_ticks: u64,
+    /// TSC frequency (paper: 2899.999 MHz).
+    pub tsc_hz: f64,
+    /// Core frequency (paper: 3500 MHz, performance governor).
+    pub core_hz: f64,
+    /// INC deficit of the first (cold) run; paper: 632 181 − 621 448.
+    pub warmup_deficit_inc: u64,
+    /// INC deficit of one stray mid-campaign run; paper: 632 181 − 630 012.
+    pub stray_deficit_inc: u64,
+}
+
+impl Default for IncExperiment {
+    fn default() -> Self {
+        IncExperiment {
+            model: IncModel::default(),
+            tsc_window_ticks: 15_000_000,
+            tsc_hz: crate::clock::PAPER_TSC_HZ,
+            core_hz: 3.5e9,
+            warmup_deficit_inc: 632_181 - 621_448,
+            stray_deficit_inc: 632_181 - 630_012,
+        }
+    }
+}
+
+/// Result of one campaign: the samples and which indices were injected as
+/// outliers (ground truth for validating outlier rejection).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncSamples {
+    /// INC count per measurement, in run order.
+    pub counts: Vec<u64>,
+    /// Indices of the injected outlier runs.
+    pub outlier_indices: Vec<usize>,
+}
+
+impl IncExperiment {
+    /// Duration of one measurement window in reference time.
+    pub fn window(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.tsc_window_ticks as f64 / self.tsc_hz)
+    }
+
+    /// Runs `n` measurements.
+    ///
+    /// The first run carries the warm-up deficit; one uniformly chosen
+    /// later run (if `n > 1`) carries the stray deficit.
+    pub fn run(&self, n: usize, rng: &mut StdRng) -> IncSamples {
+        let window = self.window();
+        let mut counts = Vec::with_capacity(n);
+        let mut outlier_indices = Vec::new();
+        let stray_at = if n > 1 { Some(rng.gen_range(1..n)) } else { None };
+        for i in 0..n {
+            let mut c = self.model.measure(window, self.core_hz, rng);
+            if i == 0 && self.warmup_deficit_inc > 0 {
+                c = c.saturating_sub(self.warmup_deficit_inc);
+                outlier_indices.push(i);
+            } else if Some(i) == stray_at && self.stray_deficit_inc > 0 {
+                c = c.saturating_sub(self.stray_deficit_inc);
+                outlier_indices.push(i);
+            }
+            counts.push(c);
+        }
+        IncSamples { counts, outlier_indices }
+    }
+}
+
+/// Removes outliers by distance from the median: samples farther than
+/// `max_distance` INC from the median are dropped. Returns the retained
+/// samples and the indices that were removed.
+pub fn reject_outliers(counts: &[u64], max_distance: u64) -> (Vec<u64>, Vec<usize>) {
+    if counts.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+    let mut sorted: Vec<u64> = counts.to_vec();
+    sorted.sort_unstable();
+    let median = sorted[sorted.len() / 2];
+    let mut kept = Vec::with_capacity(counts.len());
+    let mut removed = Vec::new();
+    for (i, &c) in counts.iter().enumerate() {
+        if c.abs_diff(median) > max_distance {
+            removed.push(i);
+        } else {
+            kept.push(c);
+        }
+    }
+    (kept, removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use stats::Summary;
+
+    #[test]
+    fn expected_count_matches_paper_mean() {
+        let m = IncModel::default();
+        let e = m.expected_count_for_ticks(15_000_000, crate::clock::PAPER_TSC_HZ, 3.5e9);
+        assert!((e - 632_182.0).abs() < 2.0, "expected {e}");
+    }
+
+    #[test]
+    fn window_duration_is_about_5ms() {
+        let e = IncExperiment::default();
+        let w = e.window().as_secs_f64();
+        assert!((w - 5.17e-3).abs() < 0.01e-3, "window {w}");
+    }
+
+    #[test]
+    fn steady_state_statistics_match_paper() {
+        // No outliers: σ ≈ 2.9 INC, range ≈ 10 INC (uniform ±5 jitter).
+        let exp =
+            IncExperiment { warmup_deficit_inc: 0, stray_deficit_inc: 0, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(42);
+        let samples = exp.run(10_000, &mut rng);
+        let s: Summary = samples.counts.iter().map(|&c| c as f64).collect();
+        assert!((s.mean() - 632_182.0).abs() < 1.0, "mean {}", s.mean());
+        assert!((s.sample_std_dev() - 2.9).abs() < 0.3, "sd {}", s.sample_std_dev());
+        assert!(s.range() <= 10.0, "range {}", s.range());
+        assert!(samples.outlier_indices.is_empty());
+    }
+
+    #[test]
+    fn outliers_shift_full_table_stddev() {
+        let exp = IncExperiment::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let samples = exp.run(10_000, &mut rng);
+        assert_eq!(samples.outlier_indices.len(), 2);
+        assert_eq!(samples.outlier_indices[0], 0);
+        let s: Summary = samples.counts.iter().map(|&c| c as f64).collect();
+        // Paper: full-table σ = 109.5 INC, dominated by the warm-up run.
+        assert!(s.sample_std_dev() > 50.0, "sd {}", s.sample_std_dev());
+        let (kept, removed) = reject_outliers(&samples.counts, 100);
+        assert_eq!(removed, samples.outlier_indices);
+        let k: Summary = kept.iter().map(|&c| c as f64).collect();
+        assert!((k.sample_std_dev() - 2.9).abs() < 0.3);
+        assert!(k.range() <= 10.0);
+    }
+
+    #[test]
+    fn discrepancy_zero_when_tsc_honest() {
+        let m = IncModel { jitter_inc: 0, ..Default::default() };
+        let tsc_hz = 2.9e9;
+        let core_hz = 3.5e9;
+        let window = SimDuration::from_millis(5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let inc = m.measure(window, core_hz, &mut rng);
+        let tsc_delta = (window.as_secs_f64() * tsc_hz) as u64;
+        let ppm = m.discrepancy_ppm(inc, tsc_delta, tsc_hz, core_hz);
+        assert!(ppm.abs() < 5.0, "ppm {ppm}");
+    }
+
+    #[test]
+    fn discrepancy_detects_scaled_tsc() {
+        // If a hypervisor scales the TSC ×1.1, a 5 ms window shows ~10^5 ppm.
+        let m = IncModel { jitter_inc: 0, ..Default::default() };
+        let tsc_hz = 2.9e9;
+        let core_hz = 3.5e9;
+        let window = SimDuration::from_millis(5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let inc = m.measure(window, core_hz, &mut rng);
+        let manipulated_delta = (window.as_secs_f64() * tsc_hz * 1.1) as u64;
+        let ppm = m.discrepancy_ppm(inc, manipulated_delta, tsc_hz, core_hz);
+        assert!(
+            (ppm + 90_909.0).abs() < 200.0,
+            "a 10% faster TSC makes INC look ~9.1% short, got {ppm}"
+        );
+    }
+
+    #[test]
+    fn discrepancy_detects_offset_jump() {
+        // A +1e6-tick jump inside a 15e6-tick window inflates the window by
+        // ~6.7%, i.e. the INC count looks ~6.2×10⁴ ppm short.
+        let m = IncModel { jitter_inc: 0, ..Default::default() };
+        let tsc_hz = crate::clock::PAPER_TSC_HZ;
+        let core_hz = 3.5e9;
+        let honest_delta = 15_000_000u64;
+        let window = SimDuration::from_secs_f64(honest_delta as f64 / tsc_hz);
+        let mut rng = StdRng::seed_from_u64(0);
+        let inc = m.measure(window, core_hz, &mut rng);
+        let ppm = m.discrepancy_ppm(inc, honest_delta + 1_000_000, tsc_hz, core_hz);
+        assert!(ppm < -50_000.0, "ppm {ppm}");
+    }
+
+    #[test]
+    fn reject_outliers_handles_edges() {
+        assert_eq!(reject_outliers(&[], 10), (vec![], vec![]));
+        assert_eq!(reject_outliers(&[5], 10), (vec![5], vec![]));
+        let (kept, removed) = reject_outliers(&[100, 101, 99, 50], 10);
+        assert_eq!(kept, vec![100, 101, 99]);
+        assert_eq!(removed, vec![3]);
+    }
+}

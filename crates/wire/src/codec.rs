@@ -1,0 +1,288 @@
+//! Binary encoding of [`Message`]: version byte, tag byte, fixed-width
+//! big-endian fields.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::message::{Message, NodeId};
+
+/// Version byte prepended to every encoded message.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+const TAG_CALIB_REQ: u8 = 1;
+const TAG_CALIB_RESP: u8 = 2;
+const TAG_PEER_REQ: u8 = 3;
+const TAG_PEER_RESP: u8 = 4;
+const TAG_CLIENT_REQ: u8 = 5;
+const TAG_CLIENT_RESP: u8 = 6;
+const TAG_INTERVAL_REQ: u8 = 7;
+const TAG_INTERVAL_RESP: u8 = 8;
+const TAG_CHIMER_ANNOUNCE: u8 = 9;
+
+/// A message failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the message was complete.
+    UnexpectedEof,
+    /// The version byte did not match [`PROTOCOL_VERSION`].
+    BadVersion(u8),
+    /// The tag byte named no known message.
+    UnknownTag(u8),
+    /// Bytes remained after a complete message.
+    TrailingBytes(usize),
+    /// A field carried an invalid value (e.g. a non-boolean flag).
+    InvalidValue,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof => f.write_str("unexpected end of message"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            DecodeError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
+            DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            DecodeError::InvalidValue => f.write_str("invalid field value"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl Message {
+    /// Encodes the message into its wire form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_u8(PROTOCOL_VERSION);
+        match self {
+            Message::CalibrationRequest { nonce, sleep_ns } => {
+                buf.put_u8(TAG_CALIB_REQ);
+                buf.put_u64(*nonce);
+                buf.put_u64(*sleep_ns);
+            }
+            Message::CalibrationResponse { nonce, ta_time_ns, slept_ns } => {
+                buf.put_u8(TAG_CALIB_RESP);
+                buf.put_u64(*nonce);
+                buf.put_u64(*ta_time_ns);
+                buf.put_u64(*slept_ns);
+            }
+            Message::PeerTimeRequest { nonce } => {
+                buf.put_u8(TAG_PEER_REQ);
+                buf.put_u64(*nonce);
+            }
+            Message::PeerTimeResponse { nonce, timestamp_ns } => {
+                buf.put_u8(TAG_PEER_RESP);
+                buf.put_u64(*nonce);
+                buf.put_u64(*timestamp_ns);
+            }
+            Message::ClientTimeRequest { nonce } => {
+                buf.put_u8(TAG_CLIENT_REQ);
+                buf.put_u64(*nonce);
+            }
+            Message::ClientTimeResponse { nonce, timestamp_ns } => {
+                buf.put_u8(TAG_CLIENT_RESP);
+                buf.put_u64(*nonce);
+                match timestamp_ns {
+                    Some(ts) => {
+                        buf.put_u8(1);
+                        buf.put_u64(*ts);
+                    }
+                    None => buf.put_u8(0),
+                }
+            }
+            Message::IntervalRequest { nonce } => {
+                buf.put_u8(TAG_INTERVAL_REQ);
+                buf.put_u64(*nonce);
+            }
+            Message::IntervalResponse { nonce, timestamp_ns, error_bound_ns, tainted } => {
+                buf.put_u8(TAG_INTERVAL_RESP);
+                buf.put_u64(*nonce);
+                buf.put_u64(*timestamp_ns);
+                buf.put_u64(*error_bound_ns);
+                buf.put_u8(u8::from(*tainted));
+            }
+            Message::ChimerAnnouncement { epoch, chimers } => {
+                buf.put_u8(TAG_CHIMER_ANNOUNCE);
+                buf.put_u64(*epoch);
+                buf.put_u16(
+                    u16::try_from(chimers.len()).expect("chimer set exceeds u16::MAX entries"),
+                );
+                for c in chimers {
+                    buf.put_u16(c.0);
+                }
+            }
+        }
+        buf.to_vec()
+    }
+
+    /// Decodes a message from its wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] when the buffer is truncated, versioned
+    /// wrong, tagged unknown, carries invalid values, or has trailing bytes.
+    pub fn decode(data: &[u8]) -> Result<Message, DecodeError> {
+        let mut buf = Bytes::copy_from_slice(data);
+        let version = get_u8(&mut buf)?;
+        if version != PROTOCOL_VERSION {
+            return Err(DecodeError::BadVersion(version));
+        }
+        let tag = get_u8(&mut buf)?;
+        let msg = match tag {
+            TAG_CALIB_REQ => Message::CalibrationRequest {
+                nonce: get_u64(&mut buf)?,
+                sleep_ns: get_u64(&mut buf)?,
+            },
+            TAG_CALIB_RESP => Message::CalibrationResponse {
+                nonce: get_u64(&mut buf)?,
+                ta_time_ns: get_u64(&mut buf)?,
+                slept_ns: get_u64(&mut buf)?,
+            },
+            TAG_PEER_REQ => Message::PeerTimeRequest { nonce: get_u64(&mut buf)? },
+            TAG_PEER_RESP => Message::PeerTimeResponse {
+                nonce: get_u64(&mut buf)?,
+                timestamp_ns: get_u64(&mut buf)?,
+            },
+            TAG_CLIENT_REQ => Message::ClientTimeRequest { nonce: get_u64(&mut buf)? },
+            TAG_CLIENT_RESP => {
+                let nonce = get_u64(&mut buf)?;
+                let timestamp_ns = match get_u8(&mut buf)? {
+                    0 => None,
+                    1 => Some(get_u64(&mut buf)?),
+                    _ => return Err(DecodeError::InvalidValue),
+                };
+                Message::ClientTimeResponse { nonce, timestamp_ns }
+            }
+            TAG_INTERVAL_REQ => Message::IntervalRequest { nonce: get_u64(&mut buf)? },
+            TAG_INTERVAL_RESP => Message::IntervalResponse {
+                nonce: get_u64(&mut buf)?,
+                timestamp_ns: get_u64(&mut buf)?,
+                error_bound_ns: get_u64(&mut buf)?,
+                tainted: match get_u8(&mut buf)? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(DecodeError::InvalidValue),
+                },
+            },
+            TAG_CHIMER_ANNOUNCE => {
+                let epoch = get_u64(&mut buf)?;
+                let n = get_u16(&mut buf)? as usize;
+                let mut chimers = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    chimers.push(NodeId(get_u16(&mut buf)?));
+                }
+                Message::ChimerAnnouncement { epoch, chimers }
+            }
+            other => return Err(DecodeError::UnknownTag(other)),
+        };
+        if buf.has_remaining() {
+            return Err(DecodeError::TrailingBytes(buf.remaining()));
+        }
+        Ok(msg)
+    }
+}
+
+fn get_u8(buf: &mut Bytes) -> Result<u8, DecodeError> {
+    if buf.remaining() < 1 {
+        return Err(DecodeError::UnexpectedEof);
+    }
+    Ok(buf.get_u8())
+}
+
+fn get_u16(buf: &mut Bytes) -> Result<u16, DecodeError> {
+    if buf.remaining() < 2 {
+        return Err(DecodeError::UnexpectedEof);
+    }
+    Ok(buf.get_u16())
+}
+
+fn get_u64(buf: &mut Bytes) -> Result<u64, DecodeError> {
+    if buf.remaining() < 8 {
+        return Err(DecodeError::UnexpectedEof);
+    }
+    Ok(buf.get_u64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: Message) {
+        let encoded = msg.encode();
+        assert_eq!(Message::decode(&encoded), Ok(msg));
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        round_trip(Message::CalibrationRequest { nonce: 42, sleep_ns: 1_000_000_000 });
+        round_trip(Message::CalibrationResponse { nonce: 42, ta_time_ns: u64::MAX, slept_ns: 0 });
+        round_trip(Message::PeerTimeRequest { nonce: 7 });
+        round_trip(Message::PeerTimeResponse { nonce: 7, timestamp_ns: 123_456 });
+        round_trip(Message::ClientTimeRequest { nonce: 1 });
+        round_trip(Message::ClientTimeResponse { nonce: 1, timestamp_ns: Some(5) });
+        round_trip(Message::ClientTimeResponse { nonce: 1, timestamp_ns: None });
+        round_trip(Message::IntervalRequest { nonce: 9 });
+        round_trip(Message::IntervalResponse {
+            nonce: 9,
+            timestamp_ns: 10,
+            error_bound_ns: 2,
+            tainted: true,
+        });
+        round_trip(Message::ChimerAnnouncement {
+            epoch: 3,
+            chimers: vec![NodeId(1), NodeId(2), NodeId(9)],
+        });
+        round_trip(Message::ChimerAnnouncement { epoch: 0, chimers: vec![] });
+    }
+
+    #[test]
+    fn truncation_fails_cleanly() {
+        let encoded = Message::CalibrationRequest { nonce: 1, sleep_ns: 2 }.encode();
+        for cut in 0..encoded.len() {
+            assert_eq!(
+                Message::decode(&encoded[..cut]),
+                Err(DecodeError::UnexpectedEof),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn version_and_tag_validation() {
+        let mut encoded = Message::PeerTimeRequest { nonce: 1 }.encode();
+        encoded[0] = 99;
+        assert_eq!(Message::decode(&encoded), Err(DecodeError::BadVersion(99)));
+        encoded[0] = PROTOCOL_VERSION;
+        encoded[1] = 200;
+        assert_eq!(Message::decode(&encoded), Err(DecodeError::UnknownTag(200)));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut encoded = Message::PeerTimeRequest { nonce: 1 }.encode();
+        encoded.push(0);
+        assert_eq!(Message::decode(&encoded), Err(DecodeError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn invalid_flag_rejected() {
+        let mut encoded = Message::ClientTimeResponse { nonce: 1, timestamp_ns: None }.encode();
+        let last = encoded.len() - 1;
+        encoded[last] = 7;
+        assert_eq!(Message::decode(&encoded), Err(DecodeError::InvalidValue));
+    }
+
+    #[test]
+    fn requests_with_same_shape_encode_identically_sized() {
+        // The attacker sees message sizes: 0s-sleep and 1s-sleep calibration
+        // requests must be indistinguishable by length.
+        let a = Message::CalibrationRequest { nonce: 1, sleep_ns: 0 }.encode();
+        let b = Message::CalibrationRequest { nonce: 2, sleep_ns: 1_000_000_000 }.encode();
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(DecodeError::UnexpectedEof.to_string(), "unexpected end of message");
+        assert_eq!(DecodeError::BadVersion(3).to_string(), "unsupported protocol version 3");
+        assert_eq!(DecodeError::TrailingBytes(2).to_string(), "2 trailing bytes after message");
+    }
+}

@@ -1,0 +1,21 @@
+//! # wire — Triad protocol message vocabulary and binary codec
+//!
+//! Defines every message exchanged in the reproduced system — Triad node ↔
+//! Time Authority calibration traffic, node ↔ node peer untainting, the
+//! client-facing timestamp service, and the Section V hardened-protocol
+//! extensions — plus a compact hand-rolled binary codec.
+//!
+//! Messages are serialized with this codec and then sealed with
+//! `tt_crypto::SealingKey` before they touch the simulated network, so
+//! the on-path attacker observes only sizes and timing (the paper's §III
+//! attacker model: "Communications are authenticated and encrypted, so the
+//! attacker does not have access to s").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codec;
+mod message;
+
+pub use codec::{DecodeError, PROTOCOL_VERSION};
+pub use message::{Message, NodeId};

@@ -1,0 +1,164 @@
+//! Protocol message definitions.
+
+/// Identity of a protocol participant (Triad node or Time Authority).
+///
+/// In the paper's experiments Nodes 1, 2 and 3 carry ids 1–3; the Time
+/// Authority conventionally uses [`NodeId::TIME_AUTHORITY`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// Conventional id of the Time Authority endpoint.
+    pub const TIME_AUTHORITY: NodeId = NodeId(0);
+
+    /// True for the Time Authority id.
+    pub fn is_time_authority(self) -> bool {
+        self == Self::TIME_AUTHORITY
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_time_authority() {
+            write!(f, "TA")
+        } else {
+            write!(f, "node{}", self.0)
+        }
+    }
+}
+
+/// Every message of the Triad protocol and its hardened extension.
+///
+/// Timestamps are nanoseconds of reference time; `nonce` fields match a
+/// response to its outstanding request. The message carries no sender
+/// identity — authenticity comes from the per-pair AEAD session key, and
+/// the simulated network's envelope carries addressing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Node → TA: calibration probe. The TA waits `sleep_ns` of reference
+    /// time before answering; the node measures the TSC increment across
+    /// the round-trip (§III-C of the paper).
+    CalibrationRequest {
+        /// Request/response correlation value.
+        nonce: u64,
+        /// Requested TA hold time (`s` in the paper), in nanoseconds.
+        sleep_ns: u64,
+    },
+    /// TA → node: answer to [`Message::CalibrationRequest`], sent after the
+    /// requested hold.
+    CalibrationResponse {
+        /// Echo of the request nonce.
+        nonce: u64,
+        /// TA reference clock at the instant the response was sent.
+        ta_time_ns: u64,
+        /// The hold the TA actually applied (equals the requested sleep).
+        slept_ns: u64,
+    },
+    /// Node → peer: request for an untainting timestamp after an AEX
+    /// (§III-D).
+    PeerTimeRequest {
+        /// Request/response correlation value.
+        nonce: u64,
+    },
+    /// Peer → node: a fresh timestamp. Only sent by peers that are not
+    /// themselves tainted; in the base protocol tainted peers stay silent.
+    PeerTimeResponse {
+        /// Echo of the request nonce.
+        nonce: u64,
+        /// The peer's current trusted timestamp.
+        timestamp_ns: u64,
+    },
+    /// Client → node: application asking for a trusted timestamp.
+    ClientTimeRequest {
+        /// Request/response correlation value.
+        nonce: u64,
+    },
+    /// Node → client: the serving answer; `None` while the node is tainted
+    /// or calibrating (unavailable, §IV-A.2).
+    ClientTimeResponse {
+        /// Echo of the request nonce.
+        nonce: u64,
+        /// Monotonic trusted timestamp, absent while unavailable.
+        timestamp_ns: Option<u64>,
+    },
+    /// Node → peer (hardened protocol): request for a timestamp *interval*
+    /// `t ± e` instead of a bare timestamp (§V true-chimer filtering).
+    IntervalRequest {
+        /// Request/response correlation value.
+        nonce: u64,
+    },
+    /// Peer → node (hardened protocol): timestamp with a self-assessed
+    /// error bound, answered even when tainted so peers can judge quality.
+    IntervalResponse {
+        /// Echo of the request nonce.
+        nonce: u64,
+        /// The peer's current timestamp.
+        timestamp_ns: u64,
+        /// Half-width of the peer's confidence interval.
+        error_bound_ns: u64,
+        /// Whether the peer currently considers itself tainted.
+        tainted: bool,
+    },
+    /// Node → cluster (hardened protocol): the set of peers this node
+    /// currently considers true-chimers, published per epoch (§V).
+    ChimerAnnouncement {
+        /// Monotonic epoch counter of the announcing node.
+        epoch: u64,
+        /// Ids the announcer deems consistent with its own clock.
+        chimers: Vec<NodeId>,
+    },
+}
+
+impl Message {
+    /// Short human-readable kind tag (stable; used in traces and tests).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::CalibrationRequest { .. } => "calib_req",
+            Message::CalibrationResponse { .. } => "calib_resp",
+            Message::PeerTimeRequest { .. } => "peer_req",
+            Message::PeerTimeResponse { .. } => "peer_resp",
+            Message::ClientTimeRequest { .. } => "client_req",
+            Message::ClientTimeResponse { .. } => "client_resp",
+            Message::IntervalRequest { .. } => "interval_req",
+            Message::IntervalResponse { .. } => "interval_resp",
+            Message::ChimerAnnouncement { .. } => "chimer_announce",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId::TIME_AUTHORITY.to_string(), "TA");
+        assert_eq!(NodeId(3).to_string(), "node3");
+        assert!(NodeId(0).is_time_authority());
+        assert!(!NodeId(1).is_time_authority());
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let msgs = [
+            Message::CalibrationRequest { nonce: 0, sleep_ns: 0 },
+            Message::CalibrationResponse { nonce: 0, ta_time_ns: 0, slept_ns: 0 },
+            Message::PeerTimeRequest { nonce: 0 },
+            Message::PeerTimeResponse { nonce: 0, timestamp_ns: 0 },
+            Message::ClientTimeRequest { nonce: 0 },
+            Message::ClientTimeResponse { nonce: 0, timestamp_ns: None },
+            Message::IntervalRequest { nonce: 0 },
+            Message::IntervalResponse {
+                nonce: 0,
+                timestamp_ns: 0,
+                error_bound_ns: 0,
+                tainted: false,
+            },
+            Message::ChimerAnnouncement { epoch: 0, chimers: vec![] },
+        ];
+        let mut kinds: Vec<_> = msgs.iter().map(|m| m.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), msgs.len());
+    }
+}

@@ -1,0 +1,54 @@
+//! Property-based round-trip tests for the wire codec.
+
+use proptest::prelude::*;
+use wire::{Message, NodeId};
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(nonce, sleep_ns)| Message::CalibrationRequest { nonce, sleep_ns }),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(nonce, ta_time_ns, slept_ns)| {
+            Message::CalibrationResponse { nonce, ta_time_ns, slept_ns }
+        }),
+        any::<u64>().prop_map(|nonce| Message::PeerTimeRequest { nonce }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(nonce, timestamp_ns)| Message::PeerTimeResponse { nonce, timestamp_ns }),
+        any::<u64>().prop_map(|nonce| Message::ClientTimeRequest { nonce }),
+        (any::<u64>(), proptest::option::of(any::<u64>()))
+            .prop_map(|(nonce, timestamp_ns)| Message::ClientTimeResponse { nonce, timestamp_ns }),
+        any::<u64>().prop_map(|nonce| Message::IntervalRequest { nonce }),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<bool>()).prop_map(
+            |(nonce, timestamp_ns, error_bound_ns, tainted)| Message::IntervalResponse {
+                nonce,
+                timestamp_ns,
+                error_bound_ns,
+                tainted
+            }
+        ),
+        (any::<u64>(), proptest::collection::vec(any::<u16>(), 0..20)).prop_map(|(epoch, ids)| {
+            Message::ChimerAnnouncement { epoch, chimers: ids.into_iter().map(NodeId).collect() }
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_round_trips(msg in arb_message()) {
+        let encoded = msg.encode();
+        prop_assert_eq!(Message::decode(&encoded), Ok(msg));
+    }
+
+    #[test]
+    fn decode_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = Message::decode(&data);
+    }
+
+    #[test]
+    fn truncated_encodings_never_decode_to_ok(msg in arb_message(), cut_fraction in 0.0..1.0f64) {
+        let encoded = msg.encode();
+        let cut = ((encoded.len() as f64) * cut_fraction) as usize;
+        if cut < encoded.len() {
+            prop_assert!(Message::decode(&encoded[..cut]).is_err());
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! The §IV-A.1 micro-experiment: how precisely an in-enclave INC-counting
+//! thread can watch the TSC — and what happens when a hypervisor
+//! manipulates the counter under it.
+//!
+//! ```sh
+//! cargo run --example inc_monitor
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use triad_tt::stats::Summary;
+use triad_tt::tsc::{reject_outliers, IncExperiment, IncModel, PAPER_TSC_HZ};
+
+fn main() {
+    // Part 1: the measurement campaign (10k windows of 15e6 TSC ticks).
+    let mut rng = StdRng::seed_from_u64(99);
+    let experiment = IncExperiment::default();
+    let samples = experiment.run(10_000, &mut rng);
+
+    let all: Summary = samples.counts.iter().map(|&c| c as f64).collect();
+    let (kept, removed) = reject_outliers(&samples.counts, 100);
+    let cleaned: Summary = kept.iter().map(|&c| c as f64).collect();
+
+    println!("INC counted until the TSC advanced 15e6 ticks (~5 ms), 10 000 runs:");
+    println!(
+        "  all runs : mean = {:.0} INC, sd = {:.1}, range = {:.0}",
+        all.mean(),
+        all.sample_std_dev(),
+        all.range()
+    );
+    println!(
+        "  cleaned  : mean = {:.0} INC, sd = {:.2}, range = {:.0}  ({} outliers removed)",
+        cleaned.mean(),
+        cleaned.sample_std_dev(),
+        cleaned.range(),
+        removed.len()
+    );
+    println!("  paper    : 632 181 / 109.5  ->  632 182 / 2.9 / 10 after 2 outliers\n");
+
+    // Part 2: what the cross-check sees under TSC manipulation.
+    let model = IncModel::default();
+    let window = experiment.window();
+    let inc = model.measure(window, 3.5e9, &mut rng);
+    println!("Cross-check over one {window} window ({inc} INC counted):");
+    for (label, factor) in [
+        ("honest TSC", 1.0),
+        ("+100 ppm rate", 1.000_1),
+        ("+1% rate", 1.01),
+        ("+10% rate (F+ scale)", 1.10),
+    ] {
+        let ticks = (window.as_secs_f64() * PAPER_TSC_HZ * factor) as u64;
+        let ppm = model.discrepancy_ppm(inc, ticks, PAPER_TSC_HZ, 3.5e9);
+        println!("  {label:<22} -> discrepancy {ppm:+9.1} ppm");
+    }
+    println!(
+        "\nWith a ~10 INC spread on 632k counts, the monitoring thread's noise floor \
+         sits below 100 ppm: discrete-P-state INC counting pins the TSC."
+    );
+}
