@@ -49,6 +49,7 @@ pub struct TimeAuthority {
     next_token: u64,
     requests_seen: HashMap<Addr, u64>,
     responses_sent: HashMap<Addr, u64>,
+    outage_dropped: u64,
     hold_jitter: netsim::DelayModel,
 }
 
@@ -76,8 +77,15 @@ impl TimeAuthority {
             next_token: 0,
             requests_seen: HashMap::new(),
             responses_sent: HashMap::new(),
+            outage_dropped: 0,
             hold_jitter,
         }
+    }
+
+    /// Requests and held responses discarded because the TA was down
+    /// (`World::ta_online == false`) when they would have been served.
+    pub fn outage_dropped(&self) -> u64 {
+        self.outage_dropped
     }
 
     /// Calibration requests received from `node` so far.
@@ -110,6 +118,12 @@ impl Actor<World, SysEvent> for TimeAuthority {
     fn on_event(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, ev: SysEvent) {
         match ev {
             SysEvent::Deliver(d) => {
+                if !ctx.world.ta_online {
+                    // Crashed TA: in-flight requests die silently; the
+                    // sender's retry/backoff path has to cope.
+                    self.outage_dropped += 1;
+                    return;
+                }
                 let Some(msg) = open_delivery(ctx.world, World::TA_ADDR, &d) else {
                     return; // forged or corrupted datagram
                 };
@@ -132,7 +146,12 @@ impl Actor<World, SysEvent> for TimeAuthority {
             }
             SysEvent::Timer { token } => {
                 if let Some(hold) = self.holds.remove(&token) {
-                    self.respond(ctx, hold);
+                    if ctx.world.ta_online {
+                        self.respond(ctx, hold);
+                    } else {
+                        // The crash wiped the pending OS sleep.
+                        self.outage_dropped += 1;
+                    }
                 }
             }
             _ => {}
@@ -222,6 +241,26 @@ mod tests {
         let mid_dispatches = s.dispatched();
         s.run_until(SimTime::from_secs(2));
         assert!(s.dispatched() > mid_dispatches, "held response arrives later");
+    }
+
+    #[test]
+    fn offline_ta_answers_nothing() {
+        let run = |online: bool| {
+            let net = Network::new(DelayModel::Constant(SimDuration::from_micros(100)), 0.0);
+            let mut world = World::new(net, vec![Host::paper_default()]);
+            world.provision_all_keys(6);
+            world.ta_online = online;
+            let mut s = Simulation::new(world, 6);
+            let ta = s.add_actor(Box::new(TimeAuthority::new()));
+            let probe = s.add_actor(Box::new(Probe { me: Addr(1), responses: vec![] }));
+            s.world_mut().register_actor(World::TA_ADDR, ta);
+            s.world_mut().register_actor(Addr(1), probe);
+            s.run_until(SimTime::from_secs(3));
+            s.dispatched()
+        };
+        // Offline: the two requests arrive and die — no hold timer, no
+        // responses, no response deliveries.
+        assert!(run(false) < run(true), "outage must suppress responses");
     }
 }
 

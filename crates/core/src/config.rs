@@ -3,6 +3,8 @@
 use sim::SimDuration;
 use tsc::AexPause;
 
+use crate::retry::{CircuitBreakerPolicy, RetryPolicy};
+
 /// Tunable parameters of a Triad node.
 ///
 /// Defaults reproduce the paper's setup: calibration regression over
@@ -36,6 +38,22 @@ pub struct TriadConfig {
     /// round-trip (`ta_time + RTT/2`); disabling it reproduces a pure
     /// offset-toward-the-past error.
     pub rtt_half_correction: bool,
+    /// How probe retransmissions are spaced; the default reproduces the
+    /// legacy fixed-interval unlimited retry (no RNG draws), while
+    /// [`RetryPolicy::hardened`] adds bounded exponential backoff with
+    /// seeded jitter.
+    pub probe_retry: RetryPolicy,
+    /// Optional circuit breaker: after the configured number of
+    /// consecutive probe timeouts the node stops hammering the TA and only
+    /// sends one trial probe per cooldown until the TA answers again.
+    pub ta_breaker: Option<CircuitBreakerPolicy>,
+    /// Base half-width (ns) of the uncertainty attached to degraded-mode
+    /// [`wire::TimeReading`]s while the node is OK.
+    pub reading_uncertainty_ns: u64,
+    /// Widening rate of the reading uncertainty while the node is degraded
+    /// (Tainted / recalibrating), in parts-per-million of elapsed
+    /// staleness: `uncertainty += ppm · 1e-6 · ns_since_degraded`.
+    pub reading_drift_ppm: f64,
 }
 
 impl Default for TriadConfig {
@@ -50,6 +68,10 @@ impl Default for TriadConfig {
             monitor_interval: SimDuration::from_millis(100),
             monitor_threshold_ppm: 100.0,
             rtt_half_correction: true,
+            probe_retry: RetryPolicy::default(),
+            ta_breaker: None,
+            reading_uncertainty_ns: 1_000_000, // 1 ms
+            reading_drift_ppm: 200.0,
         }
     }
 }
@@ -73,6 +95,22 @@ impl TriadConfig {
         assert!(distinct.len() >= 2, "calibration sleeps must not all be equal");
         assert!(self.samples_per_sleep > 0, "need at least one sample per sleep");
         assert!(self.epsilon_ns > 0, "epsilon must be a positive increment");
+        self.probe_retry.validate();
+        if let Some(b) = &self.ta_breaker {
+            b.validate();
+        }
+        assert!(self.reading_uncertainty_ns > 0, "reading uncertainty floor must be positive");
+        assert!(self.reading_drift_ppm >= 0.0, "reading drift rate cannot be negative");
+    }
+
+    /// A configuration with every robustness feature enabled: hardened
+    /// retry backoff and the TA circuit breaker.
+    pub fn hardened() -> Self {
+        TriadConfig {
+            probe_retry: RetryPolicy::hardened(),
+            ta_breaker: Some(CircuitBreakerPolicy::default()),
+            ..Default::default()
+        }
     }
 }
 
@@ -88,6 +126,18 @@ mod tests {
         assert_eq!(cfg.calib_sleeps[0], SimDuration::ZERO);
         assert_eq!(cfg.calib_sleeps[1], SimDuration::from_secs(1));
         assert_eq!(cfg.epsilon_ns, 1);
+        // The default retry policy must stay bit-compatible with the
+        // legacy schedule so seeded experiments replay unchanged.
+        assert_eq!(cfg.probe_retry, RetryPolicy::default());
+        assert!(cfg.ta_breaker.is_none());
+    }
+
+    #[test]
+    fn hardened_preset_is_valid_and_bounded() {
+        let cfg = TriadConfig::hardened();
+        cfg.validate();
+        assert!(cfg.probe_retry.max_attempts.is_some());
+        assert!(cfg.ta_breaker.is_some());
     }
 
     #[test]

@@ -26,7 +26,9 @@
 mod calib;
 mod config;
 mod node;
+mod retry;
 
 pub use calib::Calibrator;
 pub use config::TriadConfig;
 pub use node::TriadNode;
+pub use retry::{CircuitBreakerPolicy, RetryPolicy};

@@ -31,7 +31,8 @@ use crate::config::TriadConfig;
 const TOKEN_MONITOR: u64 = 1 << 63;
 const TOKEN_PEER_TIMEOUT: u64 = 1 << 62;
 const TOKEN_PROBE_RETRY: u64 = 1 << 61;
-const TOKEN_MASK: u64 = (1 << 61) - 1;
+const TOKEN_BREAKER: u64 = 1 << 60;
+const TOKEN_MASK: u64 = (1 << 60) - 1;
 
 /// An in-flight exchange with the Time Authority.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +43,9 @@ struct PendingProbe {
     sleep_idx: Option<usize>,
     send_ticks: u64,
     aex_count_at_send: u64,
+    /// 0-based retransmission count within the current burst (0 = the
+    /// initial transmission); drives the backoff schedule.
+    attempt: u32,
     retry: EventId,
 }
 
@@ -82,6 +86,20 @@ pub struct TriadNode {
     /// Detections raised by the INC monitor (visible for experiments).
     pub monitor_detections: u64,
 
+    // Fault tolerance: crash-recovery, retry bookkeeping, degradation.
+    crashed: bool,
+    /// Bumped on every crash so timer chains armed before the crash are
+    /// recognizably stale after the restart.
+    timer_epoch: u64,
+    /// Consecutive probe timeouts without a TA answer (feeds the breaker).
+    probe_failures: u32,
+    breaker_open: bool,
+    /// The probe stage to resume on the half-open trial.
+    breaker_stage: Option<Option<usize>>,
+    /// When the node last left the OK state (staleness anchor for the
+    /// widening reading uncertainty); `None` while serving normally.
+    degraded_since: Option<SimTime>,
+
     next_nonce: u64,
 }
 
@@ -117,6 +135,12 @@ impl TriadNode {
             monitor_anchor: None,
             inc_ticks_per_inc: None,
             monitor_detections: 0,
+            crashed: false,
+            timer_epoch: 0,
+            probe_failures: 0,
+            breaker_open: false,
+            breaker_stage: None,
+            degraded_since: None,
             next_nonce: 0,
         }
     }
@@ -134,6 +158,17 @@ impl TriadNode {
     /// The calibrated TSC frequency, once the first calibration completed.
     pub fn calibrated_hz(&self) -> Option<f64> {
         self.f_calib_hz
+    }
+
+    /// True while the node's platform is down (between `Crash` and
+    /// `Restart` fault events).
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// True while the TA circuit breaker is open (no TA traffic is sent).
+    pub fn breaker_is_open(&self) -> bool {
+        self.breaker_open
     }
 
     // ------------------------------------------------------------------
@@ -185,6 +220,16 @@ impl TriadNode {
     fn enter_state(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, state: NodeStateTag) {
         self.state = state;
         let now = ctx.now();
+        // Track degradation staleness: the reading uncertainty widens from
+        // the instant the node left OK and collapses when it returns.
+        match state {
+            NodeStateTag::Ok => self.degraded_since = None,
+            _ => {
+                if self.degraded_since.is_none() {
+                    self.degraded_since = Some(now);
+                }
+            }
+        }
         ctx.world.recorder.node_mut(self.index).states.enter(now, state);
     }
 
@@ -235,6 +280,15 @@ impl TriadNode {
     }
 
     fn send_probe(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, sleep_idx: Option<usize>) {
+        self.send_probe_attempt(ctx, sleep_idx, 0);
+    }
+
+    fn send_probe_attempt(
+        &mut self,
+        ctx: &mut Ctx<'_, World, SysEvent>,
+        sleep_idx: Option<usize>,
+        attempt: u32,
+    ) {
         self.abandon_probe(ctx);
         let nonce = self.fresh_nonce();
         let sleep = match sleep_idx {
@@ -243,18 +297,66 @@ impl TriadNode {
         };
         let msg = Message::CalibrationRequest { nonce, sleep_ns: sleep.as_nanos() };
         send_message(ctx, self.me, World::TA_ADDR, &msg);
-        let retry = ctx.schedule_in(
-            sleep + self.cfg.probe_timeout,
-            SysEvent::timer(TOKEN_PROBE_RETRY | nonce),
-        );
+        let backoff = self.cfg.probe_retry.backoff(self.cfg.probe_timeout, attempt, ctx.rng);
+        let retry = ctx.schedule_in(sleep + backoff, SysEvent::timer(TOKEN_PROBE_RETRY | nonce));
         let now = ctx.now();
         self.pending_probe = Some(PendingProbe {
             nonce,
             sleep_idx,
             send_ticks: ctx.world.read_tsc(self.me, now),
             aex_count_at_send: self.aex_count,
+            attempt,
             retry,
         });
+    }
+
+    /// The retry timer fired and the probe is still outstanding: the TA
+    /// did not answer in time. Retransmit under the backoff schedule, or
+    /// trip the circuit breaker after too many consecutive failures.
+    fn on_probe_timeout(
+        &mut self,
+        ctx: &mut Ctx<'_, World, SysEvent>,
+        sleep_idx: Option<usize>,
+        attempt: u32,
+    ) {
+        self.probe_failures = self.probe_failures.saturating_add(1);
+        let now = ctx.now();
+        ctx.world.recorder.node_mut(self.index).probe_retries.increment(now);
+
+        if let Some(breaker) = self.cfg.ta_breaker {
+            if self.probe_failures >= breaker.failure_threshold {
+                // Stop hammering an unreachable TA; try again once per
+                // cooldown until it answers (half-open trials).
+                self.pending_probe = None;
+                self.breaker_open = true;
+                self.breaker_stage = Some(sleep_idx);
+                ctx.world.recorder.node_mut(self.index).breaker_opens.increment(now);
+                ctx.schedule_in(
+                    breaker.cooldown,
+                    SysEvent::timer(TOKEN_BREAKER | (self.timer_epoch & TOKEN_MASK)),
+                );
+                return;
+            }
+        }
+        let next = attempt + 1;
+        // A burst that exhausts its attempt budget restarts from attempt 0
+        // (the backoff re-tightens); giving up entirely is the breaker's
+        // job, not the retry schedule's.
+        let next = if self.cfg.probe_retry.exhausted(next) { 0 } else { next };
+        self.pending_probe = None;
+        self.send_probe_attempt(ctx, sleep_idx, next);
+    }
+
+    /// Cooldown elapsed: close the breaker and send one trial probe. A
+    /// further timeout re-opens it immediately (`probe_failures` is still
+    /// above the threshold).
+    fn on_breaker_timer(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+        if !self.breaker_open {
+            return;
+        }
+        self.breaker_open = false;
+        let stage = self.breaker_stage.take().expect("open breaker remembers its probe stage");
+        self.send_probe_attempt(ctx, stage, 0);
     }
 
     fn on_calibration_response(
@@ -269,6 +371,7 @@ impl TriadNode {
         }
         self.pending_probe = None;
         ctx.cancel(probe.retry);
+        self.probe_failures = 0; // the TA is reachable again
 
         let now = ctx.now();
         let recv_ticks = ctx.world.read_tsc(self.me, now);
@@ -335,6 +438,9 @@ impl TriadNode {
                 // top of core-local): ensure a resume is on its way.
                 self.schedule_resume(ctx);
             }
+            // A crashed platform takes no interrupts (events are ignored
+            // before dispatch); unreachable, but harmless.
+            NodeStateTag::Crashed => {}
         }
     }
 
@@ -436,6 +542,58 @@ impl TriadNode {
     }
 
     // ------------------------------------------------------------------
+    // Crash / recovery (fault injection)
+    // ------------------------------------------------------------------
+
+    /// The platform goes down: all enclave state is lost. Only
+    /// `last_served_ns` survives — Triad seals the monotonic serving floor
+    /// outside the enclave, so a rebooted node can never serve a timestamp
+    /// below one it already handed out.
+    fn on_crash(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+        if self.crashed {
+            return;
+        }
+        self.crashed = true;
+        self.timer_epoch += 1; // orphan every timer chain armed pre-crash
+        self.abandon_probe(ctx);
+        self.abandon_peer_round(ctx);
+        self.calibrator.reset();
+        self.f_calib_hz = None;
+        self.clock_valid = false;
+        self.taint_snapshot_ns = None;
+        self.resume_pending = false;
+        self.aex_count = 0;
+        self.monitor_anchor = None;
+        self.inc_ticks_per_inc = None;
+        self.probe_failures = 0;
+        self.breaker_open = false;
+        self.breaker_stage = None;
+        self.publish_clock(ctx.world);
+        let now = ctx.now();
+        ctx.world.recorder.node_mut(self.index).crashes.increment(now);
+        self.enter_state(ctx, NodeStateTag::Crashed);
+    }
+
+    /// The platform boots again: the node must re-earn a clock through a
+    /// full calibration before serving anything.
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+        if !self.crashed {
+            return;
+        }
+        self.crashed = false;
+        self.begin_full_calibration(ctx);
+        self.schedule_monitor(ctx);
+    }
+
+    fn monitor_token(&self) -> u64 {
+        TOKEN_MONITOR | (self.timer_epoch & TOKEN_MASK)
+    }
+
+    fn schedule_monitor(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+        ctx.schedule_in(self.cfg.monitor_interval, SysEvent::timer(self.monitor_token()));
+    }
+
+    // ------------------------------------------------------------------
     // INC monitoring (§IV-A.1)
     // ------------------------------------------------------------------
 
@@ -462,10 +620,7 @@ impl TriadNode {
                                 self.monitor_detections += 1;
                                 self.inc_ticks_per_inc = None;
                                 self.monitor_anchor = Some((now, ticks_now));
-                                ctx.schedule_in(
-                                    self.cfg.monitor_interval,
-                                    SysEvent::timer(TOKEN_MONITOR),
-                                );
+                                self.schedule_monitor(ctx);
                                 self.begin_full_calibration(ctx);
                                 return;
                             }
@@ -475,7 +630,41 @@ impl TriadNode {
             }
         }
         self.monitor_anchor = Some((now, ticks_now));
-        ctx.schedule_in(self.cfg.monitor_interval, SysEvent::timer(TOKEN_MONITOR));
+        self.schedule_monitor(ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Graceful degradation (staleness-aware readings)
+    // ------------------------------------------------------------------
+
+    /// Self-assessed uncertainty half-width: the configured floor, widened
+    /// linearly with staleness while the node is degraded.
+    fn reading_uncertainty_ns(&self, now: SimTime) -> u64 {
+        let mut u = self.cfg.reading_uncertainty_ns as f64;
+        if let Some(t0) = self.degraded_since {
+            u += self.cfg.reading_drift_ppm * 1e-6 * (now - t0).as_nanos() as f64;
+        }
+        u as u64
+    }
+
+    /// Serves a degraded-tolerant reading: unlike the all-or-nothing
+    /// client API, a Tainted or recalibrating node keeps answering with a
+    /// monotonic estimate and an honestly widening uncertainty bound.
+    fn serve_reading(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) -> Option<wire::TimeReading> {
+        let now = ctx.now();
+        let ticks = ctx.world.read_tsc(self.me, now);
+        let estimate_ns = self.serve_ns(ticks)?;
+        let uncertainty_ns = self.reading_uncertainty_ns(now);
+        ctx.world
+            .recorder
+            .node_mut(self.index)
+            .reading_uncertainty_ns
+            .push(now, uncertainty_ns as f64);
+        Some(wire::TimeReading {
+            estimate_ns,
+            uncertainty_ns,
+            degraded: self.state != NodeStateTag::Ok,
+        })
     }
 
     // ------------------------------------------------------------------
@@ -518,6 +707,10 @@ impl TriadNode {
                     &Message::ClientTimeResponse { nonce, timestamp_ns },
                 );
             }
+            Message::TimeReadingRequest { nonce } => {
+                let reading = self.serve_reading(ctx);
+                send_message(ctx, self.me, from, &Message::TimeReadingResponse { nonce, reading });
+            }
             // Hardened-protocol messages are ignored by the base node.
             _ => {}
         }
@@ -536,13 +729,23 @@ impl Actor<World, SysEvent> for TriadNode {
         let now = ctx.now();
         ctx.world.recorder.node_mut(self.index).states.enter(now, NodeStateTag::FullCalib);
         self.begin_full_calibration(ctx);
-        ctx.schedule_in(self.cfg.monitor_interval, SysEvent::timer(TOKEN_MONITOR));
+        self.schedule_monitor(ctx);
     }
 
     fn on_event(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, ev: SysEvent) {
+        if self.crashed {
+            // A downed platform processes nothing; only a restart fault
+            // event brings it back.
+            if ev == SysEvent::Restart {
+                self.on_restart(ctx);
+            }
+            return;
+        }
         match ev {
             SysEvent::Aex { .. } => self.on_aex(ctx),
             SysEvent::AexResume => self.on_resume(ctx),
+            SysEvent::Crash => self.on_crash(ctx),
+            SysEvent::Restart => {} // not crashed: spurious restart
             SysEvent::Deliver(d) => {
                 if let Some(msg) = open_delivery(ctx.world, self.me, &d) {
                     self.on_message(ctx, d.src, msg);
@@ -550,17 +753,23 @@ impl Actor<World, SysEvent> for TriadNode {
             }
             SysEvent::Timer { token } => {
                 if token & TOKEN_MONITOR != 0 {
-                    self.on_monitor_tick(ctx);
+                    if token & TOKEN_MASK == self.timer_epoch & TOKEN_MASK {
+                        self.on_monitor_tick(ctx);
+                    }
+                    // Stale chains from before a crash die out silently.
+                } else if token & TOKEN_BREAKER != 0 {
+                    if token & TOKEN_MASK == self.timer_epoch & TOKEN_MASK {
+                        self.on_breaker_timer(ctx);
+                    }
                 } else if token & TOKEN_PEER_TIMEOUT != 0 {
                     self.on_peer_timeout(ctx, token & TOKEN_MASK);
                 } else if token & TOKEN_PROBE_RETRY != 0 {
                     let nonce = token & TOKEN_MASK;
                     if let Some(probe) = self.pending_probe {
                         if probe.nonce == nonce {
-                            // Response lost (or attacker-dropped): retry.
-                            let idx = probe.sleep_idx;
-                            self.pending_probe = None;
-                            self.send_probe(ctx, idx);
+                            // Response lost (attacker-dropped, or the TA is
+                            // down): retry under the backoff schedule.
+                            self.on_probe_timeout(ctx, probe.sleep_idx, probe.attempt);
                         }
                     }
                 }

@@ -147,7 +147,10 @@ fn calibration_survives_heavy_request_loss() {
             "node {i} must calibrate through 25% loss"
         );
     }
-    assert!(w.net.total_stats().lost > 10);
+    // The run sends ~44 messages, so the lost count is Binomial(44, 0.25):
+    // mean 11, σ≈2.9. Assert a 2σ floor — loss was genuinely exercised —
+    // rather than a knife-edge at the mean.
+    assert!(w.net.total_stats().lost > 5);
 }
 
 /// Stale peer responses (arriving after their round timed out) are

@@ -23,7 +23,11 @@ pub struct Fig1Result {
 
 /// Draws both distributions and writes their CDFs.
 pub fn run(opts: &RunOpts) -> Fig1Result {
-    let n = if opts.quick { 2_000 } else { 20_000 };
+    // Quick mode still needs enough draws that the 0.03 comparison
+    // tolerance sits at ≈4.5σ of the empirical CDF fractions (σ of a
+    // p=1/3 fraction is √(p(1−p)/n) ≈ 0.0067 at n = 5000); at 2 000
+    // samples the tolerance was only 3σ and flaked on some RNG streams.
+    let n = if opts.quick { 5_000 } else { 20_000 };
     let mut rng = StdRng::seed_from_u64(opts.seed ^ 0xF161);
 
     let mut triad = TriadLike::default();

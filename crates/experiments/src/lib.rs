@@ -18,11 +18,13 @@
 //! | [`tsc_detect`] | E13 — INC monitor vs TSC manipulation |
 //! | [`sweeps`] | E14–E18 — delay / size / AEX-rate / network / TA-load sweeps |
 //! | [`baseline`] | E19 — Triad vs a T3E-style TPM baseline |
+//! | [`chaos`] | E20 — fault-injection chaos suite (availability under faults) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod chaos;
 mod common;
 pub mod fig1;
 pub mod fig2;
@@ -39,7 +41,7 @@ pub mod tsc_detect;
 pub use output::{comparison_markdown, comparison_table, write_text, Comparison, RunOpts};
 
 /// Every experiment id accepted by the runner.
-pub const ALL_EXPERIMENTS: [&str; 11] = [
+pub const ALL_EXPERIMENTS: [&str; 12] = [
     "fig1",
     "inc-table",
     "fig2",
@@ -51,6 +53,7 @@ pub const ALL_EXPERIMENTS: [&str; 11] = [
     "tsc-detect",
     "sweeps",
     "baseline",
+    "chaos",
 ];
 
 /// Runs one experiment by id, returning its rendered report and
@@ -103,6 +106,10 @@ pub fn run_by_id(id: &str, opts: &RunOpts) -> (String, Vec<Comparison>) {
         }
         "baseline" => {
             let r = baseline::run(opts);
+            (r.render(), r.comparisons())
+        }
+        "chaos" => {
+            let r = chaos::run(opts);
             (r.render(), r.comparisons())
         }
         other => panic!("unknown experiment id {other:?} (known: {ALL_EXPERIMENTS:?})"),

@@ -1,0 +1,130 @@
+//! The actor that replays a [`FaultPlan`] through the event loop.
+
+use runtime::{SysEvent, World};
+use sim::{Actor, Ctx, SimDuration};
+
+use crate::plan::{FaultAction, FaultEvent, FaultPlan};
+
+/// Replays a [`FaultPlan`] against the running simulation.
+///
+/// The driver arms one timer per distinct firing time; when it wakes it
+/// applies every due action in plan order, logs each into
+/// `world.recorder.faults`, and re-arms for the next. Network actions
+/// mutate the fabric in place (affecting datagrams sent from that instant
+/// on); TA outages flip [`World::ta_online`]; crashes, restarts and AEX
+/// interrupts are delivered to the node actors as ordinary [`SysEvent`]s
+/// with zero delay, so they interleave deterministically with protocol
+/// traffic scheduled at the same instant.
+///
+/// Register it via `harness::ClusterBuilder::fault_plan`, or add it as an
+/// extra actor by hand.
+#[derive(Debug)]
+pub struct FaultDriver {
+    schedule: Vec<FaultEvent>,
+    next: usize,
+}
+
+impl FaultDriver {
+    /// Creates a driver that will replay `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultDriver { schedule: plan.into_schedule(), next: 0 }
+    }
+
+    /// Number of fault events not yet applied.
+    pub fn remaining(&self) -> usize {
+        self.schedule.len() - self.next
+    }
+
+    fn arm_next(&self, ctx: &mut Ctx<'_, World, SysEvent>) {
+        if let Some(ev) = self.schedule.get(self.next) {
+            ctx.schedule_at(ev.at, SysEvent::timer(0));
+        }
+    }
+
+    fn apply(&self, ctx: &mut Ctx<'_, World, SysEvent>, action: &FaultAction) {
+        match *action {
+            FaultAction::PartitionPair { a, b } => ctx.world.net.partition_pair(a, b),
+            FaultAction::PartitionLink { src, dst } => ctx.world.net.block_link(src, dst),
+            FaultAction::HealPair { a, b } => ctx.world.net.heal_pair(a, b),
+            FaultAction::HealLink { src, dst } => ctx.world.net.heal_link(src, dst),
+            FaultAction::SetLinkLoss { src, dst, loss } => {
+                ctx.world.net.set_link_loss(src, dst, loss);
+            }
+            FaultAction::ClearLinkLoss { src, dst } => {
+                ctx.world.net.clear_link_loss(src, dst);
+            }
+            FaultAction::SetDuplication { probability } => {
+                ctx.world.net.set_duplication(probability);
+            }
+            FaultAction::SetReordering { probability, window } => {
+                ctx.world.net.set_reordering(probability, window);
+            }
+            FaultAction::TaOutage => ctx.world.ta_online = false,
+            FaultAction::TaRestore => ctx.world.ta_online = true,
+            FaultAction::CrashNode { node } => {
+                let actor = ctx.world.actor_of(World::node_addr(node));
+                ctx.send(actor, SimDuration::ZERO, SysEvent::Crash);
+            }
+            FaultAction::RestartNode { node } => {
+                let actor = ctx.world.actor_of(World::node_addr(node));
+                ctx.send(actor, SimDuration::ZERO, SysEvent::Restart);
+            }
+            FaultAction::AexStorm { node, count, spacing } => {
+                let machine_wide = node.is_none();
+                let targets: Vec<_> = match node {
+                    Some(i) => vec![ctx.world.actor_of(World::node_addr(i))],
+                    None => (0..ctx.world.node_count())
+                        .map(|i| ctx.world.actor_of(World::node_addr(i)))
+                        .collect(),
+                };
+                let now = ctx.now();
+                for k in 0..count {
+                    let at = now + spacing * u64::from(k);
+                    for &target in &targets {
+                        ctx.send_at(target, at, SysEvent::Aex { machine_wide });
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Actor<World, SysEvent> for FaultDriver {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+        self.arm_next(ctx);
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, ev: SysEvent) {
+        if !matches!(ev, SysEvent::Timer { .. }) {
+            return;
+        }
+        let now = ctx.now();
+        while let Some(fault) = self.schedule.get(self.next) {
+            if fault.at > now {
+                break;
+            }
+            let fault = fault.clone();
+            self.apply(ctx, &fault.action);
+            ctx.world.recorder.faults.push(now, fault.action.label());
+            self.next += 1;
+        }
+        self.arm_next(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::SimTime;
+
+    #[test]
+    fn driver_orders_schedule_and_tracks_remaining() {
+        let plan = FaultPlan::new()
+            .at(SimTime::from_secs(9), FaultAction::TaRestore)
+            .at(SimTime::from_secs(2), FaultAction::TaOutage);
+        let driver = FaultDriver::new(plan);
+        assert_eq!(driver.remaining(), 2);
+        assert_eq!(driver.schedule[0].action, FaultAction::TaOutage);
+        assert_eq!(driver.schedule[1].action, FaultAction::TaRestore);
+    }
+}

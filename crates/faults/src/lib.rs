@@ -1,0 +1,24 @@
+//! # faults — cross-layer fault injection for Triad simulations
+//!
+//! A [`FaultPlan`] is a deterministic, time-ordered script of fault
+//! actions — link partitions and heals, per-link loss overrides, packet
+//! duplication/reordering regimes, Time-Authority outage windows, node
+//! crash/restart cycles, and correlated AEX storms. The [`FaultDriver`]
+//! actor replays the plan through the discrete-event loop, mutating the
+//! network fabric and world flags and delivering crash/AEX events to node
+//! actors, while logging every applied fault into the run's
+//! [`trace::Recorder`] fault overlay.
+//!
+//! Plans are either scripted explicitly (builder API) or generated from a
+//! seed by [`FaultPlan::randomized`] — the generator uses its own PRNG, so
+//! plan generation never perturbs the simulation's RNG stream and the
+//! same `(config, seed)` pair always yields the same chaos schedule.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod driver;
+mod plan;
+
+pub use driver::FaultDriver;
+pub use plan::{FaultAction, FaultEvent, FaultPlan, RandomFaultConfig};

@@ -15,8 +15,9 @@
 #![warn(missing_docs)]
 
 use authority::TimeAuthority;
+use faults::{FaultDriver, FaultPlan};
 use netsim::{Addr, DelayModel, Interceptor, Network};
-use runtime::{ClientWorkload, EnvDriver, Host, Sampler, SysEvent, World};
+use runtime::{ClientMode, ClientWorkload, EnvDriver, Host, Sampler, SysEvent, World};
 use sim::{Actor, SimDuration, Simulation};
 use triad_core::{TriadConfig, TriadNode};
 use tsc::AexModel;
@@ -50,7 +51,8 @@ pub struct ClusterBuilder {
     extra_actors: Vec<Box<dyn Actor<World, SysEvent>>>,
     node_factory: Option<NodeFactory>,
     hosts: Option<Vec<Host>>,
-    clients: Vec<(usize, SimDuration)>,
+    clients: Vec<(usize, SimDuration, ClientMode)>,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl ClusterBuilder {
@@ -72,6 +74,7 @@ impl ClusterBuilder {
             node_factory: None,
             hosts: None,
             clients: Vec::new(),
+            fault_plan: None,
         }
     }
 
@@ -145,7 +148,29 @@ impl ClusterBuilder {
     /// Panics if `target` is out of range.
     pub fn client(mut self, target: usize, period: SimDuration) -> Self {
         assert!(target < self.n, "client target {target} out of range");
-        self.clients.push((target, period));
+        self.clients.push((target, period, ClientMode::Timestamp));
+        self
+    }
+
+    /// Like [`ClusterBuilder::client`], but the workload uses the
+    /// graceful-degradation reading API (`TimeReadingRequest`), which is
+    /// answered — with an explicit uncertainty bound — even while the node
+    /// is tainted or recalibrating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is out of range.
+    pub fn reading_client(mut self, target: usize, period: SimDuration) -> Self {
+        assert!(target < self.n, "client target {target} out of range");
+        self.clients.push((target, period, ClientMode::Reading));
+        self
+    }
+
+    /// Installs a fault-injection plan, replayed by a [`faults::FaultDriver`]
+    /// riding the event loop. Every applied fault is logged into
+    /// `world.recorder.faults`.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 
@@ -184,6 +209,7 @@ impl ClusterBuilder {
             mut node_factory,
             hosts,
             clients,
+            fault_plan,
         } = self;
 
         let mut net = Network::new(delay, loss);
@@ -209,7 +235,7 @@ impl ClusterBuilder {
         simulation.add_actor(Box::new(EnvDriver::new(node_ids.clone(), per_node_aex, machine_aex)));
         simulation.add_actor(Box::new(Sampler { interval: sample_interval }));
         let mut client_regs = Vec::new();
-        for (i, &(target, period)) in clients.iter().enumerate() {
+        for (i, &(target, period, mode)) in clients.iter().enumerate() {
             let client_addr = Addr(1000 + u16::try_from(i).expect("client count fits u16"));
             let target_addr = World::node_addr(target);
             let key = {
@@ -220,12 +246,16 @@ impl ClusterBuilder {
                 key
             };
             simulation.world_mut().keys.provision_pair(client_addr, target_addr, key);
-            let id = simulation.add_actor(Box::new(ClientWorkload::new(
+            let id = simulation.add_actor(Box::new(ClientWorkload::with_mode(
                 client_addr,
                 target_addr,
                 period,
+                mode,
             )));
             client_regs.push((client_addr, id));
+        }
+        if let Some(plan) = fault_plan {
+            simulation.add_actor(Box::new(FaultDriver::new(plan)));
         }
         for actor in extra_actors {
             simulation.add_actor(actor);
@@ -330,5 +360,89 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn client_target_validated() {
         let _ = ClusterBuilder::new(2, 1).client(5, SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn crash_recovery_recalibrates_and_serves_monotonic_time() {
+        use sim::SimTime;
+        let plan =
+            FaultPlan::new().crash_window(0, SimTime::from_secs(20), SimDuration::from_secs(5));
+        let mut s = ClusterBuilder::new(2, 11)
+            .client(0, SimDuration::from_millis(20))
+            .reading_client(0, SimDuration::from_millis(20))
+            .fault_plan(plan)
+            .build();
+        // ClientWorkload panics on any monotonicity violation, so a clean
+        // run is itself the assertion that the serving floor survived the
+        // crash.
+        s.run_until(SimTime::from_secs(60));
+        let w = s.world();
+        let t = w.recorder.node(0);
+        assert_eq!(t.crashes.count(), 1);
+        // One calibration before the crash, one forced re-FullCalib after.
+        assert!(t.calibrations_hz.len() >= 2, "calibrations: {}", t.calibrations_hz.len());
+        assert_eq!(w.recorder.faults.len(), 2);
+        assert!(w.recorder.faults.events()[0].1.starts_with("crash"));
+        // The node went down and came back: clients saw denials during the
+        // window but service afterwards.
+        assert!(t.client_denied.count() > 0);
+        assert!(t.client_served.count() > t.client_served.count_at(SimTime::from_secs(30)));
+    }
+
+    #[test]
+    fn hardened_cluster_rides_out_ta_outage() {
+        use sim::SimTime;
+        use triad_core::TriadConfig;
+        // Node 0 restarts in the middle of a 60 s TA blackout: its forced
+        // full calibration meets a dead TA, so it must retry with backoff
+        // (opening the circuit breaker) until the TA returns.
+        let plan = FaultPlan::new()
+            .ta_outage(SimTime::from_secs(15), SimDuration::from_secs(60))
+            .crash_window(0, SimTime::from_secs(18), SimDuration::from_secs(4));
+        let mut s = ClusterBuilder::new(2, 13)
+            .config(TriadConfig::hardened())
+            .all_nodes_aex(|| Box::new(TriadLike::default()))
+            .fault_plan(plan)
+            .build();
+        s.run_until(SimTime::from_secs(150));
+        let w = s.world();
+        assert!(w.ta_online);
+        let t = w.recorder.node(0);
+        assert!(t.probe_retries.count() > 0, "expected retry pressure during the TA outage");
+        assert!(t.breaker_opens.count() > 0, "expected the TA circuit breaker to open");
+        // Recovery: the node re-calibrated once the TA came back, and the
+        // quiet peer never lost its calibration.
+        assert!(t.calibrations_hz.len() >= 2, "calibrations: {}", t.calibrations_hz.len());
+        assert!(w.recorder.node(1).latest_calibrated_hz().is_some());
+    }
+
+    #[test]
+    fn chaos_runs_are_bit_reproducible() {
+        use faults::RandomFaultConfig;
+        use sim::SimTime;
+        let run = |seed| {
+            let cfg = RandomFaultConfig {
+                window: (SimTime::from_secs(20), SimTime::from_secs(80)),
+                ..Default::default()
+            };
+            let plan = FaultPlan::randomized(&cfg, 3, seed);
+            let mut s = ClusterBuilder::new(3, seed)
+                .all_nodes_aex(|| Box::new(TriadLike::default()))
+                .reading_client(1, SimDuration::from_millis(50))
+                .fault_plan(plan)
+                .build();
+            s.run_until(SimTime::from_secs(120));
+            let w = s.world();
+            (
+                w.recorder.faults.events().to_vec(),
+                (0..3).map(|i| w.recorder.node(i).calibrations_hz.clone()).collect::<Vec<_>>(),
+                w.recorder.node(1).client_served.count(),
+                w.net.total_stats(),
+            )
+        };
+        let a = run(77);
+        let b = run(77);
+        assert_eq!(a, b);
+        assert!(!a.0.is_empty(), "randomized plan applied no faults");
     }
 }

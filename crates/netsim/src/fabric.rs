@@ -1,6 +1,7 @@
-//! The datagram fabric: delay, loss, interception, per-link statistics.
+//! The datagram fabric: delay, loss, partitions, duplication, reordering,
+//! interception, per-link statistics.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -39,6 +40,12 @@ pub struct LinkStats {
     pub attacker_delay_ns: u64,
     /// Duplicate datagrams re-injected by an interceptor.
     pub attacker_replayed: u64,
+    /// Datagrams dropped because the link was partitioned.
+    pub partition_dropped: u64,
+    /// Extra copies injected by fault-driven duplication.
+    pub duplicated: u64,
+    /// Datagrams given a fault-driven reordering delay.
+    pub reordered: u64,
 }
 
 /// The simulated network connecting all endpoints.
@@ -62,26 +69,38 @@ pub struct Network {
     default_delay: DelayModel,
     link_delay: HashMap<(Addr, Addr), DelayModel>,
     loss_probability: f64,
+    link_loss: HashMap<(Addr, Addr), f64>,
+    blocked: HashSet<(Addr, Addr)>,
+    duplicate_probability: f64,
+    reorder_probability: f64,
+    reorder_window: SimDuration,
     interceptors: Vec<Box<dyn Interceptor>>,
     stats: HashMap<(Addr, Addr), LinkStats>,
 }
 
+fn assert_probability(p: f64, what: &str) {
+    assert!((0.0..=1.0).contains(&p), "{what} must be in [0,1], got {p}");
+}
+
 impl Network {
     /// Creates a fabric with a default delay model and an i.i.d. loss
-    /// probability applied to every datagram.
+    /// probability applied to every datagram. `loss_probability == 1.0`
+    /// expresses a total-blackout fabric.
     ///
     /// # Panics
     ///
-    /// Panics unless `loss_probability ∈ [0, 1)`.
+    /// Panics unless `loss_probability ∈ [0, 1]`.
     pub fn new(default_delay: DelayModel, loss_probability: f64) -> Self {
-        assert!(
-            (0.0..1.0).contains(&loss_probability),
-            "loss probability must be in [0,1), got {loss_probability}"
-        );
+        assert_probability(loss_probability, "loss probability");
         Network {
             default_delay,
             link_delay: HashMap::new(),
             loss_probability,
+            link_loss: HashMap::new(),
+            blocked: HashSet::new(),
+            duplicate_probability: 0.0,
+            reorder_probability: 0.0,
+            reorder_window: SimDuration::ZERO,
             interceptors: Vec::new(),
             stats: HashMap::new(),
         }
@@ -90,6 +109,74 @@ impl Network {
     /// Overrides the delay model of one directed link.
     pub fn set_link_delay(&mut self, src: Addr, dst: Addr, model: DelayModel) {
         self.link_delay.insert((src, dst), model);
+    }
+
+    /// Overrides the loss probability of one directed link (`1.0` makes the
+    /// link a blackout without touching the rest of the fabric).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p ∈ [0, 1]`.
+    pub fn set_link_loss(&mut self, src: Addr, dst: Addr, p: f64) {
+        assert_probability(p, "link loss probability");
+        self.link_loss.insert((src, dst), p);
+    }
+
+    /// Removes a per-link loss override, reverting to the fabric default.
+    pub fn clear_link_loss(&mut self, src: Addr, dst: Addr) {
+        self.link_loss.remove(&(src, dst));
+    }
+
+    /// Blocks one directed link: every datagram on it is dropped (counted
+    /// as `partition_dropped`) until [`Network::heal_link`].
+    pub fn block_link(&mut self, src: Addr, dst: Addr) {
+        self.blocked.insert((src, dst));
+    }
+
+    /// Unblocks one directed link.
+    pub fn heal_link(&mut self, src: Addr, dst: Addr) {
+        self.blocked.remove(&(src, dst));
+    }
+
+    /// Blocks both directions between two endpoints (a symmetric
+    /// partition).
+    pub fn partition_pair(&mut self, a: Addr, b: Addr) {
+        self.block_link(a, b);
+        self.block_link(b, a);
+    }
+
+    /// Heals both directions between two endpoints.
+    pub fn heal_pair(&mut self, a: Addr, b: Addr) {
+        self.heal_link(a, b);
+        self.heal_link(b, a);
+    }
+
+    /// Whether a directed link is currently blocked by a partition.
+    pub fn is_blocked(&self, src: Addr, dst: Addr) -> bool {
+        self.blocked.contains(&(src, dst))
+    }
+
+    /// Sets the fabric-wide probability that a delivered datagram is
+    /// duplicated (the copy takes an independently sampled link delay).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p ∈ [0, 1]`.
+    pub fn set_duplication(&mut self, p: f64) {
+        assert_probability(p, "duplication probability");
+        self.duplicate_probability = p;
+    }
+
+    /// Sets the fabric-wide probability that a delivered datagram gets an
+    /// extra uniform `[0, window]` delay, letting later traffic overtake it.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p ∈ [0, 1]`.
+    pub fn set_reordering(&mut self, p: f64, window: SimDuration) {
+        assert_probability(p, "reorder probability");
+        self.reorder_probability = p;
+        self.reorder_window = window;
     }
 
     /// Installs an interceptor; interceptors see every datagram in order of
@@ -114,8 +201,19 @@ impl Network {
             total.attacker_delayed += s.attacker_delayed;
             total.attacker_delay_ns += s.attacker_delay_ns;
             total.attacker_replayed += s.attacker_replayed;
+            total.partition_dropped += s.partition_dropped;
+            total.duplicated += s.duplicated;
+            total.reordered += s.reordered;
         }
         total
+    }
+
+    /// Every directed link with traffic, with its counters, sorted by
+    /// `(src, dst)` so output is deterministic.
+    pub fn per_link_stats(&self) -> Vec<(Addr, Addr, LinkStats)> {
+        let mut rows: Vec<_> = self.stats.iter().map(|(&(src, dst), &s)| (src, dst, s)).collect();
+        rows.sort_by_key(|&(src, dst, _)| (src.0, dst.0));
+        rows
     }
 
     /// Sends a datagram: samples propagation delay, applies loss, runs
@@ -132,13 +230,30 @@ impl Network {
         let stats = self.stats.entry((src, dst)).or_default();
         stats.sent += 1;
 
-        if self.loss_probability > 0.0 && rng.gen_bool(self.loss_probability) {
+        if self.blocked.contains(&(src, dst)) {
+            stats.partition_dropped += 1;
+            return Vec::new();
+        }
+
+        let loss = self.link_loss.get(&(src, dst)).copied().unwrap_or(self.loss_probability);
+        if loss > 0.0 && rng.gen_bool(loss) {
             stats.lost += 1;
             return Vec::new();
         }
 
         let model = self.link_delay.get(&(src, dst)).unwrap_or(&self.default_delay);
         let mut delay = model.sample(rng);
+
+        // Fault-driven reordering: an extra uniform delay lets datagrams
+        // sent later overtake this one. Gated so a zero probability draws
+        // nothing from the RNG stream.
+        if self.reorder_probability > 0.0 && rng.gen_bool(self.reorder_probability) {
+            let window_ns = self.reorder_window.as_nanos();
+            if window_ns > 0 {
+                delay += SimDuration::from_nanos(rng.gen_range(0..=window_ns));
+            }
+            self.stats.entry((src, dst)).or_default().reordered += 1;
+        }
 
         let meta = MsgMeta { src, dst, size: payload.len(), send_time: now };
         let mut attacker_delay = SimDuration::ZERO;
@@ -163,6 +278,16 @@ impl Network {
         }
         delay += attacker_delay;
 
+        // Fault-driven duplication: the copy takes an independently sampled
+        // link delay, so it can land before or after the original.
+        let duplicate_delay =
+            if self.duplicate_probability > 0.0 && rng.gen_bool(self.duplicate_probability) {
+                let model = self.link_delay.get(&(src, dst)).unwrap_or(&self.default_delay);
+                Some(model.sample(rng) + attacker_delay)
+            } else {
+                None
+            };
+
         let stats = self.stats.entry((src, dst)).or_default();
         stats.delivered += 1;
         if delayed {
@@ -171,14 +296,22 @@ impl Network {
         }
         let original =
             (now + delay, Delivery { src, dst, payload: payload.clone(), send_time: now });
-        match replay_after {
+        let mut out = match replay_after {
             None => vec![original],
             Some(extra) => {
                 stats.attacker_replayed += 1;
-                let copy = (now + delay + extra, Delivery { src, dst, payload, send_time: now });
+                let copy = (
+                    now + delay + extra,
+                    Delivery { src, dst, payload: payload.clone(), send_time: now },
+                );
                 vec![original, copy]
             }
+        };
+        if let Some(dup_delay) = duplicate_delay {
+            stats.duplicated += 1;
+            out.push((now + dup_delay, Delivery { src, dst, payload, send_time: now }));
         }
+        out
     }
 }
 
@@ -337,5 +470,108 @@ mod tests {
     #[should_panic(expected = "loss probability")]
     fn invalid_loss_rejected() {
         Network::new(DelayModel::Constant(SimDuration::ZERO), 1.5);
+    }
+
+    #[test]
+    fn total_loss_is_a_blackout() {
+        let mut net = Network::new(DelayModel::Constant(SimDuration::ZERO), 1.0);
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..100 {
+            assert!(net.dispatch(SimTime::ZERO, &mut rng, Addr(1), Addr(2), vec![]).is_empty());
+        }
+        assert_eq!(net.link_stats(Addr(1), Addr(2)).lost, 100);
+    }
+
+    #[test]
+    fn per_link_loss_override_beats_default() {
+        let mut net = Network::new(DelayModel::Constant(SimDuration::ZERO), 0.0);
+        net.set_link_loss(Addr(1), Addr(2), 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(net.dispatch(SimTime::ZERO, &mut rng, Addr(1), Addr(2), vec![]).is_empty());
+        // Reverse direction keeps the lossless default.
+        assert_eq!(net.dispatch(SimTime::ZERO, &mut rng, Addr(2), Addr(1), vec![]).len(), 1);
+        net.clear_link_loss(Addr(1), Addr(2));
+        assert_eq!(net.dispatch(SimTime::ZERO, &mut rng, Addr(1), Addr(2), vec![]).len(), 1);
+        assert_eq!(net.link_stats(Addr(1), Addr(2)).lost, 1);
+    }
+
+    #[test]
+    fn partitions_block_and_heal_per_direction() {
+        let mut net = fixed_net(100);
+        net.partition_pair(Addr(1), Addr(2));
+        let mut rng = StdRng::seed_from_u64(8);
+        assert!(net.dispatch(SimTime::ZERO, &mut rng, Addr(1), Addr(2), vec![]).is_empty());
+        assert!(net.dispatch(SimTime::ZERO, &mut rng, Addr(2), Addr(1), vec![]).is_empty());
+        assert!(net.is_blocked(Addr(1), Addr(2)));
+        // Asymmetric heal: only 2→1 comes back.
+        net.heal_link(Addr(2), Addr(1));
+        assert!(net.dispatch(SimTime::ZERO, &mut rng, Addr(1), Addr(2), vec![]).is_empty());
+        assert_eq!(net.dispatch(SimTime::ZERO, &mut rng, Addr(2), Addr(1), vec![]).len(), 1);
+        net.heal_pair(Addr(1), Addr(2));
+        assert_eq!(net.dispatch(SimTime::ZERO, &mut rng, Addr(1), Addr(2), vec![]).len(), 1);
+        assert_eq!(net.link_stats(Addr(1), Addr(2)).partition_dropped, 2);
+        assert_eq!(net.link_stats(Addr(2), Addr(1)).partition_dropped, 1);
+        assert_eq!(net.total_stats().partition_dropped, 3);
+    }
+
+    #[test]
+    fn duplication_injects_extra_copies() {
+        let mut net = fixed_net(100);
+        net.set_duplication(1.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let out = net.dispatch(SimTime::ZERO, &mut rng, Addr(1), Addr(2), vec![5]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].1, out[1].1, "the copy is byte-identical");
+        assert_eq!(net.link_stats(Addr(1), Addr(2)).duplicated, 1);
+        assert_eq!(net.link_stats(Addr(1), Addr(2)).delivered, 1, "copies are not 'delivered'");
+        assert_eq!(net.total_stats().duplicated, 1);
+    }
+
+    #[test]
+    fn reordering_adds_bounded_extra_delay() {
+        let mut net = fixed_net(100);
+        net.set_reordering(1.0, SimDuration::from_millis(50));
+        let mut rng = StdRng::seed_from_u64(10);
+        let base = SimTime::ZERO + SimDuration::from_micros(100);
+        for _ in 0..100 {
+            let (at, _) = net
+                .dispatch(SimTime::ZERO, &mut rng, Addr(1), Addr(2), vec![])
+                .into_iter()
+                .next()
+                .unwrap();
+            assert!(at >= base && at <= base + SimDuration::from_millis(50));
+        }
+        assert_eq!(net.link_stats(Addr(1), Addr(2)).reordered, 100);
+        assert_eq!(net.total_stats().reordered, 100);
+    }
+
+    #[test]
+    fn fault_features_off_leave_the_rng_stream_untouched() {
+        let run = |enable: bool| {
+            let mut net = fixed_net(100);
+            if enable {
+                net.set_duplication(0.0);
+                net.set_reordering(0.0, SimDuration::from_millis(1));
+            }
+            let mut rng = StdRng::seed_from_u64(11);
+            (0..20)
+                .flat_map(|_| net.dispatch(SimTime::ZERO, &mut rng, Addr(1), Addr(2), vec![]))
+                .map(|(at, _)| at)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn per_link_stats_rows_are_sorted() {
+        let mut net = fixed_net(10);
+        let mut rng = StdRng::seed_from_u64(12);
+        for (s, d) in [(3, 1), (1, 2), (2, 1), (1, 3)] {
+            net.dispatch(SimTime::ZERO, &mut rng, Addr(s), Addr(d), vec![]);
+        }
+        let rows = net.per_link_stats();
+        let pairs: Vec<_> = rows.iter().map(|&(s, d, _)| (s.0, d.0)).collect();
+        assert_eq!(pairs, vec![(1, 2), (1, 3), (2, 1), (3, 1)]);
+        assert!(rows.iter().all(|&(_, _, st)| st.sent == 1));
     }
 }

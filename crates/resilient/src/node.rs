@@ -17,7 +17,8 @@ const TOKEN_PEER_TIMEOUT: u64 = 1 << 62;
 const TOKEN_PROBE_RETRY: u64 = 1 << 61;
 const TOKEN_DEADLINE: u64 = 1 << 60;
 const TOKEN_TA_CHECK: u64 = 1 << 59;
-const TOKEN_MASK: u64 = (1 << 59) - 1;
+const TOKEN_BREAKER: u64 = 1 << 58;
+const TOKEN_MASK: u64 = (1 << 58) - 1;
 
 /// What an outstanding TA exchange is for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +37,8 @@ struct PendingProbe {
     kind: ProbeKind,
     send_ticks: u64,
     aex_count_at_send: u64,
+    /// 0-based retransmission count within the current burst.
+    attempt: u32,
     retry: EventId,
 }
 
@@ -92,6 +95,15 @@ pub struct ResilientNode {
 
     epoch: u64,
     gossip_suspicion: u32,
+
+    // Fault tolerance: crash-recovery, retry bookkeeping, degradation.
+    crashed: bool,
+    timer_epoch: u64,
+    probe_failures: u32,
+    breaker_open: bool,
+    breaker_kind: Option<ProbeKind>,
+    degraded_since: Option<sim::SimTime>,
+
     next_nonce: u64,
 }
 
@@ -131,8 +143,25 @@ impl ResilientNode {
             refined: false,
             epoch: 0,
             gossip_suspicion: 0,
+            crashed: false,
+            timer_epoch: 0,
+            probe_failures: 0,
+            breaker_open: false,
+            breaker_kind: None,
+            degraded_since: None,
             next_nonce: 0,
         }
+    }
+
+    /// True while the node's platform is down (between `Crash` and
+    /// `Restart` fault events).
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// True while the TA circuit breaker is open (no TA traffic is sent).
+    pub fn breaker_is_open(&self) -> bool {
+        self.breaker_open
     }
 
     /// True once the long-window refinement replaced the bootstrap fit.
@@ -193,6 +222,14 @@ impl ResilientNode {
     fn enter_state(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, state: NodeStateTag) {
         self.state = state;
         let now = ctx.now();
+        match state {
+            NodeStateTag::Ok => self.degraded_since = None,
+            _ => {
+                if self.degraded_since.is_none() {
+                    self.degraded_since = Some(now);
+                }
+            }
+        }
         ctx.world.recorder.node_mut(self.index).states.enter(now, state);
     }
 
@@ -212,6 +249,15 @@ impl ResilientNode {
     }
 
     fn send_probe(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, kind: ProbeKind) {
+        self.send_probe_attempt(ctx, kind, 0);
+    }
+
+    fn send_probe_attempt(
+        &mut self,
+        ctx: &mut Ctx<'_, World, SysEvent>,
+        kind: ProbeKind,
+        attempt: u32,
+    ) {
         self.abandon_probe(ctx);
         let nonce = self.fresh_nonce();
         let sleep = match kind {
@@ -224,18 +270,61 @@ impl ResilientNode {
             World::TA_ADDR,
             &Message::CalibrationRequest { nonce, sleep_ns: sleep.as_nanos() },
         );
-        let retry = ctx.schedule_in(
-            sleep + self.cfg.base.probe_timeout,
-            SysEvent::timer(TOKEN_PROBE_RETRY | nonce),
-        );
+        let backoff =
+            self.cfg.base.probe_retry.backoff(self.cfg.base.probe_timeout, attempt, ctx.rng);
+        let retry = ctx.schedule_in(sleep + backoff, SysEvent::timer(TOKEN_PROBE_RETRY | nonce));
         let now = ctx.now();
         self.pending_probe = Some(PendingProbe {
             nonce,
             kind,
             send_ticks: ctx.world.read_tsc(self.me, now),
             aex_count_at_send: self.aex_count,
+            attempt,
             retry,
         });
+    }
+
+    /// The retry timer fired with the probe still outstanding: retransmit
+    /// under the backoff schedule, or trip the circuit breaker.
+    fn on_probe_timeout(
+        &mut self,
+        ctx: &mut Ctx<'_, World, SysEvent>,
+        kind: ProbeKind,
+        attempt: u32,
+    ) {
+        self.probe_failures = self.probe_failures.saturating_add(1);
+        let now = ctx.now();
+        ctx.world.recorder.node_mut(self.index).probe_retries.increment(now);
+
+        if let Some(breaker) = self.cfg.base.ta_breaker {
+            if self.probe_failures >= breaker.failure_threshold {
+                self.pending_probe = None;
+                // An unanswerable background cross-check is simply dropped;
+                // the breaker only queues stages the protocol depends on.
+                self.breaker_open = true;
+                self.breaker_kind = Some(kind);
+                ctx.world.recorder.node_mut(self.index).breaker_opens.increment(now);
+                ctx.schedule_in(
+                    breaker.cooldown,
+                    SysEvent::timer(TOKEN_BREAKER | (self.timer_epoch & TOKEN_MASK)),
+                );
+                return;
+            }
+        }
+        let next = attempt + 1;
+        let next = if self.cfg.base.probe_retry.exhausted(next) { 0 } else { next };
+        self.pending_probe = None;
+        self.send_probe_attempt(ctx, kind, next);
+    }
+
+    /// Cooldown elapsed: half-open trial probe for the stalled stage.
+    fn on_breaker_timer(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+        if !self.breaker_open {
+            return;
+        }
+        self.breaker_open = false;
+        let kind = self.breaker_kind.take().expect("open breaker remembers its probe kind");
+        self.send_probe_attempt(ctx, kind, 0);
     }
 
     fn send_next_speed_probe(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
@@ -263,6 +352,7 @@ impl ResilientNode {
         }
         self.pending_probe = None;
         ctx.cancel(probe.retry);
+        self.probe_failures = 0; // the TA is reachable again
 
         let now = ctx.now();
         let recv_ticks = ctx.world.read_tsc(self.me, now);
@@ -419,6 +509,9 @@ impl ResilientNode {
                 self.schedule_resume(ctx);
             }
             NodeStateTag::Tainted => self.schedule_resume(ctx),
+            // Crashed platforms take no interrupts (events are dropped
+            // before dispatch); unreachable, but harmless.
+            NodeStateTag::Crashed => {}
         }
     }
 
@@ -625,6 +718,98 @@ impl ResilientNode {
     }
 
     // ------------------------------------------------------------------
+    // Crash / recovery (fault injection)
+    // ------------------------------------------------------------------
+
+    /// The platform goes down: every piece of enclave state is lost except
+    /// the sealed monotonic serving floor (`last_served_ns`).
+    fn on_crash(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+        if self.crashed {
+            return;
+        }
+        self.crashed = true;
+        self.timer_epoch += 1;
+        self.abandon_probe(ctx);
+        self.abandon_round(ctx);
+        self.calibrator.reset();
+        self.f_calib_hz = None;
+        self.clock_valid = false;
+        self.taint_snapshot_ns = None;
+        self.resume_pending = false;
+        self.aex_count = 0;
+        self.rtt_rejects = 0;
+        self.extra_bound_ns = 0.0;
+        self.ta_samples.clear();
+        self.drift_bound_ppm = self.cfg.drift_bound_ppm_initial;
+        self.refined = false;
+        self.gossip_suspicion = 0;
+        self.probe_failures = 0;
+        self.breaker_open = false;
+        self.breaker_kind = None;
+        self.publish_clock(ctx.world);
+        let now = ctx.now();
+        ctx.world.recorder.node_mut(self.index).crashes.increment(now);
+        self.enter_state(ctx, NodeStateTag::Crashed);
+    }
+
+    /// The platform boots again: full recalibration before serving, fresh
+    /// periodic timer chains.
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+        if !self.crashed {
+            return;
+        }
+        self.crashed = false;
+        self.enter_state(ctx, NodeStateTag::FullCalib);
+        self.send_next_speed_probe(ctx);
+        if self.cfg.enable_deadline {
+            ctx.schedule_in(self.cfg.deadline, SysEvent::timer(self.epoch_token(TOKEN_DEADLINE)));
+        }
+        if self.cfg.enable_ta_cross_check {
+            ctx.schedule_in(
+                self.cfg.ta_check_interval,
+                SysEvent::timer(self.epoch_token(TOKEN_TA_CHECK)),
+            );
+        }
+    }
+
+    fn epoch_token(&self, kind: u64) -> u64 {
+        kind | (self.timer_epoch & TOKEN_MASK)
+    }
+
+    fn epoch_matches(&self, token: u64) -> bool {
+        token & TOKEN_MASK == self.timer_epoch & TOKEN_MASK
+    }
+
+    // ------------------------------------------------------------------
+    // Graceful degradation (staleness-aware readings)
+    // ------------------------------------------------------------------
+
+    /// Serves a degraded-tolerant reading. The uncertainty is the node's
+    /// standing self-assessed error bound plus a widening term while
+    /// degraded, so clients watch the bound grow under faults and snap
+    /// back after recalibration.
+    fn serve_reading(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) -> Option<wire::TimeReading> {
+        let now = ctx.now();
+        let ticks = ctx.world.read_tsc(self.me, now);
+        let mut uncertainty = self.error_bound_ns(ticks);
+        if let Some(t0) = self.degraded_since {
+            uncertainty += self.cfg.base.reading_drift_ppm * 1e-6 * (now - t0).as_nanos() as f64;
+        }
+        let estimate_ns = self.serve_ns(ticks)?;
+        let uncertainty_ns = uncertainty as u64;
+        ctx.world
+            .recorder
+            .node_mut(self.index)
+            .reading_uncertainty_ns
+            .push(now, uncertainty_ns as f64);
+        Some(wire::TimeReading {
+            estimate_ns,
+            uncertainty_ns,
+            degraded: self.state != NodeStateTag::Ok,
+        })
+    }
+
+    // ------------------------------------------------------------------
     // Messages
     // ------------------------------------------------------------------
 
@@ -711,6 +896,10 @@ impl ResilientNode {
                     &Message::ClientTimeResponse { nonce, timestamp_ns },
                 );
             }
+            Message::TimeReadingRequest { nonce } => {
+                let reading = self.serve_reading(ctx);
+                send_message(ctx, self.me, from, &Message::TimeReadingResponse { nonce, reading });
+            }
             _ => {}
         }
     }
@@ -730,9 +919,17 @@ impl Actor<World, SysEvent> for ResilientNode {
     }
 
     fn on_event(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, ev: SysEvent) {
+        if self.crashed {
+            if ev == SysEvent::Restart {
+                self.on_restart(ctx);
+            }
+            return;
+        }
         match ev {
             SysEvent::Aex { .. } => self.on_aex(ctx),
             SysEvent::AexResume => self.on_resume(ctx),
+            SysEvent::Crash => self.on_crash(ctx),
+            SysEvent::Restart => {} // not crashed: spurious restart
             SysEvent::Deliver(d) => {
                 if let Some(msg) = open_delivery(ctx.world, self.me, &d) {
                     self.on_message(ctx, d.src, msg);
@@ -740,26 +937,40 @@ impl Actor<World, SysEvent> for ResilientNode {
             }
             SysEvent::Timer { token } => {
                 if token & TOKEN_DEADLINE != 0 {
+                    if !self.epoch_matches(token) {
+                        return; // stale chain from before a crash
+                    }
                     if self.state == NodeStateTag::Ok && self.pending_round.is_none() {
                         let now = ctx.now();
                         ctx.world.recorder.node_mut(self.index).deadline_checks.increment(now);
                         self.start_round(ctx, true);
                     }
-                    ctx.schedule_in(self.cfg.deadline, SysEvent::timer(TOKEN_DEADLINE));
+                    ctx.schedule_in(
+                        self.cfg.deadline,
+                        SysEvent::timer(self.epoch_token(TOKEN_DEADLINE)),
+                    );
                 } else if token & TOKEN_TA_CHECK != 0 {
+                    if !self.epoch_matches(token) {
+                        return;
+                    }
                     if self.state == NodeStateTag::Ok && self.pending_probe.is_none() {
                         self.send_probe(ctx, ProbeKind::CrossCheck);
                     }
-                    ctx.schedule_in(self.cfg.ta_check_interval, SysEvent::timer(TOKEN_TA_CHECK));
+                    ctx.schedule_in(
+                        self.cfg.ta_check_interval,
+                        SysEvent::timer(self.epoch_token(TOKEN_TA_CHECK)),
+                    );
+                } else if token & TOKEN_BREAKER != 0 {
+                    if self.epoch_matches(token) {
+                        self.on_breaker_timer(ctx);
+                    }
                 } else if token & TOKEN_PEER_TIMEOUT != 0 {
                     self.on_round_timeout(ctx, token & TOKEN_MASK);
                 } else if token & TOKEN_PROBE_RETRY != 0 {
                     let nonce = token & TOKEN_MASK;
                     if let Some(probe) = self.pending_probe {
                         if probe.nonce == nonce {
-                            let kind = probe.kind;
-                            self.pending_probe = None;
-                            self.send_probe(ctx, kind);
+                            self.on_probe_timeout(ctx, probe.kind, probe.attempt);
                         }
                     }
                 }

@@ -13,6 +13,18 @@ use crate::event::SysEvent;
 use crate::messaging::{open_delivery, send_message};
 use crate::world::World;
 
+/// Which client-facing API the workload exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientMode {
+    /// The base all-or-nothing API: `ClientTimeRequest`, denied while the
+    /// node is tainted or calibrating.
+    Timestamp,
+    /// The graceful-degradation API: `TimeReadingRequest`, answered with a
+    /// monotonic estimate plus an explicit uncertainty bound even while
+    /// the node is degraded.
+    Reading,
+}
+
 /// Periodically requests timestamps from a node and records the outcomes
 /// into the target node's trace (`client_served` / `client_denied`).
 ///
@@ -20,13 +32,22 @@ use crate::world::World;
 ///
 /// The actor panics the simulation if the node ever serves a
 /// non-increasing timestamp — the one contract Triad must never break.
+/// In [`ClientMode::Reading`] the monotonicity contract applies to the
+/// reading estimates, across crashes and recalibrations included.
 #[derive(Debug)]
 pub struct ClientWorkload {
     me: Addr,
     target: Addr,
     target_index: usize,
     period: SimDuration,
+    mode: ClientMode,
     next_nonce: u64,
+    /// Nonce of the one request currently awaiting its answer. Responses
+    /// with any other nonce are duplicates (fabric-level duplication) or
+    /// stale reordered stragglers and are dropped — the network may replay
+    /// them, so they must not count as serves nor feed the monotonicity
+    /// check twice.
+    awaiting: Option<u64>,
     last_timestamp: u64,
 }
 
@@ -41,15 +62,52 @@ impl ClientWorkload {
     ///
     /// Panics if `target` is not a node address.
     pub fn new(me: Addr, target: Addr, period: SimDuration) -> Self {
+        Self::with_mode(me, target, period, ClientMode::Timestamp)
+    }
+
+    /// Creates a workload using the degraded-tolerant reading API.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not a node address.
+    pub fn new_reading(me: Addr, target: Addr, period: SimDuration) -> Self {
+        Self::with_mode(me, target, period, ClientMode::Reading)
+    }
+
+    /// Creates a workload with an explicit [`ClientMode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not a node address.
+    pub fn with_mode(me: Addr, target: Addr, period: SimDuration, mode: ClientMode) -> Self {
         assert!(target.0 >= 1, "clients query nodes, not the TA");
         ClientWorkload {
             me,
             target,
             target_index: (target.0 - 1) as usize,
             period,
+            mode,
             next_nonce: 0,
+            awaiting: None,
             last_timestamp: 0,
         }
+    }
+
+    fn record_serve(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, ts: u64) {
+        assert!(
+            ts > self.last_timestamp,
+            "{} served non-monotonic timestamp {ts} after {}",
+            self.target,
+            self.last_timestamp
+        );
+        self.last_timestamp = ts;
+        let now = ctx.now();
+        ctx.world.recorder.node_mut(self.target_index).client_served.increment(now);
+    }
+
+    fn record_denial(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+        let now = ctx.now();
+        ctx.world.recorder.node_mut(self.target_index).client_denied.increment(now);
     }
 }
 
@@ -62,35 +120,37 @@ impl Actor<World, SysEvent> for ClientWorkload {
         match ev {
             SysEvent::Timer { .. } => {
                 self.next_nonce += 1;
-                send_message(
-                    ctx,
-                    self.me,
-                    self.target,
-                    &Message::ClientTimeRequest { nonce: self.next_nonce },
-                );
+                self.awaiting = Some(self.next_nonce);
+                let req = match self.mode {
+                    ClientMode::Timestamp => Message::ClientTimeRequest { nonce: self.next_nonce },
+                    ClientMode::Reading => Message::TimeReadingRequest { nonce: self.next_nonce },
+                };
+                send_message(ctx, self.me, self.target, &req);
                 ctx.schedule_in(self.period, SysEvent::timer(0));
             }
-            SysEvent::Deliver(d) => {
-                if let Some(Message::ClientTimeResponse { timestamp_ns, .. }) =
-                    open_delivery(ctx.world, self.me, &d)
-                {
-                    let now = ctx.now();
-                    let trace = ctx.world.recorder.node_mut(self.target_index);
+            SysEvent::Deliver(d) => match open_delivery(ctx.world, self.me, &d) {
+                Some(Message::ClientTimeResponse { nonce, timestamp_ns }) => {
+                    if self.awaiting != Some(nonce) {
+                        return;
+                    }
+                    self.awaiting = None;
                     match timestamp_ns {
-                        Some(ts) => {
-                            assert!(
-                                ts > self.last_timestamp,
-                                "{} served non-monotonic timestamp {ts} after {}",
-                                self.target,
-                                self.last_timestamp
-                            );
-                            self.last_timestamp = ts;
-                            trace.client_served.increment(now);
-                        }
-                        None => trace.client_denied.increment(now),
+                        Some(ts) => self.record_serve(ctx, ts),
+                        None => self.record_denial(ctx),
                     }
                 }
-            }
+                Some(Message::TimeReadingResponse { nonce, reading }) => {
+                    if self.awaiting != Some(nonce) {
+                        return;
+                    }
+                    self.awaiting = None;
+                    match reading {
+                        Some(r) => self.record_serve(ctx, r.estimate_ns),
+                        None => self.record_denial(ctx),
+                    }
+                }
+                _ => {}
+            },
             _ => {}
         }
     }

@@ -30,6 +30,14 @@ pub enum SysEvent {
     },
     /// Periodic metrics sampling tick (driven by the [`crate::Sampler`]).
     Sample,
+    /// The node's platform crashes: all enclave state (calibration,
+    /// pending probes, peer rounds) is lost. Only a sealed monotonic
+    /// serving floor survives, as Triad persists it outside the enclave.
+    /// The node ignores every event until [`SysEvent::Restart`].
+    Crash,
+    /// The crashed node boots again and must re-enter FullCalib from
+    /// scratch before serving time.
+    Restart,
 }
 
 impl SysEvent {

@@ -27,7 +27,7 @@ mod messaging;
 mod sampler;
 mod world;
 
-pub use client::ClientWorkload;
+pub use client::{ClientMode, ClientWorkload};
 pub use env::EnvDriver;
 pub use event::SysEvent;
 pub use keys::{link_aad, KeyTable};

@@ -82,6 +82,10 @@ pub struct World {
     pub recorder: Recorder,
     /// Pairwise AEAD sessions.
     pub keys: KeyTable,
+    /// Whether the Time Authority is up. Fault drivers clear this during
+    /// TA-outage windows; the authority actor drops all traffic (and
+    /// pending held responses) while it is `false`.
+    pub ta_online: bool,
     actors: HashMap<Addr, ActorId>,
 }
 
@@ -95,6 +99,7 @@ impl World {
             clocks: vec![ClockState::default(); n],
             recorder: Recorder::for_nodes(n),
             keys: KeyTable::new(),
+            ta_online: true,
             actors: HashMap::new(),
         }
     }

@@ -22,7 +22,9 @@ mod series;
 mod timeline;
 
 pub use counter::StepCounter;
-pub use recorder::{NodeTrace, Recorder};
-pub use render::{ascii_chart, ascii_gantt, render_table, write_csv};
+pub use recorder::{FaultLog, NodeTrace, Recorder};
+pub use render::{
+    ascii_chart, ascii_fault_overlay, ascii_gantt, availability_report, render_table, write_csv,
+};
 pub use series::TimeSeries;
 pub use timeline::{NodeStateTag, Segment, StateTimeline};

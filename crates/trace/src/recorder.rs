@@ -41,6 +41,17 @@ pub struct NodeTrace {
     /// Client workload: requests answered "unavailable" (tainted or
     /// calibrating).
     pub client_denied: StepCounter,
+    /// Fault injection: platform crashes suffered by this node.
+    pub crashes: StepCounter,
+    /// Hardened protocol: calibration probes retransmitted after a timeout
+    /// (retry/backoff pressure under loss or TA outage).
+    pub probe_retries: StepCounter,
+    /// Hardened protocol: times the TA circuit breaker opened after
+    /// repeated unreachability.
+    pub breaker_opens: StepCounter,
+    /// Degraded-mode client readings: self-assessed uncertainty half-width
+    /// (ns) attached to each served `TimeReading`.
+    pub reading_uncertainty_ns: TimeSeries,
 }
 
 impl NodeTrace {
@@ -55,17 +66,60 @@ impl NodeTrace {
     }
 }
 
+/// A run-level log of injected faults: when each fault fired and a short
+/// stable label of what it was. Rendered as the overlay row under state
+/// timelines and exported alongside the availability report.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultLog {
+    events: Vec<(SimTime, String)>,
+}
+
+impl FaultLog {
+    /// Records that a fault labelled `label` fired at `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the previous entry (faults are applied in
+    /// simulation order).
+    pub fn push(&mut self, t: SimTime, label: impl Into<String>) {
+        if let Some(&(last, _)) = self.events.last() {
+            assert!(t >= last, "fault log entries must be in time order");
+        }
+        self.events.push((t, label.into()));
+    }
+
+    /// All logged faults in time order.
+    pub fn events(&self) -> &[(SimTime, String)] {
+        &self.events
+    }
+
+    /// Number of logged faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no fault fired.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
 /// All traces of one simulation run, indexed by node (0-based; node ids in
 /// plots are 1-based like the paper's).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Recorder {
     nodes: Vec<NodeTrace>,
+    /// Run-level fault-injection overlay (empty in fault-free runs).
+    pub faults: FaultLog,
 }
 
 impl Recorder {
     /// Creates a recorder for `n` nodes labelled "Node 1" … "Node n".
     pub fn for_nodes(n: usize) -> Self {
-        Recorder { nodes: (1..=n).map(|i| NodeTrace::new(format!("Node {i}"))).collect() }
+        Recorder {
+            nodes: (1..=n).map(|i| NodeTrace::new(format!("Node {i}"))).collect(),
+            faults: FaultLog::default(),
+        }
     }
 
     /// Number of nodes tracked.

@@ -78,7 +78,7 @@ pub fn ascii_chart(series: &[(&str, &TimeSeries)], width: usize, height: usize) 
 
 /// Renders node state timelines as an ASCII Gantt chart over `[from, to]`
 /// (the Figure 3b timing diagram). One row per node; glyphs: `F` FullCalib,
-/// `R` RefCalib, `T` Tainted, `·` OK.
+/// `R` RefCalib, `T` Tainted, `·` OK, `X` Crashed.
 pub fn ascii_gantt(
     timelines: &[(&str, &StateTimeline)],
     from: SimTime,
@@ -97,6 +97,7 @@ pub fn ascii_gantt(
                 NodeStateTag::RefCalib => b'R',
                 NodeStateTag::Tainted => b'T',
                 NodeStateTag::Ok => b'.',
+                NodeStateTag::Crashed => b'X',
             };
             let x0 = ((seg.from - from).as_secs_f64() / span * (width - 1) as f64) as usize;
             let x1 = ((seg.to - from).as_secs_f64() / span * (width - 1) as f64) as usize;
@@ -116,7 +117,95 @@ pub fn ascii_gantt(
         to.as_secs_f64(),
         width = width - 8
     ));
-    out.push_str("         F=FullCalib R=RefCalib T=Tainted .=OK\n");
+    out.push_str("         F=FullCalib R=RefCalib T=Tainted .=OK X=Crashed\n");
+    out
+}
+
+/// Renders the fault-injection overlay row that belongs under an
+/// [`ascii_gantt`] with the same `[from, to]` window and `width`: one
+/// marker per applied fault (digits `1`–`9`, then `a`–`z`, `*` beyond
+/// that; `#` where two faults share a cell), followed by a legend mapping
+/// each marker to its firing time and label.
+pub fn ascii_fault_overlay(
+    faults: &crate::FaultLog,
+    from: SimTime,
+    to: SimTime,
+    width: usize,
+) -> String {
+    assert!(width >= 16, "overlay too narrow");
+    assert!(from < to, "overlay window must be non-empty");
+    if faults.is_empty() {
+        return String::from("  faults │ (none)\n");
+    }
+    let span = (to - from).as_secs_f64();
+    let mut row = vec![b' '; width];
+    let mut out = String::new();
+    let mut legend = String::new();
+    for (idx, (t, label)) in faults.events().iter().enumerate() {
+        let marker = char::from_digit(idx as u32 + 1, 36).map_or(b'*', |c| c as u8);
+        legend.push_str(&format!(
+            "         [{}] t={:.1}s {label}\n",
+            char::from(marker),
+            t.as_secs_f64()
+        ));
+        if *t < from || *t > to {
+            continue;
+        }
+        let x = ((*t - from).as_secs_f64() / span * (width - 1) as f64) as usize;
+        row[x] = if row[x] == b' ' { marker } else { b'#' };
+    }
+    out.push_str(&format!("  faults │{}│\n", std::str::from_utf8(&row).expect("ascii")));
+    out.push_str(&legend);
+    out
+}
+
+/// Renders the availability-under-faults report for one run: a table with
+/// each node's state-machine availability over `[from, to]`, its
+/// client-observed service ratio, and its fault-response counters, plus the
+/// number of injected faults.
+pub fn availability_report(recorder: &crate::Recorder, from: SimTime, to: SimTime) -> String {
+    assert!(from < to, "report window must be non-empty");
+    let rows: Vec<Vec<String>> = recorder
+        .iter()
+        .map(|t| {
+            let served = t.client_served.count_in(from, to);
+            let denied = t.client_denied.count_in(from, to);
+            let client_ratio = if served + denied == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.3}", served as f64 / (served + denied) as f64)
+            };
+            vec![
+                t.label.clone(),
+                format!("{:.3}", t.states.availability(from, to)),
+                client_ratio,
+                served.to_string(),
+                denied.to_string(),
+                t.crashes.count_in(from, to).to_string(),
+                t.probe_retries.count_in(from, to).to_string(),
+                t.breaker_opens.count_in(from, to).to_string(),
+            ]
+        })
+        .collect();
+    let mut out = render_table(
+        &[
+            "node",
+            "state_avail",
+            "client_avail",
+            "served",
+            "denied",
+            "crashes",
+            "retries",
+            "breaker",
+        ],
+        &rows,
+    );
+    out.push_str(&format!(
+        "faults injected: {} over [{:.0}s, {:.0}s]\n",
+        recorder.faults.len(),
+        from.as_secs_f64(),
+        to.as_secs_f64()
+    ));
     out
 }
 
@@ -248,6 +337,51 @@ mod tests {
     #[should_panic(expected = "width mismatch")]
     fn table_row_mismatch_panics() {
         render_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn fault_overlay_markers_and_legend() {
+        let mut log = crate::FaultLog::default();
+        log.push(SimTime::from_secs(10), "ta-outage");
+        log.push(SimTime::from_secs(10), "crash node1");
+        log.push(SimTime::from_secs(70), "ta-restore");
+        log.push(SimTime::from_secs(200), "after the window");
+        let o = ascii_fault_overlay(&log, SimTime::ZERO, SimTime::from_secs(100), 40);
+        // Two faults at t=10 share a cell → '#'; t=70 gets marker '3'.
+        assert!(o.contains('#'), "collision marker missing:\n{o}");
+        assert!(o.contains('3'), "third marker missing:\n{o}");
+        assert!(o.contains("[1] t=10.0s ta-outage"));
+        assert!(o.contains("[4] t=200.0s after the window"));
+        // The out-of-window fault appears in the legend but not the row.
+        assert!(!o.lines().next().unwrap().contains('4'));
+    }
+
+    #[test]
+    fn fault_overlay_empty_log() {
+        let log = crate::FaultLog::default();
+        let o = ascii_fault_overlay(&log, SimTime::ZERO, SimTime::from_secs(10), 40);
+        assert!(o.contains("(none)"));
+    }
+
+    #[test]
+    fn availability_report_summarises_nodes() {
+        let mut r = crate::Recorder::for_nodes(2);
+        let t0 = r.node_mut(0);
+        t0.states.enter(SimTime::ZERO, NodeStateTag::FullCalib);
+        t0.states.enter(SimTime::from_secs(5), NodeStateTag::Ok);
+        for i in 0..9 {
+            t0.client_served.increment(SimTime::from_secs(10 + i));
+        }
+        t0.client_denied.increment(SimTime::from_secs(2));
+        t0.crashes.increment(SimTime::from_secs(50));
+        r.node_mut(1).states.enter(SimTime::ZERO, NodeStateTag::Ok);
+        r.faults.push(SimTime::from_secs(50), "crash node1");
+        let report = availability_report(&r, SimTime::ZERO, SimTime::from_secs(100));
+        assert!(report.contains("Node 1"), "{report}");
+        assert!(report.contains("0.950"), "9/10 client ratio missing:\n{report}");
+        // Node 2 had no client traffic → '-' placeholder.
+        assert!(report.contains(" - "), "{report}");
+        assert!(report.contains("faults injected: 1"), "{report}");
     }
 
     #[test]

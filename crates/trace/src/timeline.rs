@@ -17,12 +17,20 @@ pub enum NodeStateTag {
     Tainted,
     /// Serving trusted timestamps.
     Ok,
+    /// The node's platform is down (fault injection); all enclave state is
+    /// lost and no events are processed until restart.
+    Crashed,
 }
 
 impl NodeStateTag {
     /// All states, in diagram order.
-    pub const ALL: [NodeStateTag; 4] =
-        [NodeStateTag::FullCalib, NodeStateTag::RefCalib, NodeStateTag::Tainted, NodeStateTag::Ok];
+    pub const ALL: [NodeStateTag; 5] = [
+        NodeStateTag::FullCalib,
+        NodeStateTag::RefCalib,
+        NodeStateTag::Tainted,
+        NodeStateTag::Ok,
+        NodeStateTag::Crashed,
+    ];
 
     /// Short label used in plots and CSVs.
     pub fn label(self) -> &'static str {
@@ -31,6 +39,7 @@ impl NodeStateTag {
             NodeStateTag::RefCalib => "RefCalib",
             NodeStateTag::Tainted => "Tainted",
             NodeStateTag::Ok => "OK",
+            NodeStateTag::Crashed => "Crashed",
         }
     }
 
@@ -155,8 +164,10 @@ mod tests {
     fn state_tags() {
         assert!(NodeStateTag::Ok.is_available());
         assert!(!NodeStateTag::Tainted.is_available());
+        assert!(!NodeStateTag::Crashed.is_available());
         assert_eq!(NodeStateTag::FullCalib.to_string(), "FullCalib");
-        assert_eq!(NodeStateTag::ALL.len(), 4);
+        assert_eq!(NodeStateTag::Crashed.to_string(), "Crashed");
+        assert_eq!(NodeStateTag::ALL.len(), 5);
     }
 
     #[test]

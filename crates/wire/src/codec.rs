@@ -17,6 +17,8 @@ const TAG_CLIENT_RESP: u8 = 6;
 const TAG_INTERVAL_REQ: u8 = 7;
 const TAG_INTERVAL_RESP: u8 = 8;
 const TAG_CHIMER_ANNOUNCE: u8 = 9;
+const TAG_READING_REQ: u8 = 10;
+const TAG_READING_RESP: u8 = 11;
 
 /// A message failed to decode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,6 +111,23 @@ impl Message {
                     buf.put_u16(c.0);
                 }
             }
+            Message::TimeReadingRequest { nonce } => {
+                buf.put_u8(TAG_READING_REQ);
+                buf.put_u64(*nonce);
+            }
+            Message::TimeReadingResponse { nonce, reading } => {
+                buf.put_u8(TAG_READING_RESP);
+                buf.put_u64(*nonce);
+                match reading {
+                    Some(r) => {
+                        buf.put_u8(1);
+                        buf.put_u64(r.estimate_ns);
+                        buf.put_u64(r.uncertainty_ns);
+                        buf.put_u8(u8::from(r.degraded));
+                    }
+                    None => buf.put_u8(0),
+                }
+            }
         }
         buf.to_vec()
     }
@@ -171,6 +190,24 @@ impl Message {
                 }
                 Message::ChimerAnnouncement { epoch, chimers }
             }
+            TAG_READING_REQ => Message::TimeReadingRequest { nonce: get_u64(&mut buf)? },
+            TAG_READING_RESP => {
+                let nonce = get_u64(&mut buf)?;
+                let reading = match get_u8(&mut buf)? {
+                    0 => None,
+                    1 => Some(crate::message::TimeReading {
+                        estimate_ns: get_u64(&mut buf)?,
+                        uncertainty_ns: get_u64(&mut buf)?,
+                        degraded: match get_u8(&mut buf)? {
+                            0 => false,
+                            1 => true,
+                            _ => return Err(DecodeError::InvalidValue),
+                        },
+                    }),
+                    _ => return Err(DecodeError::InvalidValue),
+                };
+                Message::TimeReadingResponse { nonce, reading }
+            }
             other => return Err(DecodeError::UnknownTag(other)),
         };
         if buf.has_remaining() {
@@ -231,6 +268,16 @@ mod tests {
             chimers: vec![NodeId(1), NodeId(2), NodeId(9)],
         });
         round_trip(Message::ChimerAnnouncement { epoch: 0, chimers: vec![] });
+        round_trip(Message::TimeReadingRequest { nonce: 4 });
+        round_trip(Message::TimeReadingResponse { nonce: 4, reading: None });
+        round_trip(Message::TimeReadingResponse {
+            nonce: 4,
+            reading: Some(crate::message::TimeReading {
+                estimate_ns: 1_000_000_007,
+                uncertainty_ns: 2_500_000,
+                degraded: true,
+            }),
+        });
     }
 
     #[test]

@@ -27,6 +27,23 @@ impl std::fmt::Display for NodeId {
     }
 }
 
+/// A degraded-mode timestamp: a best-effort estimate plus an explicit
+/// self-assessed uncertainty half-width.
+///
+/// While a node is Tainted or cut off from the TA it keeps serving
+/// monotonic estimates, but the uncertainty widens with staleness; after a
+/// successful recalibration it collapses back to the node's base bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeReading {
+    /// Monotonic best-effort timestamp (ns of reference time).
+    pub estimate_ns: u64,
+    /// Half-width of the node's confidence interval around the estimate.
+    pub uncertainty_ns: u64,
+    /// True when the node served this reading outside its OK state
+    /// (tainted, recalibrating, or TA-partitioned).
+    pub degraded: bool,
+}
+
 /// Every message of the Triad protocol and its hardened extension.
 ///
 /// Timestamps are nanoseconds of reference time; `nonce` fields match a
@@ -107,6 +124,21 @@ pub enum Message {
         /// Ids the announcer deems consistent with its own clock.
         chimers: Vec<NodeId>,
     },
+    /// Client → node (hardened protocol): request for a degraded-tolerant
+    /// [`TimeReading`] instead of an all-or-nothing timestamp.
+    TimeReadingRequest {
+        /// Request/response correlation value.
+        nonce: u64,
+    },
+    /// Node → client (hardened protocol): a monotonic estimate with an
+    /// explicit uncertainty bound; `None` only before the first
+    /// calibration ever completed (no estimate exists at all).
+    TimeReadingResponse {
+        /// Echo of the request nonce.
+        nonce: u64,
+        /// The reading, absent only while no clock estimate exists.
+        reading: Option<TimeReading>,
+    },
 }
 
 impl Message {
@@ -122,6 +154,8 @@ impl Message {
             Message::IntervalRequest { .. } => "interval_req",
             Message::IntervalResponse { .. } => "interval_resp",
             Message::ChimerAnnouncement { .. } => "chimer_announce",
+            Message::TimeReadingRequest { .. } => "reading_req",
+            Message::TimeReadingResponse { .. } => "reading_resp",
         }
     }
 }
@@ -155,6 +189,8 @@ mod tests {
                 tainted: false,
             },
             Message::ChimerAnnouncement { epoch: 0, chimers: vec![] },
+            Message::TimeReadingRequest { nonce: 0 },
+            Message::TimeReadingResponse { nonce: 0, reading: None },
         ];
         let mut kinds: Vec<_> = msgs.iter().map(|m| m.kind()).collect();
         kinds.sort_unstable();

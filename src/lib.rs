@@ -43,6 +43,7 @@
 //! | [`triad`] | **the Triad protocol node** |
 //! | [`attacks`] | F+/F– delay attacks, AEX control, TSC manipulation |
 //! | [`resilient`] | the §V hardened protocol |
+//! | [`faults`] | cross-layer fault injection (chaos plans + driver) |
 //! | [`harness`] | scenario builder tying everything together |
 //! | [`experiments`] | regeneration of every paper figure/table |
 
@@ -52,6 +53,7 @@
 pub use attacks;
 pub use authority;
 pub use experiments;
+pub use faults;
 pub use harness;
 pub use netsim;
 pub use resilient;

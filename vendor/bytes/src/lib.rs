@@ -1,0 +1,201 @@
+//! Vendored, API-compatible subset of the `bytes` crate: the cursor
+//! ([`Bytes`]) and builder ([`BytesMut`]) types plus the [`Buf`]/[`BufMut`]
+//! trait methods the wire codec uses. Backed by plain `Vec<u8>` — zero-copy
+//! sharing is not reproduced (and not needed here).
+
+#![forbid(unsafe_code)]
+
+/// Read access to a contiguous byte buffer with an advancing cursor.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Whether any bytes are left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when empty.
+    fn get_u8(&mut self) -> u8;
+
+    /// Reads a big-endian `u16`, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than 2 bytes remain.
+    fn get_u16(&mut self) -> u16;
+
+    /// Reads a big-endian `u32`, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than 4 bytes remain.
+    fn get_u32(&mut self) -> u32;
+
+    /// Reads a big-endian `u64`, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than 8 bytes remain.
+    fn get_u64(&mut self) -> u64;
+}
+
+/// Write access to a growable byte buffer.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16);
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32);
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64);
+
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+/// An immutable byte buffer consumed through a cursor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Copies `data` into an owned buffer with the cursor at the start.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes { data: data.to_vec(), pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(self.remaining() >= n, "buffer underflow: need {n}, have {}", self.remaining());
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        out
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes(self.take(2).try_into().expect("2 bytes"))
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+}
+
+/// A growable byte buffer for message assembly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer with `capacity` reserved.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(capacity) }
+    }
+
+    /// The accumulated bytes.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Freezes into an immutable [`Bytes`] cursor.
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data, pos: 0 }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u8(7);
+        b.put_u16(0xBEEF);
+        b.put_u32(0xDEAD_BEEF);
+        b.put_u64(0x0123_4567_89AB_CDEF);
+        b.put_slice(&[1, 2, 3]);
+        let mut r = Bytes::copy_from_slice(&b.to_vec());
+        assert_eq!(r.remaining(), 1 + 2 + 4 + 8 + 3);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16(), 0xBEEF);
+        assert_eq!(r.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.get_u8(), 1);
+        assert!(r.has_remaining());
+        assert_eq!(r.get_u8(), 2);
+        assert_eq!(r.get_u8(), 3);
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut r = Bytes::copy_from_slice(&[1]);
+        let _ = r.get_u16();
+    }
+
+    #[test]
+    fn big_endian_layout() {
+        let mut b = BytesMut::with_capacity(2);
+        b.put_u16(0x0102);
+        assert_eq!(b.to_vec(), vec![1, 2]);
+    }
+}

@@ -1,0 +1,260 @@
+//! Vendored, API-compatible subset of the `criterion` crate.
+//!
+//! Provides the macro/entry-point surface the workspace benches use
+//! (`criterion_group!` in both plain and `name/config/targets` form,
+//! `criterion_main!`, `Criterion`, `BenchmarkGroup`, `Throughput`,
+//! `black_box`) with a deliberately simple wall-clock harness: each
+//! benchmark runs a calibration pass, then `sample_size` timed samples,
+//! and reports the median per-iteration time. No statistical analysis,
+//! HTML reports, or baseline comparison — enough to smoke-run benches
+//! offline and get order-of-magnitude numbers.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: prevents the optimizer from deleting the
+/// computation that produced `value`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`, accumulating into the sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time before sampling starts.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(self, &id, None, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to report rates for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_benchmark(self.criterion, &id, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F>(c: &Criterion, id: &str, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibration: find an iteration count whose sample is long enough to
+    // time meaningfully, bounded so huge benches still finish.
+    let mut iters = 1u64;
+    let per_iter = loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+            break b.elapsed.as_secs_f64() / iters as f64;
+        }
+        iters *= 4;
+    };
+
+    // Pick an iteration count per sample so total time ≈ measurement_time.
+    let budget = c.measurement_time.as_secs_f64() / c.sample_size as f64;
+    let iters = ((budget / per_iter.max(1e-12)) as u64).clamp(1, 1 << 24);
+
+    // Warm-up.
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < c.warm_up_time {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+    }
+
+    let mut samples: Vec<f64> = (0..c.sample_size)
+        .map(|_| {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            b.elapsed.as_secs_f64() / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timing"));
+    let median = samples[samples.len() / 2];
+
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>10.1} MiB/s", n as f64 / median / (1 << 20) as f64)
+        }
+        Some(Throughput::Elements(n)) => format!("  {:>10.1} elem/s", n as f64 / median),
+        None => String::new(),
+    };
+    println!("bench {id:<50} {:>12}/iter{rate}", format_time(median));
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's two forms:
+/// `criterion_group!(name, target, ...)` and
+/// `criterion_group!(name = n; config = expr; targets = t, ...)`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` that runs each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench forwards harness flags (e.g. --bench); accepted
+            // and ignored by this offline harness.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(4))
+            .warm_up_time(Duration::from_millis(1));
+        let mut runs = 0u64;
+        c.bench_function("smoke/add", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(2u64 + 2)
+            })
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn group_with_throughput() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(4))
+            .warm_up_time(Duration::from_millis(1));
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(64));
+        group.bench_function("xor", |b| b.iter(|| black_box(0xFFu8 ^ 0x0F)));
+        group.finish();
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(format_time(5e-9).ends_with("ns"));
+        assert!(format_time(5e-6).ends_with("µs"));
+        assert!(format_time(5e-3).ends_with("ms"));
+        assert!(format_time(5.0).ends_with('s'));
+    }
+}

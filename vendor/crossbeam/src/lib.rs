@@ -1,0 +1,92 @@
+//! Vendored, API-compatible subset of the `crossbeam` crate: scoped
+//! threads, implemented on top of `std::thread::scope` (stable since
+//! Rust 1.63). Only the `thread::scope` entry point the experiment
+//! runner uses is provided.
+
+#![forbid(unsafe_code)]
+
+/// Scoped thread spawning (subset of `crossbeam::thread`).
+pub mod thread {
+    /// Handle for spawning threads tied to a scope's lifetime.
+    ///
+    /// Wraps [`std::thread::Scope`]; the crossbeam API passes the scope by
+    /// shared reference into each spawned closure, which this mirrors.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, yielding its result or the
+        /// panic payload.
+        pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope so it can
+        /// spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Runs `f` with a scope in which threads borrowing from the enclosing
+    /// stack frame can be spawned; all are joined before return.
+    ///
+    /// # Errors
+    ///
+    /// Returns the panic payload of the first panicking child thread, to
+    /// match crossbeam's signature. (`std::thread::scope` itself resumes
+    /// unwinding on child panic, so in practice the `Err` arm is
+    /// unreachable here — callers treating it as fatal behave identically.)
+    #[allow(clippy::missing_panics_doc)]
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| {
+            let wrapper = Scope { inner: s };
+            f(&wrapper)
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = thread::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let r = thread::scope(|s| {
+            let h = s.spawn(|s2| {
+                let inner = s2.spawn(|_| 21);
+                inner.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 42);
+    }
+}

@@ -1,0 +1,318 @@
+//! Vendored, API-compatible subset of the `rand` crate.
+//!
+//! The build environment has no crates.io access, so the workspace ships
+//! the slice of `rand 0.8` it actually uses: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], and the [`Rng`] methods `gen_range`,
+//! `gen_bool`, `gen`, and `fill`.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — deterministic,
+//! fast, and statistically strong enough for every tolerance-based test in
+//! the workspace. It is **not** the upstream ChaCha-based `StdRng`, so
+//! absolute draw sequences differ from genuine `rand`; everything in this
+//! repository derives expectations from its own seeded runs, never from
+//! upstream streams.
+
+#![forbid(unsafe_code)]
+
+/// Random number generator types.
+pub mod rngs {
+    /// The workspace's standard deterministic RNG (xoshiro256++ core).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+use rngs::StdRng;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl StdRng {
+    fn next_u64_impl(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Construction of RNGs from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose entire stream is a function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
+        StdRng { s }
+    }
+}
+
+/// A type that can be sampled uniformly from a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Samples uniformly from `[lo, hi)`.
+    fn sample_half_open(rng: &mut StdRng, lo: Self, hi: Self) -> Self;
+    /// Samples uniformly from `[lo, hi]`.
+    fn sample_inclusive(rng: &mut StdRng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[allow(clippy::cast_lossless, clippy::cast_possible_truncation)]
+            fn sample_half_open(rng: &mut StdRng, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                let draw = ((rng.next_u64_impl() as u128) << 64 | rng.next_u64_impl() as u128)
+                    % span;
+                (lo as i128 + draw as i128) as $t
+            }
+            #[allow(clippy::cast_lossless, clippy::cast_possible_truncation)]
+            fn sample_inclusive(rng: &mut StdRng, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = ((rng.next_u64_impl() as u128) << 64 | rng.next_u64_impl() as u128)
+                    % span;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_half_open(rng: &mut StdRng, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range: empty range");
+        let unit = (rng.next_u64_impl() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + (hi - lo) * unit
+    }
+    fn sample_inclusive(rng: &mut StdRng, lo: Self, hi: Self) -> Self {
+        Self::sample_half_open(rng, lo, hi.max(lo + f64::EPSILON * hi.abs().max(1.0)))
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_half_open(rng: &mut StdRng, lo: Self, hi: Self) -> Self {
+        f64::sample_half_open(rng, lo as f64, hi as f64) as f32
+    }
+    fn sample_inclusive(rng: &mut StdRng, lo: Self, hi: Self) -> Self {
+        f64::sample_inclusive(rng, lo as f64, hi as f64) as f32
+    }
+}
+
+/// A range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample(self, rng: &mut StdRng) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample(self, rng: &mut StdRng) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample(self, rng: &mut StdRng) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// A value producible by [`Rng::gen`].
+pub trait Standard {
+    /// Draws one value.
+    fn draw(rng: &mut StdRng) -> Self;
+}
+
+impl Standard for u64 {
+    fn draw(rng: &mut StdRng) -> Self {
+        rng.next_u64_impl()
+    }
+}
+
+impl Standard for u32 {
+    fn draw(rng: &mut StdRng) -> Self {
+        (rng.next_u64_impl() >> 32) as u32
+    }
+}
+
+impl Standard for u8 {
+    fn draw(rng: &mut StdRng) -> Self {
+        (rng.next_u64_impl() >> 56) as u8
+    }
+}
+
+impl Standard for bool {
+    fn draw(rng: &mut StdRng) -> Self {
+        rng.next_u64_impl() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn draw(rng: &mut StdRng) -> Self {
+        (rng.next_u64_impl() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A destination fillable with random bytes.
+pub trait Fill {
+    /// Fills `self` with bytes from `rng`.
+    fn fill_from(&mut self, rng: &mut StdRng);
+}
+
+impl Fill for [u8] {
+    fn fill_from(&mut self, rng: &mut StdRng) {
+        for chunk in self.chunks_mut(8) {
+            let bytes = rng.next_u64_impl().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+    }
+}
+
+impl<const N: usize> Fill for [u8; N] {
+    fn fill_from(&mut self, rng: &mut StdRng) {
+        self.as_mut_slice().fill_from(rng);
+    }
+}
+
+/// The user-facing random value interface (subset of `rand::Rng`).
+pub trait Rng {
+    /// The next raw 64-bit draw.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>;
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p ∈ [0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool;
+
+    /// A draw from the standard distribution of `T`.
+    fn gen<T: Standard>(&mut self) -> T;
+
+    /// Fills `dest` with random bytes.
+    fn fill<T: Fill + ?Sized>(&mut self, dest: &mut T);
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.next_u64_impl()
+    }
+
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} outside [0,1]");
+        if p == 1.0 {
+            return true;
+        }
+        let unit = (self.next_u64_impl() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    fn fill<T: Fill + ?Sized>(&mut self, dest: &mut T) {
+        dest.fill_from(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_and_divergence() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: u64 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: i64 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&w));
+            let f: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_the_support() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 3];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..3usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.3).abs() < 0.01, "frac {frac}");
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+
+    #[test]
+    fn fill_randomizes_arrays() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut key = [0u8; 32];
+        rng.fill(&mut key);
+        assert_ne!(key, [0u8; 32]);
+        let mut odd = [0u8; 5];
+        rng.fill(&mut odd[..]);
+        assert!(odd.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn uniform_mean_is_centered() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.gen_range(0.0..1.0f64)).sum();
+        assert!((sum / n as f64 - 0.5).abs() < 0.005);
+    }
+}
