@@ -11,13 +11,12 @@
 //! violation, including across crash-recovery).
 
 use faults::{FaultAction, FaultPlan, RandomFaultConfig};
-use harness::ClusterBuilder;
 use netsim::Addr;
-use resilient::{ResilientConfig, ResilientNode};
+use resilient::ResilientConfig;
 use runtime::World;
+use scenario::{AexSpec, FaultSpec, NodeImplSpec, ParamGrid, RunCell, ScenarioSpec};
 use sim::{SimDuration, SimTime};
 use triad_core::{RetryPolicy, TriadConfig};
-use tsc::TriadLike;
 
 use crate::output::{Comparison, RunOpts};
 
@@ -212,24 +211,34 @@ fn ratio(served: u64, denied: u64) -> f64 {
     }
 }
 
-fn run_cell(opts: &RunOpts, class: FaultClass, variant: Variant) -> (CellResult, World) {
+/// Per-cell payload: the measured row plus the two side artifacts that
+/// only specific cells produce (rendered *inside* the cell so measured
+/// [`World`]s never have to be collected across worker threads).
+type CellOutput = (CellResult, Option<String>, Option<Vec<Vec<String>>>);
+
+fn spec_for(opts: &RunOpts, class: FaultClass, variant: Variant, seed: u64) -> ScenarioSpec {
     let horizon = if opts.quick { SimTime::from_secs(150) } else { SimTime::from_secs(300) };
-    let seed = opts.seed ^ 0xE20_0000 ^ ((class as u64) << 8) ^ (variant as u64);
-    let mut builder = ClusterBuilder::new(3, seed)
-        .all_nodes_aex(|| Box::new(TriadLike::default()))
+    let mut spec = ScenarioSpec::new(3)
+        .horizon(horizon)
+        .all_nodes_aex(AexSpec::TriadLike)
         .config(variant.triad_config())
         .client(0, SimDuration::from_millis(20))
         .reading_client(0, SimDuration::from_millis(20))
-        .fault_plan(class.plan(seed));
+        .faults(FaultSpec::Fixed(class.plan(seed)));
     if variant == Variant::Resilient {
-        let cfg = ResilientConfig { base: TriadConfig::hardened(), ..Default::default() };
-        builder = builder.node_factory(Box::new(move |me, peers| {
-            Box::new(ResilientNode::new(me, peers, cfg.clone()))
-        }));
+        spec = spec.node_impl(NodeImplSpec::Resilient(Box::new(ResilientConfig {
+            base: TriadConfig::hardened(),
+            ..Default::default()
+        })));
     }
-    let mut s = builder.build();
-    s.run_until(horizon);
-    let world = s.into_world();
+    spec
+}
+
+fn run_cell(opts: &RunOpts, cell: &RunCell<(FaultClass, Variant)>) -> CellOutput {
+    let (class, variant) = cell.param;
+    let spec = spec_for(opts, class, variant, cell.seed);
+    let horizon = spec.horizon;
+    let world = spec.run(cell.seed);
 
     let from = SimTime::from_secs(FAULT_FROM_S);
     let to = SimTime::from_secs(FAULT_TO_S);
@@ -237,7 +246,7 @@ fn run_cell(opts: &RunOpts, class: FaultClass, variant: Variant) -> (CellResult,
     let unc_peak =
         t.reading_uncertainty_ns.window(from, to).iter().map(|&(_, u)| u).fold(0.0f64, f64::max);
     let (d_lo, d_hi) = t.drift_ms.value_range().unwrap_or((0.0, 0.0));
-    let cell = CellResult {
+    let result = CellResult {
         class,
         variant,
         avail_during: ratio(t.client_served.count_in(from, to), t.client_denied.count_in(from, to)),
@@ -253,7 +262,29 @@ fn run_cell(opts: &RunOpts, class: FaultClass, variant: Variant) -> (CellResult,
         crashes: t.crashes.count(),
         faults_applied: world.recorder.faults.len(),
     };
-    (cell, world)
+
+    let detail = (class == FaultClass::TaOutage && variant == Variant::Hardened)
+        .then(|| render_detail(&world, horizon));
+    let link_rows = (class == FaultClass::Loss && variant == Variant::Hardened).then(|| {
+        world
+            .net
+            .per_link_stats()
+            .into_iter()
+            .map(|(src, dst, s)| {
+                vec![
+                    src.to_string(),
+                    dst.to_string(),
+                    s.sent.to_string(),
+                    s.delivered.to_string(),
+                    s.lost.to_string(),
+                    s.partition_dropped.to_string(),
+                    s.duplicated.to_string(),
+                    s.reordered.to_string(),
+                ]
+            })
+            .collect()
+    });
+    (result, detail, link_rows)
 }
 
 fn render_detail(world: &World, horizon: SimTime) -> String {
@@ -269,49 +300,50 @@ fn render_detail(world: &World, horizon: SimTime) -> String {
     )
 }
 
+/// The fault classes exercised in smoke mode: the three whose cells the
+/// [`ChaosResult::comparisons`] claims read, so the claim table stays
+/// meaningful on the reduced grid.
+const SMOKE_CLASSES: [FaultClass; 3] =
+    [FaultClass::TaOutage, FaultClass::Crash, FaultClass::Partition];
+
 /// Runs the grid, the determinism double-run, and writes
 /// `chaos_grid.csv` + `chaos_links.csv`.
 pub fn run(opts: &RunOpts) -> ChaosResult {
-    let horizon = if opts.quick { SimTime::from_secs(150) } else { SimTime::from_secs(300) };
+    let classes: &[FaultClass] = if opts.smoke { &SMOKE_CLASSES } else { &FaultClass::ALL };
+    let grid: Vec<(FaultClass, Variant)> = classes
+        .iter()
+        .flat_map(|&class| Variant::ALL.iter().map(move |&variant| (class, variant)))
+        .collect();
+    let plan = ParamGrid::new(grid).plan_seeded(|&(class, variant)| {
+        opts.seed ^ 0xE20_0000 ^ ((class as u64) << 8) ^ (variant as u64)
+    });
+    let outputs: Vec<CellOutput> = opts.runner().run(&plan, |cell| run_cell(opts, cell));
+
     let mut cells = Vec::new();
     let mut detail = String::new();
     let mut link_rows: Vec<Vec<String>> = Vec::new();
-    for class in FaultClass::ALL {
-        for variant in Variant::ALL {
-            let (cell, world) = run_cell(opts, class, variant);
-            if class == FaultClass::TaOutage && variant == Variant::Hardened {
-                detail = render_detail(&world, horizon);
-            }
-            if class == FaultClass::Loss && variant == Variant::Hardened {
-                link_rows = world
-                    .net
-                    .per_link_stats()
-                    .into_iter()
-                    .map(|(src, dst, s)| {
-                        vec![
-                            src.to_string(),
-                            dst.to_string(),
-                            s.sent.to_string(),
-                            s.delivered.to_string(),
-                            s.lost.to_string(),
-                            s.partition_dropped.to_string(),
-                            s.duplicated.to_string(),
-                            s.reordered.to_string(),
-                        ]
-                    })
-                    .collect();
-            }
-            cells.push(cell);
+    for (cell, cell_detail, cell_links) in outputs {
+        if let Some(d) = cell_detail {
+            detail = d;
         }
+        if let Some(l) = cell_links {
+            link_rows = l;
+        }
+        cells.push(cell);
     }
 
     // Acceptance check: the seeded random class is bit-reproducible.
-    let (_, world_a) = run_cell(opts, FaultClass::Random, Variant::Hardened);
-    let (_, world_b) = run_cell(opts, FaultClass::Random, Variant::Hardened);
-    let deterministic = world_a.recorder.faults == world_b.recorder.faults
-        && world_a.recorder.node(0).client_served.count()
-            == world_b.recorder.node(0).client_served.count()
-        && world_a.recorder.node(0).calibrations_hz == world_b.recorder.node(0).calibrations_hz;
+    let deterministic = {
+        let (class, variant) = (FaultClass::Random, Variant::Hardened);
+        let seed = opts.seed ^ 0xE20_0000 ^ ((class as u64) << 8) ^ (variant as u64);
+        let spec = spec_for(opts, class, variant, seed);
+        let world_a = spec.run(seed);
+        let world_b = spec.run(seed);
+        world_a.recorder.faults == world_b.recorder.faults
+            && world_a.recorder.node(0).client_served.count()
+                == world_b.recorder.node(0).client_served.count()
+            && world_a.recorder.node(0).calibrations_hz == world_b.recorder.node(0).calibrations_hz
+    };
 
     let dir = opts.dir_for("chaos");
     trace::write_csv(

@@ -23,11 +23,11 @@ pub(crate) fn write_drift_csv(dir: &Path, name: &str, world: &World) {
 }
 
 /// Writes a cumulative counter's step curve (`node,ref_time_s,count`).
-pub(crate) fn write_counter_csv(
+pub(crate) fn write_counter_csv<'a>(
     dir: &Path,
     name: &str,
-    world: &World,
-    select: impl Fn(usize) -> StepCounter,
+    world: &'a World,
+    select: impl Fn(usize) -> &'a StepCounter,
 ) {
     let mut rows = Vec::new();
     for i in 0..world.recorder.node_count() {

@@ -7,10 +7,8 @@
 //! drift, ~100–200 ppm slopes, resets to ≈0 whenever (b) the TA-reference
 //! count increments; availability above 98% including initial calibration.
 
-use harness::ClusterBuilder;
+use scenario::{AexSpec, ScenarioSpec};
 use sim::{SimDuration, SimTime};
-
-use tsc::{IsolatedCore, TriadLike};
 
 use crate::common::{drift_chart, mhz, write_counter_csv, write_drift_csv};
 use crate::output::{Comparison, RunOpts};
@@ -42,20 +40,19 @@ pub struct Fig2Result {
 /// Runs the scenario and writes drift + TA-reference CSVs.
 pub fn run(opts: &RunOpts) -> Fig2Result {
     let horizon = if opts.quick { SimTime::from_secs(300) } else { SimTime::from_secs(30 * 60) };
-    let mut s = ClusterBuilder::new(3, opts.seed ^ 0xF162)
-        .all_nodes_aex(|| Box::new(TriadLike::default()))
-        // Machine-wide residual interrupts: the isolated-core process hits
-        // every core at once (§IV-A.2's correlated simultaneous AEXs).
-        .machine_aex(Box::new(IsolatedCore::default()))
+    // Machine-wide residual interrupts: the isolated-core process hits
+    // every core at once (§IV-A.2's correlated simultaneous AEXs).
+    let world = ScenarioSpec::new(3)
+        .horizon(horizon)
+        .all_nodes_aex(AexSpec::TriadLike)
+        .machine_aex(AexSpec::IsolatedCore)
         .sample_interval(SimDuration::from_millis(250))
-        .build();
-    s.run_until(horizon);
-    let world = s.into_world();
+        .run(opts.seed ^ 0xF162);
 
     let dir = opts.dir_for("fig2");
     write_drift_csv(&dir, "fig2a_drift.csv", &world);
     write_counter_csv(&dir, "fig2b_ta_references.csv", &world, |i| {
-        world.recorder.node(i).ta_references.clone()
+        &world.recorder.node(i).ta_references
     });
     crate::output::write_text(&dir, "fig2a_drift.txt", &drift_chart(&world, 100, 24))
         .expect("write chart");

@@ -6,10 +6,9 @@
 //! drift series (paper: 50–70 ms, set by the inter-node calibration-error
 //! spread), and occasional RefCalib only when AEXs collide.
 
-use harness::ClusterBuilder;
+use scenario::{AexSpec, ScenarioSpec};
 use sim::{SimDuration, SimTime};
 use trace::StateTimeline;
-use tsc::IsolatedCore;
 
 use crate::common::{drift_chart, mhz, write_drift_csv};
 use crate::output::{Comparison, RunOpts};
@@ -41,12 +40,11 @@ pub struct Fig3Result {
 /// Runs the scenario; writes drift CSV and the first-hour state Gantt.
 pub fn run(opts: &RunOpts) -> Fig3Result {
     let horizon = if opts.quick { SimTime::from_secs(1800) } else { SimTime::from_secs(8 * 3600) };
-    let mut s = ClusterBuilder::new(3, opts.seed ^ 0xF163)
-        .all_nodes_aex(|| Box::new(IsolatedCore::default()))
+    let world = ScenarioSpec::new(3)
+        .horizon(horizon)
+        .all_nodes_aex(AexSpec::IsolatedCore)
         .sample_interval(SimDuration::from_millis(500))
-        .build();
-    s.run_until(horizon);
-    let world = s.into_world();
+        .run(opts.seed ^ 0xF163);
 
     let dir = opts.dir_for("fig3");
     write_drift_csv(&dir, "fig3a_drift.csv", &world);

@@ -5,12 +5,11 @@
 //! Node 3 drifts at −91 ms/s, interrupted only by TA recalibrations forced
 //! by correlated machine-wide AEXs; Nodes 1–2 stay on their honest drift.
 
-use attacks::{CalibrationDelayAttack, DelayAttackMode};
-use harness::ClusterBuilder;
+use attacks::DelayAttackMode;
 use netsim::Addr;
-use runtime::World;
+use scenario::{AexSpec, AttackSpec, ScenarioSpec};
 use sim::{SimDuration, SimTime};
-use tsc::{IsolatedCore, TriadLike, PAPER_TSC_HZ};
+use tsc::PAPER_TSC_HZ;
 
 use crate::common::{drift_chart, mhz, write_drift_csv};
 use crate::output::{Comparison, RunOpts};
@@ -33,20 +32,15 @@ pub struct Fig4Result {
 /// Runs the scenario and writes the drift CSV.
 pub fn run(opts: &RunOpts) -> Fig4Result {
     let horizon = if opts.quick { SimTime::from_secs(180) } else { SimTime::from_secs(600) };
-    let mut s = ClusterBuilder::new(3, opts.seed ^ 0xF164)
-        .node_aex(0, Box::new(TriadLike::default()))
-        .node_aex(1, Box::new(TriadLike::default()))
-        // Node 3's core is isolated (no per-core model); machine-wide
-        // correlated AEXs still occur, forcing its occasional TA resets.
-        .machine_aex(Box::new(IsolatedCore::default()))
-        .interceptor(Box::new(CalibrationDelayAttack::paper_default(
-            Addr(3),
-            World::TA_ADDR,
-            DelayAttackMode::FPlus,
-        )))
-        .build();
-    s.run_until(horizon);
-    let world = s.into_world();
+    // Node 3's core is isolated (no per-core model); machine-wide
+    // correlated AEXs still occur, forcing its occasional TA resets.
+    let world = ScenarioSpec::new(3)
+        .horizon(horizon)
+        .node_aex(0, AexSpec::TriadLike)
+        .node_aex(1, AexSpec::TriadLike)
+        .machine_aex(AexSpec::IsolatedCore)
+        .attack(AttackSpec::calibration_delay_paper(Addr(3), DelayAttackMode::FPlus))
+        .run(opts.seed ^ 0xF164);
 
     let dir = opts.dir_for("fig4");
     write_drift_csv(&dir, "fig4_drift.csv", &world);

@@ -6,12 +6,11 @@
 //! accumulates over one inter-AEX gap — paper: down to −150 ms (one
 //! 1.59 s gap × 91 ms/s ≈ −145 ms).
 
-use attacks::{CalibrationDelayAttack, DelayAttackMode};
-use harness::ClusterBuilder;
+use attacks::DelayAttackMode;
 use netsim::Addr;
-use runtime::World;
+use scenario::{AexSpec, AttackSpec, ScenarioSpec};
 use sim::SimTime;
-use tsc::{TriadLike, PAPER_TSC_HZ};
+use tsc::PAPER_TSC_HZ;
 
 use crate::common::{drift_chart, mhz, write_drift_csv};
 use crate::output::{Comparison, RunOpts};
@@ -32,16 +31,11 @@ pub struct Fig5Result {
 /// Runs the scenario and writes the drift CSV.
 pub fn run(opts: &RunOpts) -> Fig5Result {
     let horizon = if opts.quick { SimTime::from_secs(180) } else { SimTime::from_secs(600) };
-    let mut s = ClusterBuilder::new(3, opts.seed ^ 0xF165)
-        .all_nodes_aex(|| Box::new(TriadLike::default()))
-        .interceptor(Box::new(CalibrationDelayAttack::paper_default(
-            Addr(3),
-            World::TA_ADDR,
-            DelayAttackMode::FPlus,
-        )))
-        .build();
-    s.run_until(horizon);
-    let world = s.into_world();
+    let world = ScenarioSpec::new(3)
+        .horizon(horizon)
+        .all_nodes_aex(AexSpec::TriadLike)
+        .attack(AttackSpec::calibration_delay_paper(Addr(3), DelayAttackMode::FPlus))
+        .run(opts.seed ^ 0xF165);
 
     let dir = opts.dir_for("fig5");
     write_drift_csv(&dir, "fig5_drift.csv", &world);

@@ -8,12 +8,11 @@
 //! forward, and keep ratcheting — the infection mechanism of §IV-B.2.
 //! Figure 6b is the per-node cumulative AEX count.
 
-use attacks::{CalibrationDelayAttack, DelayAttackMode};
-use harness::ClusterBuilder;
+use attacks::DelayAttackMode;
 use netsim::Addr;
-use runtime::World;
+use scenario::{AexSpec, AttackSpec, ScenarioSpec};
 use sim::SimTime;
-use tsc::{IsolatedCore, SwitchAt, TriadLike, PAPER_TSC_HZ};
+use tsc::PAPER_TSC_HZ;
 
 use crate::common::{drift_chart, mhz, write_counter_csv, write_drift_csv};
 use crate::output::{Comparison, RunOpts};
@@ -42,31 +41,22 @@ pub const SWITCH_S: u64 = 104;
 pub fn run(opts: &RunOpts) -> Fig6Result {
     let horizon = if opts.quick { SimTime::from_secs(240) } else { SimTime::from_secs(420) };
     let switch = SimTime::from_secs(SWITCH_S);
-    let honest_env = || {
-        Box::new(SwitchAt {
-            at: switch,
-            before: Box::new(IsolatedCore::default()),
-            after: Box::new(TriadLike::default()),
-        })
+    let honest_env = AexSpec::SwitchAt {
+        at: switch,
+        before: Box::new(AexSpec::IsolatedCore),
+        after: Box::new(AexSpec::TriadLike),
     };
-    let mut s = ClusterBuilder::new(3, opts.seed ^ 0xF166)
-        .node_aex(0, honest_env())
-        .node_aex(1, honest_env())
-        .node_aex(2, Box::new(TriadLike::default()))
-        .interceptor(Box::new(CalibrationDelayAttack::paper_default(
-            Addr(3),
-            World::TA_ADDR,
-            DelayAttackMode::FMinus,
-        )))
-        .build();
-    s.run_until(horizon);
-    let world = s.into_world();
+    let world = ScenarioSpec::new(3)
+        .horizon(horizon)
+        .node_aex(0, honest_env.clone())
+        .node_aex(1, honest_env)
+        .node_aex(2, AexSpec::TriadLike)
+        .attack(AttackSpec::calibration_delay_paper(Addr(3), DelayAttackMode::FMinus))
+        .run(opts.seed ^ 0xF166);
 
     let dir = opts.dir_for("fig6");
     write_drift_csv(&dir, "fig6a_drift.csv", &world);
-    write_counter_csv(&dir, "fig6b_aex_counts.csv", &world, |i| {
-        world.recorder.node(i).aex_events.clone()
-    });
+    write_counter_csv(&dir, "fig6b_aex_counts.csv", &world, |i| &world.recorder.node(i).aex_events);
     crate::output::write_text(&dir, "fig6a_drift.txt", &drift_chart(&world, 100, 24))
         .expect("write chart");
 

@@ -1,11 +1,16 @@
 //! `triad-experiments` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! triad-experiments [EXPERIMENT ...] [--quick] [--seed N] [--out DIR]
+//! triad-experiments [EXPERIMENT ...] [--quick] [--smoke] [--jobs N]
+//!                   [--seed N] [--out DIR]
 //!
 //! EXPERIMENT   one or more of: fig1 inc-table fig2 fig3 fig4 fig5 fig6
 //!              resilience tsc-detect all     (default: all)
 //! --quick      shortened horizons (minutes instead of the paper's hours)
+//! --smoke      CI liveness mode: implies --quick, shrinks grid
+//!              experiments (chaos runs a mini-grid)
+//! --jobs N     worker threads for grid experiments (default: all cores;
+//!              results are bit-identical for any N)
 //! --seed N     base RNG seed (default: the release seed)
 //! --out DIR    output directory (default: results/)
 //! ```
@@ -23,7 +28,8 @@ use experiments::{
 
 fn usage() -> ! {
     eprintln!(
-        "usage: triad-experiments [EXPERIMENT ...] [--quick] [--seed N] [--out DIR]\n\
+        "usage: triad-experiments [EXPERIMENT ...] [--quick] [--smoke] [--jobs N] \
+         [--seed N] [--out DIR]\n\
          experiments: {} all",
         ALL_EXPERIMENTS.join(" ")
     );
@@ -37,6 +43,14 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => opts.quick = true,
+            "--smoke" => {
+                opts.smoke = true;
+                opts.quick = true;
+            }
+            "--jobs" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.jobs = v.parse().unwrap_or_else(|_| usage());
+            }
             "--seed" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 opts.seed = v.parse().unwrap_or_else(|_| usage());
@@ -61,10 +75,17 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "Running {} experiment(s), seed {}, {} mode, output to {}",
+        "Running {} experiment(s), seed {}, {} mode, {} job(s), output to {}",
         ids.len(),
         opts.seed,
-        if opts.quick { "quick" } else { "full" },
+        if opts.smoke {
+            "smoke"
+        } else if opts.quick {
+            "quick"
+        } else {
+            "full"
+        },
+        opts.runner().jobs(),
         opts.out_dir.display()
     );
 

@@ -3,6 +3,8 @@
 
 use std::path::{Path, PathBuf};
 
+use trace::{MarkdownSink, RunSink, TableSink};
+
 /// How to run an experiment.
 #[derive(Debug, Clone)]
 pub struct RunOpts {
@@ -11,13 +13,26 @@ pub struct RunOpts {
     /// Shorten long scenarios (CI-friendly); full durations reproduce the
     /// paper's horizons (30 min for Fig. 2, 8 h for Fig. 3).
     pub quick: bool,
+    /// CI smoke mode: implies `quick` and additionally shrinks grid
+    /// experiments (the chaos suite runs a mini-grid) — a liveness check,
+    /// not a reproduction.
+    pub smoke: bool,
+    /// Worker threads for grid experiments (`0` = one per core). Results
+    /// are bit-identical for any value; this is a wall-clock knob only.
+    pub jobs: usize,
     /// Where CSVs and rendered text go.
     pub out_dir: PathBuf,
 }
 
 impl Default for RunOpts {
     fn default() -> Self {
-        RunOpts { seed: 0xD51A_2025, quick: false, out_dir: PathBuf::from("results") }
+        RunOpts {
+            seed: 0xD51A_2025,
+            quick: false,
+            smoke: false,
+            jobs: 0,
+            out_dir: PathBuf::from("results"),
+        }
     }
 }
 
@@ -25,6 +40,16 @@ impl RunOpts {
     /// A quick-mode configuration writing to `out_dir`.
     pub fn quick(out_dir: impl Into<PathBuf>) -> Self {
         RunOpts { quick: true, out_dir: out_dir.into(), ..Default::default() }
+    }
+
+    /// A smoke-mode configuration writing to `out_dir`.
+    pub fn smoke(out_dir: impl Into<PathBuf>) -> Self {
+        RunOpts { quick: true, smoke: true, out_dir: out_dir.into(), ..Default::default() }
+    }
+
+    /// The cell runner configured with this run's `--jobs`.
+    pub fn runner(&self) -> scenario::Runner {
+        scenario::Runner::new(self.jobs)
     }
 
     /// Output sub-directory for one experiment.
@@ -67,38 +92,34 @@ impl Comparison {
     }
 }
 
+const COMPARISON_HEADERS: [&str; 5] = ["experiment", "metric", "paper", "measured", "match"];
+
+fn stream_comparisons(sink: &mut dyn RunSink, rows: &[Comparison], yes: &str, no: &str) {
+    sink.begin(&COMPARISON_HEADERS);
+    for c in rows {
+        sink.row(&[
+            c.experiment.to_string(),
+            c.metric.clone(),
+            c.paper.clone(),
+            c.measured.clone(),
+            if c.matches { yes.to_string() } else { no.to_string() },
+        ]);
+    }
+    sink.finish().expect("in-memory sink");
+}
+
 /// Renders comparison rows as an aligned table.
 pub fn comparison_table(rows: &[Comparison]) -> String {
-    let table_rows: Vec<Vec<String>> = rows
-        .iter()
-        .map(|c| {
-            vec![
-                c.experiment.to_string(),
-                c.metric.clone(),
-                c.paper.clone(),
-                c.measured.clone(),
-                if c.matches { "yes".into() } else { "NO".into() },
-            ]
-        })
-        .collect();
-    trace::render_table(&["experiment", "metric", "paper", "measured", "match"], &table_rows)
+    let mut sink = TableSink::new();
+    stream_comparisons(&mut sink, rows, "yes", "NO");
+    sink.into_string()
 }
 
 /// Renders comparison rows as a Markdown table (for EXPERIMENTS.md).
 pub fn comparison_markdown(rows: &[Comparison]) -> String {
-    let mut out =
-        String::from("| experiment | metric | paper | measured | match |\n|---|---|---|---|---|\n");
-    for c in rows {
-        out.push_str(&format!(
-            "| {} | {} | {} | {} | {} |\n",
-            c.experiment,
-            c.metric,
-            c.paper,
-            c.measured,
-            if c.matches { "✔" } else { "✘" }
-        ));
-    }
-    out
+    let mut sink = MarkdownSink::new();
+    stream_comparisons(&mut sink, rows, "✔", "✘");
+    sink.into_string()
 }
 
 /// Writes a rendered text artifact next to the CSVs.
@@ -119,7 +140,11 @@ mod tests {
     fn opts_paths() {
         let o = RunOpts::quick("/tmp/x");
         assert!(o.quick);
+        assert!(!o.smoke);
         assert_eq!(o.dir_for("fig2"), PathBuf::from("/tmp/x/fig2"));
+        let s = RunOpts::smoke("/tmp/y");
+        assert!(s.quick && s.smoke);
+        assert!(s.runner().jobs() >= 1);
     }
 
     #[test]

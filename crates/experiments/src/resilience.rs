@@ -7,13 +7,11 @@
 //! true-chimer majority filtering stops the infection; deadlines and
 //! long-window calibration fix the attacked node itself.
 
-use attacks::{CalibrationDelayAttack, DelayAttackMode};
-use harness::ClusterBuilder;
+use attacks::DelayAttackMode;
 use netsim::Addr;
-use resilient::{ResilientConfig, ResilientNode};
-use runtime::World;
+use resilient::ResilientConfig;
+use scenario::{AexSpec, AttackSpec, NodeImplSpec, ParamGrid, RunCell, ScenarioSpec};
 use sim::SimTime;
-use tsc::{IsolatedCore, SwitchAt, TriadLike};
 
 use crate::output::{Comparison, RunOpts};
 
@@ -100,33 +98,25 @@ pub struct ResilienceResult {
     pub cells: Vec<CellResult>,
 }
 
-fn run_cell(opts: &RunOpts, variant: Variant) -> CellResult {
+fn run_cell(opts: &RunOpts, cell: &RunCell<Variant>) -> CellResult {
+    let variant = cell.param;
     let horizon = if opts.quick { SimTime::from_secs(240) } else { SimTime::from_secs(420) };
     let switch = SimTime::from_secs(crate::fig6::SWITCH_S);
-    let honest_env = || {
-        Box::new(SwitchAt {
-            at: switch,
-            before: Box::new(IsolatedCore::default()),
-            after: Box::new(TriadLike::default()),
-        })
+    let honest_env = AexSpec::SwitchAt {
+        at: switch,
+        before: Box::new(AexSpec::IsolatedCore),
+        after: Box::new(AexSpec::TriadLike),
     };
-    let mut builder = ClusterBuilder::new(3, opts.seed ^ 0xE12 ^ (variant as u64))
-        .node_aex(0, honest_env())
-        .node_aex(1, honest_env())
-        .node_aex(2, Box::new(TriadLike::default()))
-        .interceptor(Box::new(CalibrationDelayAttack::paper_default(
-            Addr(3),
-            World::TA_ADDR,
-            DelayAttackMode::FMinus,
-        )));
+    let mut spec = ScenarioSpec::new(3)
+        .horizon(horizon)
+        .node_aex(0, honest_env.clone())
+        .node_aex(1, honest_env)
+        .node_aex(2, AexSpec::TriadLike)
+        .attack(AttackSpec::calibration_delay_paper(Addr(3), DelayAttackMode::FMinus));
     if let Some(cfg) = variant.config() {
-        builder = builder.node_factory(Box::new(move |me, peers| {
-            Box::new(ResilientNode::new(me, peers, cfg.clone()))
-        }));
+        spec = spec.node_impl(NodeImplSpec::Resilient(Box::new(cfg)));
     }
-    let mut s = builder.build();
-    s.run_until(horizon);
-    let world = s.into_world();
+    let world = spec.run(cell.seed);
 
     let honest_final = (0..2)
         .map(|i| world.recorder.node(i).drift_ms.last().map(|(_, d)| d).unwrap_or(0.0))
@@ -151,7 +141,8 @@ fn run_cell(opts: &RunOpts, variant: Variant) -> CellResult {
 
 /// Runs the full grid and writes the summary CSV.
 pub fn run(opts: &RunOpts) -> ResilienceResult {
-    let cells: Vec<CellResult> = Variant::ALL.iter().map(|&v| run_cell(opts, v)).collect();
+    let plan = ParamGrid::new(Variant::ALL).plan_seeded(|&v| opts.seed ^ 0xE12 ^ (v as u64));
+    let cells: Vec<CellResult> = opts.runner().run(&plan, |cell| run_cell(opts, cell));
     let dir = opts.dir_for("resilience");
     let rows = cells
         .iter()

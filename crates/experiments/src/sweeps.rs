@@ -12,12 +12,10 @@
 //!   interrupt rate varies, quantifying §IV-B's observation that *fewer*
 //!   AEXs mean *more* availability (and a stronger F+).
 
-use attacks::{CalibrationDelayAttack, DelayAttackMode};
-use harness::ClusterBuilder;
-use netsim::DelayModel;
-use runtime::World;
+use attacks::DelayAttackMode;
+use netsim::{Addr, DelayModel};
+use scenario::{AexSpec, AttackSpec, ParamGrid, ScenarioSpec, SeedGrid};
 use sim::{SimDuration, SimTime};
-use tsc::{Exponential, IsolatedCore, TriadLike};
 
 use crate::output::{Comparison, RunOpts};
 
@@ -54,16 +52,22 @@ pub struct AexRatePoint {
     pub untaints: u64,
 }
 
-/// One point of the network-scale sweep.
+/// One point of the network-scale sweep (aggregated over a seed grid).
 #[derive(Debug, Clone)]
 pub struct NetworkPoint {
     /// Label ("localhost", "lan", "wan").
     pub label: &'static str,
     /// One-way delay mean (µs).
     pub one_way_us: u64,
-    /// Cluster-wide drift slope in steady state (ms/s) — the peer-adoption
-    /// staleness erosion.
+    /// Cluster-wide drift slope in steady state (ms/s), averaged over the
+    /// replications — the peer-adoption staleness erosion.
     pub cluster_slope_ms_per_s: f64,
+    /// Smallest per-replication slope (ms/s).
+    pub slope_min_ms_per_s: f64,
+    /// Largest per-replication slope (ms/s).
+    pub slope_max_ms_per_s: f64,
+    /// Number of replications averaged.
+    pub reps: usize,
 }
 
 /// One point of the cluster-vs-solo comparison.
@@ -94,97 +98,78 @@ pub struct SweepsResult {
 
 fn delay_sweep(opts: &RunOpts) -> Vec<DelayPoint> {
     let horizon = if opts.quick { SimTime::from_secs(90) } else { SimTime::from_secs(180) };
-    [25u64, 50, 100, 200, 400]
-        .iter()
-        .map(|&ms| {
-            let d = ms as f64 / 1000.0;
-            let mut s = ClusterBuilder::new(3, opts.seed ^ 0xE14 ^ ms)
-                .interceptor(Box::new(CalibrationDelayAttack::new(
-                    netsim::Addr(3),
-                    World::TA_ADDR,
-                    DelayAttackMode::FMinus,
-                    SimDuration::from_millis(ms),
-                    SimDuration::from_millis(500),
-                )))
-                .build();
-            s.run_until(horizon);
-            let world = s.into_world();
-            let measured = world
-                .recorder
-                .node(2)
-                .drift_ms
-                .slope_per_sec_in(SimTime::from_secs(40), horizon)
-                .unwrap_or(f64::NAN);
-            DelayPoint {
-                injected_ms: ms as f64,
-                predicted_ms_per_s: d / (1.0 - d) * 1000.0,
-                measured_ms_per_s: measured,
-            }
-        })
-        .collect()
+    let plan = ParamGrid::new([25u64, 50, 100, 200, 400]).plan_seeded(|&ms| opts.seed ^ 0xE14 ^ ms);
+    opts.runner().run(&plan, |cell| {
+        let ms = cell.param;
+        let d = ms as f64 / 1000.0;
+        let world = ScenarioSpec::new(3)
+            .horizon(horizon)
+            .attack(AttackSpec::CalibrationDelay {
+                victim: Addr(3),
+                mode: DelayAttackMode::FMinus,
+                added_delay: SimDuration::from_millis(ms),
+                sleep_threshold: SimDuration::from_millis(500),
+            })
+            .run(cell.seed);
+        let measured = world
+            .recorder
+            .node(2)
+            .drift_ms
+            .slope_per_sec_in(SimTime::from_secs(40), horizon)
+            .unwrap_or(f64::NAN);
+        DelayPoint {
+            injected_ms: ms as f64,
+            predicted_ms_per_s: d / (1.0 - d) * 1000.0,
+            measured_ms_per_s: measured,
+        }
+    })
 }
 
 fn size_sweep(opts: &RunOpts) -> Vec<SizePoint> {
     let horizon = if opts.quick { SimTime::from_secs(120) } else { SimTime::from_secs(240) };
-    [2usize, 3, 5, 7]
-        .iter()
-        .map(|&n| {
-            // Fault-free availability.
-            let mut s = ClusterBuilder::new(n, opts.seed ^ 0xE15 ^ n as u64)
-                .all_nodes_aex(|| Box::new(TriadLike::default()))
-                .build();
-            s.run_until(horizon);
-            let world = s.into_world();
-            // Steady-state availability (the initial calibration scales
-            // with the number of retries, not the cluster size).
-            let steady_from = SimTime::from_secs(60);
-            let fault_free_availability = (0..n)
-                .map(|i| world.recorder.node(i).states.availability(steady_from, horizon))
-                .fold(f64::INFINITY, f64::min);
+    let plan = ParamGrid::new([2usize, 3, 5, 7]).plan_seeded(|&n| opts.seed ^ 0xE15 ^ n as u64);
+    opts.runner().run(&plan, |cell| {
+        let n = cell.param;
+        // Fault-free availability.
+        let quiet = ScenarioSpec::new(n).horizon(horizon).all_nodes_aex(AexSpec::TriadLike);
+        let world = quiet.run(cell.seed);
+        // Steady-state availability (the initial calibration scales
+        // with the number of retries, not the cluster size).
+        let steady_from = SimTime::from_secs(60);
+        let fault_free_availability = (0..n)
+            .map(|i| world.recorder.node(i).states.availability(steady_from, horizon))
+            .fold(f64::INFINITY, f64::min);
 
-            // F– infection: attack the last node; all Triad-like.
-            let victim = netsim::Addr(n as u16);
-            let mut s = ClusterBuilder::new(n, opts.seed ^ 0xE15 ^ (n as u64) << 8)
-                .all_nodes_aex(|| Box::new(TriadLike::default()))
-                .interceptor(Box::new(CalibrationDelayAttack::paper_default(
-                    victim,
-                    World::TA_ADDR,
-                    DelayAttackMode::FMinus,
-                )))
-                .build();
-            s.run_until(horizon);
-            let world = s.into_world();
-            let honest_final_drift_ms = (0..n - 1)
-                .map(|i| world.recorder.node(i).drift_ms.last().map(|(_, d)| d).unwrap_or(0.0))
-                .fold(f64::NEG_INFINITY, f64::max);
+        // F– infection: attack the last node; all Triad-like.
+        let world = quiet
+            .clone()
+            .attack(AttackSpec::calibration_delay_paper(Addr(n as u16), DelayAttackMode::FMinus))
+            .run(opts.seed ^ 0xE15 ^ (n as u64) << 8);
+        let honest_final_drift_ms = (0..n - 1)
+            .map(|i| world.recorder.node(i).drift_ms.last().map(|(_, d)| d).unwrap_or(0.0))
+            .fold(f64::NEG_INFINITY, f64::max);
 
-            SizePoint { n, fault_free_availability, honest_final_drift_ms }
-        })
-        .collect()
+        SizePoint { n, fault_free_availability, honest_final_drift_ms }
+    })
 }
 
 fn aex_rate_sweep(opts: &RunOpts) -> Vec<AexRatePoint> {
     let horizon = if opts.quick { SimTime::from_secs(120) } else { SimTime::from_secs(300) };
-    [0.1f64, 0.5, 2.0, 10.0]
-        .iter()
-        .map(|&mean_s| {
-            let mut s = ClusterBuilder::new(3, opts.seed ^ 0xE16 ^ mean_s.to_bits())
-                .all_nodes_aex(|| {
-                    Box::new(Exponential { mean: SimDuration::from_secs_f64(mean_s) })
-                })
-                .machine_aex(Box::new(IsolatedCore::default()))
-                .build();
-            s.run_until(horizon);
-            let world = s.into_world();
-            let availability = (0..3)
-                .map(|i| {
-                    world.recorder.node(i).states.availability(SimTime::from_secs(60), horizon)
-                })
-                .fold(f64::INFINITY, f64::min);
-            let untaints = (0..3).map(|i| world.recorder.node(i).peer_untaints.count()).sum();
-            AexRatePoint { mean_inter_aex_s: mean_s, availability, untaints }
-        })
-        .collect()
+    let plan = ParamGrid::new([0.1f64, 0.5, 2.0, 10.0])
+        .plan_seeded(|&mean_s| opts.seed ^ 0xE16 ^ mean_s.to_bits());
+    opts.runner().run(&plan, |cell| {
+        let mean_s = cell.param;
+        let world = ScenarioSpec::new(3)
+            .horizon(horizon)
+            .all_nodes_aex(AexSpec::Exponential { mean: SimDuration::from_secs_f64(mean_s) })
+            .machine_aex(AexSpec::IsolatedCore)
+            .run(cell.seed);
+        let availability = (0..3)
+            .map(|i| world.recorder.node(i).states.availability(SimTime::from_secs(60), horizon))
+            .fold(f64::INFINITY, f64::min);
+        let untaints = (0..3).map(|i| world.recorder.node(i).peer_untaints.count()).sum();
+        AexRatePoint { mean_inter_aex_s: mean_s, availability, untaints }
+    })
 }
 
 /// E17: cluster drift vs network scale. Every peer-timestamp adoption
@@ -196,39 +181,55 @@ fn aex_rate_sweep(opts: &RunOpts) -> Vec<AexRatePoint> {
 /// reproduction surfaces beyond the paper.
 fn network_sweep(opts: &RunOpts) -> Vec<NetworkPoint> {
     let horizon = if opts.quick { SimTime::from_secs(120) } else { SimTime::from_secs(300) };
-    [("localhost", 30u64), ("lan", 300), ("wan", 10_000)]
+    // A single WAN run's slope carries multi-ms/s run-to-run variance
+    // (RTT noise feeds straight into the calibrated frequency), easily
+    // swamping the erosion being measured — so every point is replicated
+    // across a seed grid and the criterion reads the mean.
+    let reps = if opts.quick { 3 } else { 5 };
+    let params = [("localhost", 30u64), ("lan", 300), ("wan", 10_000)];
+    let plan = ParamGrid::new(params).plan_replicated(&SeedGrid::new(opts.seed ^ 0xE17, reps));
+    let slopes: Vec<f64> = opts.runner().run(&plan, |cell| {
+        let (_rep, (_, one_way_us)) = cell.param;
+        let delay = DelayModel::NormalClamped {
+            mean: SimDuration::from_micros(one_way_us),
+            std: SimDuration::from_micros(one_way_us / 5),
+            min: SimDuration::from_micros(one_way_us / 2),
+        };
+        // Timeouts must scale with the network, or WAN peer rounds always
+        // expire and the comparison degenerates to TA-only operation.
+        let cfg = triad_core::TriadConfig {
+            peer_timeout: SimDuration::from_micros((one_way_us * 5).max(10_000)),
+            ..Default::default()
+        };
+        let world = ScenarioSpec::new(3)
+            .horizon(horizon)
+            .delay(delay)
+            .config(cfg)
+            .all_nodes_aex(AexSpec::TriadLike)
+            .run(cell.seed);
+        // Average the three nodes' steady-state slopes.
+        (0..3)
+            .filter_map(|i| {
+                world.recorder.node(i).drift_ms.slope_per_sec_in(SimTime::from_secs(60), horizon)
+            })
+            .sum::<f64>()
+            / 3.0
+    });
+    // Replications are the plan's outer loop: replication r's slope for
+    // parameter j sits at index r * params.len() + j.
+    params
         .iter()
-        .map(|&(label, one_way_us)| {
-            let delay = DelayModel::NormalClamped {
-                mean: SimDuration::from_micros(one_way_us),
-                std: SimDuration::from_micros(one_way_us / 5),
-                min: SimDuration::from_micros(one_way_us / 2),
-            };
-            // Timeouts must scale with the network, or WAN peer rounds always
-            // expire and the comparison degenerates to TA-only operation.
-            let cfg = triad_core::TriadConfig {
-                peer_timeout: SimDuration::from_micros((one_way_us * 5).max(10_000)),
-                ..Default::default()
-            };
-            let mut s = ClusterBuilder::new(3, opts.seed ^ 0xE17 ^ one_way_us)
-                .delay(delay)
-                .config(cfg)
-                .all_nodes_aex(|| Box::new(TriadLike::default()))
-                .build();
-            s.run_until(horizon);
-            let world = s.into_world();
-            // Average the three nodes' steady-state slopes.
-            let slope = (0..3)
-                .filter_map(|i| {
-                    world
-                        .recorder
-                        .node(i)
-                        .drift_ms
-                        .slope_per_sec_in(SimTime::from_secs(60), horizon)
-                })
-                .sum::<f64>()
-                / 3.0;
-            NetworkPoint { label, one_way_us, cluster_slope_ms_per_s: slope }
+        .enumerate()
+        .map(|(j, &(label, one_way_us))| {
+            let series: Vec<f64> = (0..reps).map(|r| slopes[r * params.len() + j]).collect();
+            NetworkPoint {
+                label,
+                one_way_us,
+                cluster_slope_ms_per_s: series.iter().sum::<f64>() / reps as f64,
+                slope_min_ms_per_s: series.iter().copied().fold(f64::INFINITY, f64::min),
+                slope_max_ms_per_s: series.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                reps,
+            }
         })
         .collect()
 }
@@ -238,31 +239,27 @@ fn network_sweep(opts: &RunOpts) -> Vec<NetworkPoint> {
 fn ta_load_sweep(opts: &RunOpts) -> Vec<TaLoadPoint> {
     let horizon = if opts.quick { SimTime::from_secs(120) } else { SimTime::from_secs(300) };
     let steady = SimTime::from_secs(60);
-    [1usize, 3, 5]
-        .iter()
-        .map(|&n| {
-            let mut s = ClusterBuilder::new(n, opts.seed ^ 0xE18 ^ n as u64)
-                .all_nodes_aex(|| Box::new(TriadLike::default()))
-                .build();
-            s.run_until(horizon);
-            let world = s.into_world();
-            let window_min = (horizon - steady).as_secs_f64() / 60.0;
-            let refs: u64 = (0..n)
-                .map(|i| {
-                    let c = &world.recorder.node(i).ta_references;
-                    c.count() - c.count_at(steady)
-                })
-                .sum();
-            let availability = (0..n)
-                .map(|i| world.recorder.node(i).states.availability(steady, horizon))
-                .fold(f64::INFINITY, f64::min);
-            TaLoadPoint {
-                n,
-                ta_refs_per_node_per_min: refs as f64 / n as f64 / window_min,
-                availability,
-            }
-        })
-        .collect()
+    let plan = ParamGrid::new([1usize, 3, 5]).plan_seeded(|&n| opts.seed ^ 0xE18 ^ n as u64);
+    opts.runner().run(&plan, |cell| {
+        let n = cell.param;
+        let world =
+            ScenarioSpec::new(n).horizon(horizon).all_nodes_aex(AexSpec::TriadLike).run(cell.seed);
+        let window_min = (horizon - steady).as_secs_f64() / 60.0;
+        let refs: u64 = (0..n)
+            .map(|i| {
+                let c = &world.recorder.node(i).ta_references;
+                c.count() - c.count_at(steady)
+            })
+            .sum();
+        let availability = (0..n)
+            .map(|i| world.recorder.node(i).states.availability(steady, horizon))
+            .fold(f64::INFINITY, f64::min);
+        TaLoadPoint {
+            n,
+            ta_refs_per_node_per_min: refs as f64 / n as f64 / window_min,
+            availability,
+        }
+    })
 }
 
 /// Runs all five sweeps and writes their CSVs.
@@ -313,12 +310,15 @@ pub fn run(opts: &RunOpts) -> SweepsResult {
     .expect("write aex sweep");
     trace::write_csv(
         &dir.join("e17_network_sweep.csv"),
-        &["label", "one_way_us", "cluster_slope_ms_per_s"],
+        &["label", "one_way_us", "mean_cluster_slope_ms_per_s", "slope_min", "slope_max", "reps"],
         result.network.iter().map(|p| {
             vec![
                 p.label.to_string(),
                 p.one_way_us.to_string(),
                 format!("{:.4}", p.cluster_slope_ms_per_s),
+                format!("{:.4}", p.slope_min_ms_per_s),
+                format!("{:.4}", p.slope_max_ms_per_s),
+                p.reps.to_string(),
             ]
         }),
     )
@@ -509,10 +509,17 @@ impl SweepsResult {
                     p.label.to_string(),
                     format!("{} us", p.one_way_us),
                     format!("{:+.3} ms/s", p.cluster_slope_ms_per_s),
+                    format!(
+                        "[{:+.2}, {:+.2}] x{}",
+                        p.slope_min_ms_per_s, p.slope_max_ms_per_s, p.reps
+                    ),
                 ]
             })
             .collect();
-        out.push_str(&trace::render_table(&["network", "one-way", "cluster slope"], &rows));
+        out.push_str(&trace::render_table(
+            &["network", "one-way", "mean cluster slope", "range over seeds"],
+            &rows,
+        ));
         out.push_str("\nE18 — TA load: solo vs cluster\n");
         let rows: Vec<Vec<String>> = self
             .ta_load

@@ -5,9 +5,9 @@
 //! experiment sweeps manipulation magnitudes and records whether the node
 //! detected (recalibrated) and how quickly.
 
-use attacks::{PlannedManipulation, TscAttackSchedule};
-use harness::ClusterBuilder;
+use attacks::PlannedManipulation;
 use netsim::Addr;
+use scenario::{ParamGrid, RunCell, ScenarioSpec};
 use sim::SimTime;
 use tsc::TscManipulation;
 
@@ -35,24 +35,17 @@ pub struct TscDetectResult {
     pub outcomes: Vec<DetectOutcome>,
 }
 
-fn run_one(
-    opts: &RunOpts,
-    idx: u64,
-    label: String,
-    magnitude: f64,
-    manipulation: TscManipulation,
-) -> DetectOutcome {
+/// One grid point: (stable index for seeding, label, magnitude, manipulation).
+type SweepPoint = (u64, String, f64, TscManipulation);
+
+fn run_one(cell: &RunCell<SweepPoint>) -> DetectOutcome {
+    let (_, ref label, magnitude, manipulation) = cell.param;
     let inject_at = SimTime::from_secs(60);
     let horizon = SimTime::from_secs(150);
-    let mut s = ClusterBuilder::new(3, opts.seed ^ 0xE13 ^ idx)
-        .extra_actor(Box::new(TscAttackSchedule::new(vec![PlannedManipulation {
-            at: inject_at,
-            victim: Addr(3),
-            manipulation,
-        }])))
-        .build();
-    s.run_until(horizon);
-    let world = s.into_world();
+    let world = ScenarioSpec::new(3)
+        .horizon(horizon)
+        .manipulation(PlannedManipulation { at: inject_at, victim: Addr(3), manipulation })
+        .run(cell.seed);
     let trace = world.recorder.node(2);
     let recalib = trace
         .calibrations_hz
@@ -61,7 +54,7 @@ fn run_one(
         .map(|&(t, _)| (t - inject_at).as_secs_f64());
     let final_abs_drift_ms = trace.drift_ms.last().map(|(_, d)| d.abs()).unwrap_or(f64::NAN);
     DetectOutcome {
-        manipulation: label,
+        manipulation: label.clone(),
         magnitude,
         detected: recalib.is_some(),
         latency_s: recalib,
@@ -71,12 +64,11 @@ fn run_one(
 
 /// Runs the sweep and writes its CSV.
 pub fn run(opts: &RunOpts) -> TscDetectResult {
-    let mut outcomes = Vec::new();
+    let mut points: Vec<SweepPoint> = Vec::new();
     // Rate manipulations from 10 ppm (below threshold) to 1% (blatant).
     for (i, &ppm) in [10.0, 50.0, 200.0, 1_000.0, 10_000.0].iter().enumerate() {
         let factor = 1.0 + ppm / 1e6;
-        outcomes.push(run_one(
-            opts,
+        points.push((
             i as u64,
             format!("rate x{factor:.5} (+{ppm} ppm)"),
             ppm,
@@ -85,14 +77,15 @@ pub fn run(opts: &RunOpts) -> TscDetectResult {
     }
     // Offset jumps: forward and backward.
     for (i, &ticks) in [29_000_000i64, -29_000_000, 2_900_000].iter().enumerate() {
-        outcomes.push(run_one(
-            opts,
+        points.push((
             100 + i as u64,
             format!("offset {ticks:+} ticks ({:+.1} ms)", ticks as f64 / 2.9e6),
             ticks as f64,
             TscManipulation::OffsetJump(ticks),
         ));
     }
+    let plan = ParamGrid::new(points).plan_seeded(|p| opts.seed ^ 0xE13 ^ p.0);
+    let outcomes: Vec<DetectOutcome> = opts.runner().run(&plan, run_one);
 
     let dir = opts.dir_for("tsc-detect");
     let rows = outcomes

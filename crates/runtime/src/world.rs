@@ -117,24 +117,45 @@ impl World {
     /// The Time Authority's address.
     pub const TA_ADDR: Addr = Addr(0);
 
+    /// Host of the node at `addr`, or `None` for the TA address, client
+    /// addresses, and anything past the cluster.
+    pub fn try_host(&self, addr: Addr) -> Option<&Host> {
+        let index = (addr.0 as usize).checked_sub(1)?;
+        self.hosts.get(index)
+    }
+
+    /// Mutable counterpart of [`World::try_host`].
+    pub fn try_host_mut(&mut self, addr: Addr) -> Option<&mut Host> {
+        let index = (addr.0 as usize).checked_sub(1)?;
+        self.hosts.get_mut(index)
+    }
+
     /// Host of the node at `addr`.
     ///
     /// # Panics
     ///
-    /// Panics for the TA address or unknown nodes.
+    /// Panics for the TA address or unknown nodes; use [`World::try_host`]
+    /// for fallible access.
     pub fn host(&self, addr: Addr) -> &Host {
         assert!(addr.0 >= 1, "the TA has no enclave host");
-        &self.hosts[(addr.0 - 1) as usize]
+        let n = self.node_count();
+        self.try_host(addr).unwrap_or_else(|| {
+            panic!("no host for {addr}: cluster has {n} node(s) (Addr(1)..=Addr({n}))")
+        })
     }
 
     /// Mutable host access (TSC manipulation by the attacker).
     ///
     /// # Panics
     ///
-    /// Panics for the TA address or unknown nodes.
+    /// Panics for the TA address or unknown nodes; use
+    /// [`World::try_host_mut`] for fallible access.
     pub fn host_mut(&mut self, addr: Addr) -> &mut Host {
         assert!(addr.0 >= 1, "the TA has no enclave host");
-        &mut self.hosts[(addr.0 - 1) as usize]
+        let n = self.node_count();
+        self.try_host_mut(addr).unwrap_or_else(|| {
+            panic!("no host for {addr}: cluster has {n} node(s) (Addr(1)..=Addr({n}))")
+        })
     }
 
     /// Reads the TSC of the node at `addr` at instant `now`.
@@ -228,6 +249,25 @@ mod tests {
     fn ta_has_no_host() {
         let w = world(1);
         let _ = w.host(Addr(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no host for addr5: cluster has 2 node(s)")]
+    fn out_of_range_host_names_the_bounds() {
+        let w = world(2);
+        let _ = w.host(Addr(5));
+    }
+
+    #[test]
+    fn try_host_is_total() {
+        let mut w = world(2);
+        assert!(w.try_host(Addr(0)).is_none());
+        assert!(w.try_host(Addr(1)).is_some());
+        assert!(w.try_host(Addr(2)).is_some());
+        assert!(w.try_host(Addr(3)).is_none());
+        assert!(w.try_host_mut(Addr(0)).is_none());
+        assert!(w.try_host_mut(Addr(2)).is_some());
+        assert!(w.try_host_mut(Addr(9)).is_none());
     }
 
     #[test]

@@ -1,4 +1,11 @@
-//! Event-queue internals: scheduled events and their deterministic ordering.
+//! Event-queue internals: scheduled events, their deterministic ordering,
+//! and the slab-backed payload pool.
+//!
+//! The binary heap only holds small fixed-size [`QueuedEvent`] records
+//! (time, seq, id, target, slot); payloads live in an [`EventPool`] slab
+//! indexed by slot. Heap sift operations therefore move a few words
+//! instead of whole `M` values, and freed slots are recycled instead of
+//! reallocated — the dominant allocation churn of long simulation runs.
 
 use crate::actor::ActorId;
 use crate::time::SimTime;
@@ -10,12 +17,9 @@ use crate::time::SimTime;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EventId(pub(crate) u64);
 
-/// An event waiting in the simulation queue.
-///
-/// Ordering is by `(time, seq)`: earlier deadlines first, and FIFO among
-/// events scheduled for the same instant. `seq` is a global monotonically
-/// increasing counter assigned at scheduling time, which makes execution
-/// order fully deterministic regardless of payload contents.
+/// An event staged by a `Ctx` during one actor callback, before it is
+/// committed to the queue (payload still inline; it moves into the pool
+/// exactly once, at commit).
 #[derive(Debug)]
 pub(crate) struct Scheduled<M> {
     pub time: SimTime,
@@ -25,23 +29,93 @@ pub(crate) struct Scheduled<M> {
     pub payload: M,
 }
 
-impl<M> PartialEq for Scheduled<M> {
+/// An event waiting in the simulation queue. Payload lives in the
+/// [`EventPool`] at `slot`.
+///
+/// Ordering is by `(time, seq)`: earlier deadlines first, and FIFO among
+/// events scheduled for the same instant. `seq` is a global monotonically
+/// increasing counter assigned at scheduling time, which makes execution
+/// order fully deterministic regardless of payload contents.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct QueuedEvent {
+    pub time: SimTime,
+    pub seq: u64,
+    pub id: EventId,
+    pub target: ActorId,
+    pub slot: u32,
+}
+
+impl PartialEq for QueuedEvent {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
 
-impl<M> Eq for Scheduled<M> {}
+impl Eq for QueuedEvent {}
 
-impl<M> PartialOrd for Scheduled<M> {
+impl PartialOrd for QueuedEvent {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<M> Ord for Scheduled<M> {
+impl Ord for QueuedEvent {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Slab allocator for in-flight event payloads.
+///
+/// Slots are handed out densely and recycled through a free list, so a
+/// steady-state simulation (schedule one, dispatch one) reaches a fixed
+/// footprint and never allocates again.
+#[derive(Debug)]
+pub(crate) struct EventPool<M> {
+    slots: Vec<Option<M>>,
+    free: Vec<u32>,
+}
+
+impl<M> EventPool<M> {
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventPool { slots: Vec::with_capacity(capacity), free: Vec::new() }
+    }
+
+    /// Stores `payload`, returning its slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX` events are simultaneously in flight.
+    pub fn insert(&mut self, payload: M) -> u32 {
+        match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.slots[slot as usize].is_none(), "free slot occupied");
+                self.slots[slot as usize] = Some(payload);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("event pool slot fits u32");
+                self.slots.push(Some(payload));
+                slot
+            }
+        }
+    }
+
+    /// Removes and returns the payload at `slot`, recycling the slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty (double-take).
+    pub fn take(&mut self, slot: u32) -> M {
+        let payload = self.slots[slot as usize].take().expect("event pool slot occupied");
+        self.free.push(slot);
+        payload
+    }
+
+    /// Number of payloads currently stored.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
     }
 }
 
@@ -50,13 +124,13 @@ mod tests {
     use super::*;
     use crate::time::SimTime;
 
-    fn ev(t: u64, seq: u64) -> Scheduled<()> {
-        Scheduled {
+    fn ev(t: u64, seq: u64) -> QueuedEvent {
+        QueuedEvent {
             time: SimTime::from_nanos(t),
             seq,
             id: EventId(seq),
             target: ActorId(0),
-            payload: (),
+            slot: 0,
         }
     }
 
@@ -66,5 +140,30 @@ mod tests {
         assert!(ev(5, 1) < ev(5, 2));
         assert!(ev(5, 2) > ev(5, 1));
         assert_eq!(ev(5, 1), ev(5, 1));
+    }
+
+    #[test]
+    fn pool_recycles_slots() {
+        let mut pool: EventPool<String> = EventPool::with_capacity(4);
+        let a = pool.insert("a".into());
+        let b = pool.insert("b".into());
+        assert_ne!(a, b);
+        assert_eq!(pool.take(a), "a");
+        assert_eq!(pool.len(), 1);
+        // The freed slot is reused before the slab grows.
+        let c = pool.insert("c".into());
+        assert_eq!(c, a);
+        assert_eq!(pool.take(b), "b");
+        assert_eq!(pool.take(c), "c");
+        assert_eq!(pool.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "occupied")]
+    fn double_take_panics() {
+        let mut pool: EventPool<u8> = EventPool::with_capacity(1);
+        let a = pool.insert(1);
+        let _ = pool.take(a);
+        let _ = pool.take(a);
     }
 }

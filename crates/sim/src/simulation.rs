@@ -6,7 +6,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::actor::{Actor, ActorId};
-use crate::event::{EventId, Scheduled};
+use crate::event::{EventId, EventPool, QueuedEvent, Scheduled};
 use crate::time::{SimDuration, SimTime};
 
 /// A single-threaded, seeded discrete-event simulation.
@@ -15,17 +15,24 @@ use crate::time::{SimDuration, SimTime};
 /// one [`StdRng`] seeded at construction: two runs with identical actors,
 /// world, and seed produce identical event sequences.
 ///
-/// Lifecycle: construct with [`Simulation::new`], register actors with
-/// [`Simulation::add_actor`], then drive with [`Simulation::run`],
+/// Payloads are stored in a slab-backed [`EventPool`]; the binary heap only
+/// sifts small fixed-size records, and one staging buffer is reused across
+/// every dispatch, so steady-state execution is allocation-free.
+///
+/// Lifecycle: construct with [`Simulation::new`] (or
+/// [`Simulation::with_capacity`] to pre-reserve the queue), register actors
+/// with [`Simulation::add_actor`], then drive with [`Simulation::run`],
 /// [`Simulation::run_until`], or [`Simulation::step`]. Results are read back
 /// from the world ([`Simulation::world`] / [`Simulation::into_world`]).
 pub struct Simulation<W, M> {
     now: SimTime,
-    queue: BinaryHeap<std::cmp::Reverse<Scheduled<M>>>,
+    queue: BinaryHeap<std::cmp::Reverse<QueuedEvent>>,
+    pool: EventPool<M>,
     cancelled: HashSet<EventId>,
     actors: Vec<Option<Box<dyn Actor<W, M>>>>,
     world: W,
     rng: StdRng,
+    staged: Vec<Scheduled<M>>,
     next_seq: u64,
     next_event_id: u64,
     dispatched: u64,
@@ -115,18 +122,35 @@ impl<W, M> Simulation<W, M> {
     /// Creates an empty simulation over `world`, with all randomness derived
     /// from `seed`.
     pub fn new(world: W, seed: u64) -> Self {
+        Self::with_capacity(world, seed, 0)
+    }
+
+    /// Like [`Simulation::new`], but pre-reserves room for `capacity`
+    /// simultaneously in-flight events in both the heap and the payload
+    /// pool, avoiding growth reallocations on known-hot workloads.
+    pub fn with_capacity(world: W, seed: u64, capacity: usize) -> Self {
         Simulation {
             now: SimTime::ZERO,
-            queue: BinaryHeap::new(),
+            queue: BinaryHeap::with_capacity(capacity),
+            pool: EventPool::with_capacity(capacity),
             cancelled: HashSet::new(),
             actors: Vec::new(),
             world,
             rng: StdRng::seed_from_u64(seed),
+            staged: Vec::new(),
             next_seq: 0,
             next_event_id: 0,
             dispatched: 0,
             started: false,
         }
+    }
+
+    /// Moves a staged event's payload into the pool and commits the small
+    /// queue record.
+    fn commit(&mut self, ev: Scheduled<M>) {
+        let Scheduled { time, seq, id, target, payload } = ev;
+        let slot = self.pool.insert(payload);
+        self.queue.push(std::cmp::Reverse(QueuedEvent { time, seq, id, target, slot }));
     }
 
     /// Registers an actor and returns its id.
@@ -174,7 +198,7 @@ impl<W, M> Simulation<W, M> {
         self.next_event_id += 1;
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queue.push(std::cmp::Reverse(Scheduled { time, seq, id, target, payload }));
+        self.commit(Scheduled { time, seq, id, target, payload });
         id
     }
 
@@ -188,7 +212,7 @@ impl<W, M> Simulation<W, M> {
             return;
         }
         self.started = true;
-        let mut staged = Vec::new();
+        let mut staged = std::mem::take(&mut self.staged);
         for idx in 0..self.actors.len() {
             let mut actor = self.actors[idx].take().expect("actor present at start");
             let mut ctx = Ctx {
@@ -205,8 +229,9 @@ impl<W, M> Simulation<W, M> {
             self.actors[idx] = Some(actor);
         }
         for ev in staged.drain(..) {
-            self.queue.push(std::cmp::Reverse(ev));
+            self.commit(ev);
         }
+        self.staged = staged;
     }
 
     /// Dispatches the single next event, if any.
@@ -222,11 +247,13 @@ impl<W, M> Simulation<W, M> {
         loop {
             let std::cmp::Reverse(ev) = self.queue.pop()?;
             if self.cancelled.remove(&ev.id) {
+                let _ = self.pool.take(ev.slot);
                 continue;
             }
             debug_assert!(ev.time >= self.now, "event queue went backwards");
             self.now = ev.time;
             self.dispatched += 1;
+            let payload = self.pool.take(ev.slot);
             let idx = ev.target.0;
             let mut actor = self
                 .actors
@@ -234,7 +261,7 @@ impl<W, M> Simulation<W, M> {
                 .unwrap_or_else(|| panic!("event targets unknown {}", ev.target))
                 .take()
                 .expect("actor is not re-entrant");
-            let mut staged = Vec::new();
+            let mut staged = std::mem::take(&mut self.staged);
             let mut ctx = Ctx {
                 now: self.now,
                 self_id: ev.target,
@@ -245,11 +272,12 @@ impl<W, M> Simulation<W, M> {
                 next_seq: &mut self.next_seq,
                 next_event_id: &mut self.next_event_id,
             };
-            actor.on_event(&mut ctx, ev.payload);
+            actor.on_event(&mut ctx, payload);
             self.actors[idx] = Some(actor);
-            for ev in staged {
-                self.queue.push(std::cmp::Reverse(ev));
+            for ev in staged.drain(..) {
+                self.commit(ev);
             }
+            self.staged = staged;
             return Some(self.now);
         }
     }
@@ -272,6 +300,7 @@ impl<W, M> Simulation<W, M> {
                         if self.cancelled.contains(&ev.id) {
                             let std::cmp::Reverse(ev) = self.queue.pop().expect("peeked");
                             self.cancelled.remove(&ev.id);
+                            let _ = self.pool.take(ev.slot);
                             continue;
                         }
                         break Some(ev.time);

@@ -9,6 +9,9 @@
 //!   6b),
 //! - [`NodeTrace`] / [`Recorder`]: the per-node bundle a simulation run
 //!   fills in,
+//! - [`RunSink`] and its implementations ([`CsvSink`], [`MarkdownSink`],
+//!   [`TableSink`]): the one row-streaming interface behind every tabular
+//!   artifact,
 //! - rendering: ASCII charts/Gantt diagrams for the terminal and CSV export
 //!   for external plotting.
 
@@ -19,12 +22,14 @@ mod counter;
 mod recorder;
 mod render;
 mod series;
+mod sink;
 mod timeline;
 
 pub use counter::StepCounter;
 pub use recorder::{FaultLog, NodeTrace, Recorder};
 pub use render::{
-    ascii_chart, ascii_fault_overlay, ascii_gantt, availability_report, render_table, write_csv,
+    ascii_chart, ascii_fault_overlay, ascii_gantt, availability_report, render_table,
 };
 pub use series::TimeSeries;
+pub use sink::{stream_rows, write_csv, CsvSink, MarkdownSink, RunSink, TableSink};
 pub use timeline::{NodeStateTag, Segment, StateTimeline};

@@ -3,9 +3,6 @@
 //! The experiment binaries regenerate each paper figure twice: as a CSV (for
 //! external plotting) and as an ASCII chart/Gantt for immediate inspection.
 
-use std::io::Write as _;
-use std::path::Path;
-
 use sim::SimTime;
 
 use crate::series::TimeSeries;
@@ -245,35 +242,6 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
-/// Writes a CSV file (simple quoting: fields containing commas or quotes
-/// are double-quoted).
-///
-/// # Errors
-///
-/// Propagates any I/O error from creating or writing the file.
-pub fn write_csv(
-    path: &Path,
-    headers: &[&str],
-    rows: impl IntoIterator<Item = Vec<String>>,
-) -> std::io::Result<()> {
-    if let Some(parent) = path.parent() {
-        std::fs::create_dir_all(parent)?;
-    }
-    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
-    let quote = |s: &str| -> String {
-        if s.contains(',') || s.contains('"') || s.contains('\n') {
-            format!("\"{}\"", s.replace('"', "\"\""))
-        } else {
-            s.to_string()
-        }
-    };
-    writeln!(file, "{}", headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","))?;
-    for row in rows {
-        writeln!(file, "{}", row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","))?;
-    }
-    Ok(())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -382,24 +350,5 @@ mod tests {
         // Node 2 had no client traffic → '-' placeholder.
         assert!(report.contains(" - "), "{report}");
         assert!(report.contains("faults injected: 1"), "{report}");
-    }
-
-    #[test]
-    fn csv_round_trip_with_quoting() {
-        let dir = std::env::temp_dir().join("trace_csv_test");
-        let path = dir.join("out.csv");
-        write_csv(
-            &path,
-            &["t", "label"],
-            vec![
-                vec!["1".to_string(), "plain".to_string()],
-                vec!["2".to_string(), "has,comma".to_string()],
-                vec!["3".to_string(), "has\"quote".to_string()],
-            ],
-        )
-        .unwrap();
-        let content = std::fs::read_to_string(&path).unwrap();
-        assert_eq!(content, "t,label\n1,plain\n2,\"has,comma\"\n3,\"has\"\"quote\"\n");
-        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,256 @@
+//! Streaming result sinks: one row-oriented interface behind every
+//! tabular artifact (CSV files, Markdown tables, aligned ASCII tables).
+//!
+//! Experiment reducers push rows as cells complete — in deterministic
+//! merge order — instead of accumulating whole `Recorder`s or formatting
+//! the same table three different ways per figure.
+
+use std::io::Write as _;
+use std::path::Path;
+
+/// A row-oriented consumer of tabular experiment output.
+///
+/// Lifecycle: one [`RunSink::begin`] with the column headers, any number
+/// of [`RunSink::row`] calls, one [`RunSink::finish`]. Implementations
+/// may buffer or stream; `finish` flushes.
+pub trait RunSink {
+    /// Declares the column headers. Must be called exactly once, first.
+    fn begin(&mut self, headers: &[&str]);
+    /// Appends one data row (must match the header arity).
+    fn row(&mut self, cells: &[String]);
+    /// Completes the table, flushing any buffered output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from file-backed sinks.
+    fn finish(&mut self) -> std::io::Result<()>;
+}
+
+fn csv_quote(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Streams rows into a CSV file (RFC-4180-style quoting), creating parent
+/// directories on demand.
+#[derive(Debug)]
+pub struct CsvSink {
+    path: std::path::PathBuf,
+    writer: Option<std::io::BufWriter<std::fs::File>>,
+    error: Option<std::io::Error>,
+}
+
+impl CsvSink {
+    /// Creates a sink writing to `path`. The file is created lazily at
+    /// [`RunSink::begin`]; errors are deferred to [`RunSink::finish`] so
+    /// the row-pushing hot path stays infallible.
+    pub fn create(path: impl Into<std::path::PathBuf>) -> Self {
+        CsvSink { path: path.into(), writer: None, error: None }
+    }
+
+    fn write_line(&mut self, cells: impl Iterator<Item = String>) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Some(w) = self.writer.as_mut() {
+            let line = cells.collect::<Vec<_>>().join(",");
+            if let Err(e) = writeln!(w, "{line}") {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+impl RunSink for CsvSink {
+    fn begin(&mut self, headers: &[&str]) {
+        assert!(self.writer.is_none(), "begin called twice");
+        let open = || -> std::io::Result<std::io::BufWriter<std::fs::File>> {
+            if let Some(parent) = self.path.parent() {
+                std::fs::create_dir_all(parent)?;
+            }
+            Ok(std::io::BufWriter::new(std::fs::File::create(&self.path)?))
+        };
+        match open() {
+            Ok(w) => self.writer = Some(w),
+            Err(e) => self.error = Some(e),
+        }
+        self.write_line(headers.iter().map(|h| csv_quote(h)));
+    }
+
+    fn row(&mut self, cells: &[String]) {
+        self.write_line(cells.iter().map(|c| csv_quote(c)));
+    }
+
+    fn finish(&mut self) -> std::io::Result<()> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        if let Some(mut w) = self.writer.take() {
+            w.flush()?;
+        }
+        Ok(())
+    }
+}
+
+/// Accumulates rows as a GitHub-flavoured Markdown table.
+#[derive(Debug, Default)]
+pub struct MarkdownSink {
+    out: String,
+}
+
+impl MarkdownSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The rendered table (valid after [`RunSink::finish`]).
+    pub fn into_string(self) -> String {
+        self.out
+    }
+}
+
+impl RunSink for MarkdownSink {
+    fn begin(&mut self, headers: &[&str]) {
+        assert!(self.out.is_empty(), "begin called twice");
+        self.out.push_str(&format!("| {} |\n", headers.join(" | ")));
+        self.out.push_str(&format!("|{}\n", "---|".repeat(headers.len())));
+    }
+
+    fn row(&mut self, cells: &[String]) {
+        self.out.push_str(&format!("| {} |\n", cells.join(" | ")));
+    }
+
+    fn finish(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Accumulates rows and renders an aligned plain-text table (the
+/// terminal-report format of [`crate::render_table`]).
+#[derive(Debug, Default)]
+pub struct TableSink {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TableSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Renders the aligned table (valid after [`RunSink::finish`]).
+    pub fn into_string(self) -> String {
+        let headers: Vec<&str> = self.headers.iter().map(String::as_str).collect();
+        crate::render_table(&headers, &self.rows)
+    }
+}
+
+impl RunSink for TableSink {
+    fn begin(&mut self, headers: &[&str]) {
+        assert!(self.headers.is_empty(), "begin called twice");
+        self.headers = headers.iter().map(|h| h.to_string()).collect();
+    }
+
+    fn row(&mut self, cells: &[String]) {
+        self.rows.push(cells.to_vec());
+    }
+
+    fn finish(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Streams `rows` under `headers` into `sink` and finishes it.
+///
+/// # Errors
+///
+/// Propagates the sink's I/O errors.
+pub fn stream_rows(
+    sink: &mut dyn RunSink,
+    headers: &[&str],
+    rows: impl IntoIterator<Item = Vec<String>>,
+) -> std::io::Result<()> {
+    sink.begin(headers);
+    for row in rows {
+        sink.row(&row);
+    }
+    sink.finish()
+}
+
+/// Writes `rows` as a CSV file at `path` (convenience wrapper over
+/// [`CsvSink`]; the historical `trace::write_csv` entry point).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_csv(
+    path: &Path,
+    headers: &[&str],
+    rows: impl IntoIterator<Item = Vec<String>>,
+) -> std::io::Result<()> {
+    let mut sink = CsvSink::create(path);
+    stream_rows(&mut sink, headers, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_sink_quotes_and_writes() {
+        let dir = std::env::temp_dir().join("trace_sink_test");
+        let path = dir.join("nested").join("t.csv");
+        write_csv(
+            &path,
+            &["a", "b"],
+            vec![
+                vec!["1".to_string(), "x,y".to_string()],
+                vec!["2".to_string(), "quo\"te".to_string()],
+            ],
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "a,b\n1,\"x,y\"\n2,\"quo\"\"te\"\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn markdown_sink_renders_table() {
+        let mut sink = MarkdownSink::new();
+        stream_rows(&mut sink, &["x", "y"], vec![vec!["1".to_string(), "2".to_string()]]).unwrap();
+        assert_eq!(sink.into_string(), "| x | y |\n|---|---|\n| 1 | 2 |\n");
+    }
+
+    #[test]
+    fn table_sink_aligns() {
+        let mut sink = TableSink::new();
+        stream_rows(
+            &mut sink,
+            &["name", "v"],
+            vec![vec!["long-name".to_string(), "1".to_string()]],
+        )
+        .unwrap();
+        let s = sink.into_string();
+        assert!(s.contains("long-name"));
+        assert!(s.contains("name"));
+    }
+
+    #[test]
+    fn csv_sink_reports_io_error_at_finish() {
+        // A path under a file (not a directory) cannot be created.
+        let dir = std::env::temp_dir().join("trace_sink_err_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let blocker = dir.join("blocker");
+        std::fs::write(&blocker, "x").unwrap();
+        let mut sink = CsvSink::create(blocker.join("t.csv"));
+        sink.begin(&["a"]);
+        sink.row(&["1".to_string()]);
+        assert!(sink.finish().is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
