@@ -1,70 +1,18 @@
 //! Kernel event-throughput benchmark: a 1 000-actor ping storm.
 //!
-//! Every actor maintains its own event chain through the shared
-//! slab-backed pool and binary heap, so each simulated instant has ~1 000
-//! live events interleaved in the queue — the access pattern the scenario
-//! runner's per-cell simulations produce, concentrated in one process.
-//! Reported via [`Throughput::Elements`] as events/second.
-//!
-//! Running with `TT_BENCH_BASELINE=<path>` additionally writes a small
-//! JSON snapshot (median events/sec over its own sample loop);
+//! The workload lives in [`tt_bench::KERNEL`] so this bench, the
+//! `bench-gate` regression binary, and baseline regeneration all measure
+//! the same code. Reported via [`Throughput::Elements`] as events/second;
 //! `results/BENCH_kernel.json` is the committed reference point.
 
-use criterion::{black_box, criterion_group, Criterion, Throughput};
-use sim::{Actor, ActorId, Ctx, SimDuration, Simulation};
-
-/// Concurrent event chains (one per actor).
-const ACTORS: usize = 1_000;
-/// Ping rounds each actor plays.
-const ROUNDS: u64 = 100;
-/// Events dispatched per storm: one start event plus one per round, per
-/// actor.
-const EVENTS: u64 = ACTORS as u64 * (ROUNDS + 1);
-
-/// One participant: pings `peer` (itself when `None`) every simulated
-/// microsecond until its round budget is spent.
-struct Pinger {
-    peer: Option<ActorId>,
-    rounds: u64,
-}
-
-impl Pinger {
-    fn ping(&self, ctx: &mut Ctx<'_, (), u64>, round: u64) {
-        let peer = self.peer.unwrap_or_else(|| ctx.self_id());
-        ctx.send(peer, SimDuration::from_micros(1), round);
-    }
-}
-
-impl Actor<(), u64> for Pinger {
-    fn on_start(&mut self, ctx: &mut Ctx<'_, (), u64>) {
-        self.ping(ctx, 0);
-    }
-
-    fn on_event(&mut self, ctx: &mut Ctx<'_, (), u64>, round: u64) {
-        if round < self.rounds {
-            self.ping(ctx, round + 1);
-        }
-    }
-}
-
-/// Builds and drains one storm; returns the dispatched-event count.
-fn storm() -> u64 {
-    let mut s = Simulation::with_capacity((), 1, ACTORS + 1);
-    // Actor 0 pings itself; every later actor pings its predecessor, so
-    // all 1 000 chains stay live for the whole run.
-    let mut prev = s.add_actor(Box::new(Pinger { peer: None, rounds: ROUNDS }));
-    for _ in 1..ACTORS {
-        prev = s.add_actor(Box::new(Pinger { peer: Some(prev), rounds: ROUNDS }));
-    }
-    s.run();
-    s.dispatched()
-}
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use tt_bench::KERNEL;
 
 fn bench_kernel(c: &mut Criterion) {
     let mut group = c.benchmark_group("kernel");
-    group.throughput(Throughput::Elements(EVENTS));
+    group.throughput(Throughput::Elements(KERNEL.events_per_run));
     group.bench_function("ping_storm_1k_actors", |b| {
-        b.iter(|| black_box(storm()));
+        b.iter(|| black_box((KERNEL.run)()));
     });
     group.finish();
 }
@@ -74,38 +22,4 @@ criterion_group!(
     config = Criterion::default().sample_size(20);
     targets = bench_kernel
 );
-
-/// Re-measures the storm outside criterion and writes the committed JSON
-/// baseline (median over `samples` runs).
-fn write_baseline(path: &str) {
-    let events = storm();
-    assert_eq!(events, EVENTS, "storm must dispatch exactly {EVENTS} events");
-    let samples = 10;
-    let mut rates: Vec<f64> = (0..samples)
-        .map(|_| {
-            let t0 = std::time::Instant::now();
-            let n = black_box(storm());
-            n as f64 / t0.elapsed().as_secs_f64()
-        })
-        .collect();
-    rates.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN rate"));
-    let median = rates[rates.len() / 2];
-    let json = format!(
-        "{{\n  \"benchmark\": \"kernel/ping_storm_1k_actors\",\n  \
-         \"actors\": {ACTORS},\n  \"rounds\": {ROUNDS},\n  \
-         \"events_per_storm\": {EVENTS},\n  \"samples\": {samples},\n  \
-         \"median_events_per_sec\": {median:.0},\n  \
-         \"min_events_per_sec\": {:.0},\n  \"max_events_per_sec\": {:.0}\n}}\n",
-        rates[0],
-        rates[rates.len() - 1],
-    );
-    std::fs::write(path, json).expect("write bench baseline");
-    println!("baseline written to {path}");
-}
-
-fn main() {
-    kernel();
-    if let Ok(path) = std::env::var("TT_BENCH_BASELINE") {
-        write_baseline(&path);
-    }
-}
+criterion_main!(kernel);

@@ -1,0 +1,28 @@
+//! Sealed-fabric round-trip benchmark.
+//!
+//! `fabric/sealed_round_trips` drives full request/response exchanges
+//! through the messaging hot path: wire encode → AES-256-GCM seal →
+//! fabric dispatch → delivery → open → decode, all under the scheduler.
+//! This is the end-to-end cost every protocol message pays, so it catches
+//! regressions the kernel storm (which sends plain `u64`s) cannot see —
+//! scratch-buffer misuse, GHASH table rebuilds, per-send allocation.
+//! Baseline: `results/BENCH_sealed_fabric.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use tt_bench::SEALED_FABRIC;
+
+fn bench_sealed_fabric(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fabric");
+    group.throughput(Throughput::Elements(SEALED_FABRIC.events_per_run));
+    group.bench_function("sealed_round_trips", |b| {
+        b.iter(|| black_box((SEALED_FABRIC.run)()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = fabric;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sealed_fabric
+);
+criterion_main!(fabric);

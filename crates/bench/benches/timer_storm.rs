@@ -1,0 +1,32 @@
+//! Scheduler-shape benchmarks: timer-heavy and cancel-heavy storms.
+//!
+//! `wheel/timer_storm` spreads periodic deadlines across 20 binary decades
+//! (1 µs to ~0.5 s), filing events into every level of the hierarchical
+//! timer wheel so the cascade path dominates. `wheel/cancel_storm` arms
+//! and cancels one far-future timeout per dispatched event — the
+//! protocol's probe/retry pattern — exercising tombstone cancellation and
+//! slab slot reuse. Baselines: `results/BENCH_timer_storm.json` (the
+//! timer storm; the cancel storm rides along uncommitted).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use tt_bench::{CANCEL_STORM, TIMER_STORM};
+
+fn bench_timer_storm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wheel");
+    group.throughput(Throughput::Elements(TIMER_STORM.events_per_run));
+    group.bench_function("timer_storm", |b| {
+        b.iter(|| black_box((TIMER_STORM.run)()));
+    });
+    group.throughput(Throughput::Elements(CANCEL_STORM.events_per_run));
+    group.bench_function("cancel_storm", |b| {
+        b.iter(|| black_box((CANCEL_STORM.run)()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = wheel;
+    config = Criterion::default().sample_size(20);
+    targets = bench_timer_storm
+);
+criterion_main!(wheel);

@@ -1,0 +1,130 @@
+//! `bench-gate` — benchmark regression gate over committed baselines.
+//!
+//! ```text
+//! bench-gate check  <baseline.json> [--tolerance 0.15] [--samples 10]
+//! bench-gate update <baseline.json> [--samples 10]
+//! ```
+//!
+//! `check` re-measures the workload named by the baseline's `"benchmark"`
+//! field and exits non-zero when the fresh median events/s falls more than
+//! `tolerance` below the committed median (default 15%, matching the CI
+//! gate). `update` re-measures and rewrites the baseline in place; commit
+//! the result together with the change that moved it.
+
+use std::process::ExitCode;
+
+use tt_bench::{baseline, find_workload};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench-gate check  <baseline.json> [--tolerance 0.15] [--samples 10]\n       \
+         bench-gate update <baseline.json> [--samples 10]"
+    );
+    ExitCode::from(2)
+}
+
+struct Opts {
+    path: String,
+    tolerance: f64,
+    samples: usize,
+}
+
+fn parse_opts(args: &[String]) -> Option<Opts> {
+    let mut opts = Opts { path: args.first()?.clone(), tolerance: 0.15, samples: 10 };
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let value = it.next()?;
+        match flag.as_str() {
+            "--tolerance" => opts.tolerance = value.parse().ok().filter(|t| *t >= 0.0)?,
+            "--samples" => opts.samples = value.parse().ok().filter(|s| *s > 0)?,
+            _ => return None,
+        }
+    }
+    Some(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(mode), Some(opts)) = (args.first(), parse_opts(&args[1..])) else {
+        return usage();
+    };
+    match mode.as_str() {
+        "check" => check(&opts),
+        "update" => update(&opts),
+        _ => usage(),
+    }
+}
+
+fn check(opts: &Opts) -> ExitCode {
+    let json = match std::fs::read_to_string(&opts.path) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("bench-gate: cannot read {}: {e}", opts.path);
+            return ExitCode::from(2);
+        }
+    };
+    let Some(name) = baseline::json_str_field(&json, "benchmark") else {
+        eprintln!("bench-gate: {} has no \"benchmark\" field", opts.path);
+        return ExitCode::from(2);
+    };
+    let Some(committed) = baseline::json_num_field(&json, "median_events_per_sec") else {
+        eprintln!("bench-gate: {} has no \"median_events_per_sec\" field", opts.path);
+        return ExitCode::from(2);
+    };
+    let Some(workload) = find_workload(&name) else {
+        eprintln!("bench-gate: unknown workload {name:?} in {}", opts.path);
+        return ExitCode::from(2);
+    };
+    let fresh = baseline::measure(workload, opts.samples);
+    let floor = committed * (1.0 - opts.tolerance);
+    let ratio = fresh.median_events_per_sec / committed;
+    println!(
+        "{name}: fresh median {:.0} events/s vs committed {committed:.0} ({:.1}% of baseline, \
+         floor {floor:.0})",
+        fresh.median_events_per_sec,
+        ratio * 100.0,
+    );
+    if fresh.median_events_per_sec < floor {
+        eprintln!(
+            "bench-gate: REGRESSION — median dropped more than {:.0}% below {}",
+            opts.tolerance * 100.0,
+            opts.path
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench-gate: ok");
+    ExitCode::SUCCESS
+}
+
+fn update(opts: &Opts) -> ExitCode {
+    // The baseline file names the workload; fall back to the kernel storm
+    // when creating a baseline from scratch is not supported — the file
+    // must exist (copy a sibling and edit "benchmark") or be one of the
+    // known names passed as a path ending in BENCH_<key>.json.
+    let name = std::fs::read_to_string(&opts.path)
+        .ok()
+        .and_then(|json| baseline::json_str_field(&json, "benchmark"));
+    let Some(name) = name else {
+        eprintln!(
+            "bench-gate: {} does not exist or has no \"benchmark\" field; \
+             seed it with {{\"benchmark\": \"<workload>\"}} first",
+            opts.path
+        );
+        return ExitCode::from(2);
+    };
+    let Some(workload) = find_workload(&name) else {
+        eprintln!("bench-gate: unknown workload {name:?} in {}", opts.path);
+        return ExitCode::from(2);
+    };
+    let summary = baseline::measure(workload, opts.samples);
+    let json = baseline::to_json(workload, &summary);
+    if let Err(e) = std::fs::write(&opts.path, json) {
+        eprintln!("bench-gate: cannot write {}: {e}", opts.path);
+        return ExitCode::from(2);
+    }
+    println!(
+        "{name}: baseline updated — median {:.0} events/s over {} samples → {}",
+        summary.median_events_per_sec, summary.samples, opts.path
+    );
+    ExitCode::SUCCESS
+}

@@ -1,7 +1,7 @@
 //! AES-256-GCM authenticated encryption (SP 800-38D, 96-bit nonces).
 
 use crate::aes::Aes256;
-use crate::ghash::Ghash;
+use crate::ghash::{Ghash, GhashKey};
 
 /// Length of the authentication tag appended to every ciphertext.
 pub const TAG_LEN: usize = 16;
@@ -39,14 +39,17 @@ impl std::error::Error for AuthError {}
 #[derive(Debug, Clone)]
 pub struct Aes256Gcm {
     cipher: Aes256,
-    h: [u8; 16],
+    h: GhashKey,
 }
 
 impl Aes256Gcm {
     /// Creates an AEAD from a 256-bit key.
+    ///
+    /// Key setup precomputes the AES round keys and the GHASH subkey's
+    /// multiplication tables, so per-message work is lookups only.
     pub fn new(key: &[u8; 32]) -> Self {
         let cipher = Aes256::new(key);
-        let h = cipher.encrypt_block_copy(&[0u8; 16]);
+        let h = GhashKey::new(&cipher.encrypt_block_copy(&[0u8; 16]));
         Aes256Gcm { cipher, h }
     }
 
@@ -89,12 +92,26 @@ impl Aes256Gcm {
     /// The caller must never reuse a nonce under the same key; the
     /// [`crate::SealingKey`] wrapper enforces this with a counter.
     pub fn seal(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
-        let j0 = Self::j0(nonce);
-        let mut out = plaintext.to_vec();
-        self.ctr_xor(&j0, &mut out);
-        let tag = self.tag(&j0, aad, &out);
-        out.extend_from_slice(&tag);
+        let mut out = Vec::with_capacity(plaintext.len() + TAG_LEN);
+        self.seal_into(nonce, aad, plaintext, &mut out);
         out
+    }
+
+    /// Allocation-free [`Aes256Gcm::seal`]: appends `ciphertext || tag` to
+    /// `out`, leaving any existing prefix (e.g. a wire header) untouched.
+    pub fn seal_into(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        plaintext: &[u8],
+        out: &mut Vec<u8>,
+    ) {
+        let j0 = Self::j0(nonce);
+        let start = out.len();
+        out.extend_from_slice(plaintext);
+        self.ctr_xor(&j0, &mut out[start..]);
+        let tag = self.tag(&j0, aad, &out[start..]);
+        out.extend_from_slice(&tag);
     }
 
     /// Verifies and decrypts `ciphertext || tag` produced by
@@ -110,6 +127,24 @@ impl Aes256Gcm {
         aad: &[u8],
         sealed: &[u8],
     ) -> Result<Vec<u8>, AuthError> {
+        let mut out = Vec::with_capacity(sealed.len().saturating_sub(TAG_LEN));
+        self.open_into(nonce, aad, sealed, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free [`Aes256Gcm::open`]: appends the plaintext to `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuthError`] exactly as [`Aes256Gcm::open`] does; `out` is
+    /// untouched on failure (verify-then-decrypt).
+    pub fn open_into(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        sealed: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), AuthError> {
         if sealed.len() < TAG_LEN {
             return Err(AuthError);
         }
@@ -125,9 +160,10 @@ impl Aes256Gcm {
         if diff != 0 {
             return Err(AuthError);
         }
-        let mut out = ciphertext.to_vec();
-        self.ctr_xor(&j0, &mut out);
-        Ok(out)
+        let start = out.len();
+        out.extend_from_slice(ciphertext);
+        self.ctr_xor(&j0, &mut out[start..]);
+        Ok(())
     }
 }
 

@@ -32,5 +32,5 @@ mod session;
 
 pub use aes::Aes256;
 pub use gcm::{Aes256Gcm, AuthError, NONCE_LEN, TAG_LEN};
-pub use ghash::{gf_mul, Ghash};
+pub use ghash::{gf_mul, Ghash, GhashKey};
 pub use session::SealingKey;

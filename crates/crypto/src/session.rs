@@ -56,14 +56,20 @@ impl SealingKey {
     /// Seals `plaintext`, embedding the sequence number in the wire format:
     /// `direction (1) || seq (8) || ciphertext || tag`.
     pub fn seal(&mut self, aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let mut wire = Vec::with_capacity(9 + plaintext.len() + 16);
+        self.seal_into(aad, plaintext, &mut wire);
+        wire
+    }
+
+    /// Allocation-free [`SealingKey::seal`]: appends the wire message to
+    /// `out` (a reused scratch buffer on the hot path).
+    pub fn seal_into(&mut self, aad: &[u8], plaintext: &[u8], out: &mut Vec<u8>) {
         let seq = self.next_seq;
         self.next_seq += 1;
         let nonce = Self::nonce(self.direction, seq);
-        let mut wire = Vec::with_capacity(9 + plaintext.len() + 16);
-        wire.push(self.direction);
-        wire.extend_from_slice(&seq.to_be_bytes());
-        wire.extend_from_slice(&self.aead.seal(&nonce, aad, plaintext));
-        wire
+        out.push(self.direction);
+        out.extend_from_slice(&seq.to_be_bytes());
+        self.aead.seal_into(&nonce, aad, plaintext, out);
     }
 
     /// Opens a wire message sealed by the *other* endpoint of this key.
@@ -73,6 +79,18 @@ impl SealingKey {
     /// Fails if the message is malformed, was sealed by this same direction
     /// (reflection), or does not authenticate.
     pub fn open(&self, aad: &[u8], wire: &[u8]) -> Result<Vec<u8>, AuthError> {
+        let mut out = Vec::new();
+        self.open_into(aad, wire, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free [`SealingKey::open`]: appends the plaintext to `out`,
+    /// leaving it untouched on failure.
+    ///
+    /// # Errors
+    ///
+    /// Fails exactly as [`SealingKey::open`] does.
+    pub fn open_into(&self, aad: &[u8], wire: &[u8], out: &mut Vec<u8>) -> Result<(), AuthError> {
         if wire.len() < 9 {
             return Err(AuthError);
         }
@@ -83,7 +101,7 @@ impl SealingKey {
         }
         let seq = u64::from_be_bytes(wire[1..9].try_into().expect("length checked"));
         let nonce = Self::nonce(direction, seq);
-        self.aead.open(&nonce, aad, &wire[9..])
+        self.aead.open_into(&nonce, aad, &wire[9..], out)
     }
 }
 

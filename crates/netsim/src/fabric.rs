@@ -227,18 +227,39 @@ impl Network {
         dst: Addr,
         payload: Vec<u8>,
     ) -> Vec<(SimTime, Delivery)> {
+        let mut out = Vec::new();
+        self.dispatch_into(now, rng, src, dst, &payload, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Network::dispatch`]: borrows the payload (copied
+    /// only into surviving deliveries) and appends the scheduled deliveries
+    /// to `out` (a reused scratch buffer on the hot path — clear it first).
+    ///
+    /// Draws from `rng` in exactly the same order as [`Network::dispatch`],
+    /// so the two entry points are interchangeable without perturbing the
+    /// deterministic stream.
+    pub fn dispatch_into(
+        &mut self,
+        now: SimTime,
+        rng: &mut StdRng,
+        src: Addr,
+        dst: Addr,
+        payload: &[u8],
+        out: &mut Vec<(SimTime, Delivery)>,
+    ) {
         let stats = self.stats.entry((src, dst)).or_default();
         stats.sent += 1;
 
         if self.blocked.contains(&(src, dst)) {
             stats.partition_dropped += 1;
-            return Vec::new();
+            return;
         }
 
         let loss = self.link_loss.get(&(src, dst)).copied().unwrap_or(self.loss_probability);
         if loss > 0.0 && rng.gen_bool(loss) {
             stats.lost += 1;
-            return Vec::new();
+            return;
         }
 
         let model = self.link_delay.get(&(src, dst)).unwrap_or(&self.default_delay);
@@ -260,7 +281,7 @@ impl Network {
         let mut delayed = false;
         let mut replay_after: Option<SimDuration> = None;
         for interceptor in &mut self.interceptors {
-            match interceptor.on_message(now, &meta, &payload) {
+            match interceptor.on_message(now, &meta, payload) {
                 InterceptAction::Deliver => {}
                 InterceptAction::Delay(d) => {
                     attacker_delay += d;
@@ -272,7 +293,7 @@ impl Network {
                 InterceptAction::Drop => {
                     let stats = self.stats.entry((src, dst)).or_default();
                     stats.attacker_dropped += 1;
-                    return Vec::new();
+                    return;
                 }
             }
         }
@@ -294,24 +315,21 @@ impl Network {
             stats.attacker_delayed += 1;
             stats.attacker_delay_ns += attacker_delay.as_nanos();
         }
-        let original =
-            (now + delay, Delivery { src, dst, payload: payload.clone(), send_time: now });
-        let mut out = match replay_after {
-            None => vec![original],
-            Some(extra) => {
-                stats.attacker_replayed += 1;
-                let copy = (
-                    now + delay + extra,
-                    Delivery { src, dst, payload: payload.clone(), send_time: now },
-                );
-                vec![original, copy]
-            }
-        };
+        out.push((now + delay, Delivery { src, dst, payload: payload.to_vec(), send_time: now }));
+        if let Some(extra) = replay_after {
+            stats.attacker_replayed += 1;
+            out.push((
+                now + delay + extra,
+                Delivery { src, dst, payload: payload.to_vec(), send_time: now },
+            ));
+        }
         if let Some(dup_delay) = duplicate_delay {
             stats.duplicated += 1;
-            out.push((now + dup_delay, Delivery { src, dst, payload, send_time: now }));
+            out.push((
+                now + dup_delay,
+                Delivery { src, dst, payload: payload.to_vec(), send_time: now },
+            ));
         }
-        out
     }
 }
 

@@ -57,11 +57,23 @@ impl KeyTable {
     ///
     /// Panics if the pair was never provisioned.
     pub fn seal(&mut self, src: Addr, dst: Addr, plaintext: &[u8]) -> Vec<u8> {
+        let mut wire = Vec::new();
+        self.seal_into(src, dst, plaintext, &mut wire);
+        wire
+    }
+
+    /// Allocation-free [`KeyTable::seal`]: appends the wire message to
+    /// `out` (a reused scratch buffer on the hot path — clear it first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair was never provisioned.
+    pub fn seal_into(&mut self, src: Addr, dst: Addr, plaintext: &[u8], out: &mut Vec<u8>) {
         let session = self
             .sessions
             .get_mut(&(src, dst))
             .unwrap_or_else(|| panic!("no key provisioned for {src} -> {dst}"));
-        session.seal(&link_aad(src, dst), plaintext)
+        session.seal_into(&link_aad(src, dst), plaintext, out);
     }
 
     /// Opens a sealed payload received by `me` from `from`.
@@ -70,8 +82,26 @@ impl KeyTable {
     ///
     /// Fails when the pair has no key or authentication fails.
     pub fn open(&self, me: Addr, from: Addr, wire: &[u8]) -> Result<Vec<u8>, AuthError> {
+        let mut out = Vec::new();
+        self.open_into(me, from, wire, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free [`KeyTable::open`]: appends the plaintext to `out`,
+    /// leaving it untouched on failure.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the pair has no key or authentication fails.
+    pub fn open_into(
+        &self,
+        me: Addr,
+        from: Addr,
+        wire: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), AuthError> {
         let session = self.sessions.get(&(me, from)).ok_or(AuthError)?;
-        session.open(&link_aad(from, me), wire)
+        session.open_into(&link_aad(from, me), wire, out)
     }
 }
 

@@ -23,17 +23,29 @@ pub fn send_message(
     dst: Addr,
     msg: &Message,
 ) -> bool {
-    let plaintext = msg.encode();
-    let sealed = ctx.world.keys.seal(src, dst, &plaintext);
     let now = ctx.now();
-    let deliveries = ctx.world.net.dispatch(now, ctx.rng, src, dst, sealed);
-    if deliveries.is_empty() {
+    {
+        // Split the world into its disjoint hot-path parts so the scratch
+        // buffers can feed the key table and fabric without cloning.
+        let World { ref mut net, ref mut keys, ref mut scratch, .. } = *ctx.world;
+        scratch.plain.clear();
+        msg.encode_into(&mut scratch.plain);
+        scratch.wire.clear();
+        keys.seal_into(src, dst, &scratch.plain, &mut scratch.wire);
+        scratch.deliveries.clear();
+        net.dispatch_into(now, ctx.rng, src, dst, &scratch.wire, &mut scratch.deliveries);
+    }
+    if ctx.world.scratch.deliveries.is_empty() {
         return false;
     }
     let target = ctx.world.actor_of(dst);
-    for (deliver_at, delivery) in deliveries {
+    // Scheduling needs `ctx` whole, so lift the staged deliveries out of the
+    // world for the duration and hand the (emptied) buffer back after.
+    let mut deliveries = std::mem::take(&mut ctx.world.scratch.deliveries);
+    for (deliver_at, delivery) in deliveries.drain(..) {
         ctx.send_at(target, deliver_at, SysEvent::Deliver(delivery));
     }
+    ctx.world.scratch.deliveries = deliveries;
     true
 }
 
@@ -42,10 +54,12 @@ pub fn send_message(
 /// Returns `None` when authentication or decoding fails (a tampered,
 /// replayed, or corrupted datagram) — the node silently ignores it, as a
 /// UDP service would.
-pub fn open_delivery(world: &World, me: Addr, delivery: &Delivery) -> Option<Message> {
+pub fn open_delivery(world: &mut World, me: Addr, delivery: &Delivery) -> Option<Message> {
     debug_assert_eq!(delivery.dst, me, "delivery routed to the wrong actor");
-    let plaintext = world.keys.open(me, delivery.src, &delivery.payload).ok()?;
-    Message::decode(&plaintext).ok()
+    let World { ref keys, ref mut scratch, .. } = *world;
+    scratch.plain.clear();
+    keys.open_into(me, delivery.src, &delivery.payload, &mut scratch.plain).ok()?;
+    Message::decode(&scratch.plain).ok()
 }
 
 #[cfg(test)]
@@ -141,6 +155,6 @@ mod tests {
             payload: vec![0u8; 64],
             send_time: SimTime::ZERO,
         };
-        assert!(open_delivery(&world, Addr(1), &forged).is_none());
+        assert!(open_delivery(&mut world, Addr(1), &forged).is_none());
     }
 }

@@ -10,6 +10,18 @@ use tsc::{CoreFrequency, IncModel, TscClock};
 
 use crate::keys::KeyTable;
 
+/// Reusable buffers for the messaging hot path, owned by the world so the
+/// steady state of encode → seal → dispatch → open never allocates.
+#[derive(Debug, Default)]
+pub(crate) struct Scratch {
+    /// Encoded plaintext of the message being sealed or opened.
+    pub plain: Vec<u8>,
+    /// Sealed wire bytes of the message being sent.
+    pub wire: Vec<u8>,
+    /// Deliveries staged by the fabric for the message being sent.
+    pub deliveries: Vec<(SimTime, netsim::Delivery)>,
+}
+
 /// One node's physical platform: its TSC, its monitoring core's frequency,
 /// and the INC-counting behaviour on that core.
 #[derive(Debug, Clone)]
@@ -87,6 +99,8 @@ pub struct World {
     /// pending held responses) while it is `false`.
     pub ta_online: bool,
     actors: HashMap<Addr, ActorId>,
+    /// Messaging hot-path scratch buffers (see [`Scratch`]).
+    pub(crate) scratch: Scratch,
 }
 
 impl World {
@@ -101,6 +115,7 @@ impl World {
             keys: KeyTable::new(),
             ta_online: true,
             actors: HashMap::new(),
+            scratch: Scratch::default(),
         }
     }
 

@@ -1,11 +1,15 @@
 //! Event-queue internals: scheduled events, their deterministic ordering,
-//! and the slab-backed payload pool.
+//! and the generation-stamped slab that backs payload storage *and*
+//! cancellation.
 //!
-//! The binary heap only holds small fixed-size [`QueuedEvent`] records
-//! (time, seq, id, target, slot); payloads live in an [`EventPool`] slab
-//! indexed by slot. Heap sift operations therefore move a few words
-//! instead of whole `M` values, and freed slots are recycled instead of
-//! reallocated — the dominant allocation churn of long simulation runs.
+//! The queue only holds small fixed-size [`QueuedEvent`] records
+//! (time, seq, id, target); payloads live in an [`EventPool`] slab indexed
+//! by the slot half of the [`EventId`]. Every slot carries a generation
+//! counter that is bumped each time the slot is vacated, so a stale handle
+//! (an already-fired or already-cancelled event, or a recycled slot) can
+//! never reach a payload it does not own. Cancellation is a single O(1)
+//! slab access — the queue record becomes a tombstone that the scheduler
+//! discards when its time comes, with no per-dispatch hash probes.
 
 use crate::actor::ActorId;
 use crate::time::SimTime;
@@ -13,24 +17,27 @@ use crate::time::SimTime;
 /// Opaque handle to a scheduled event, usable for cancellation.
 ///
 /// Returned by the scheduling methods on [`crate::Ctx`] and
-/// [`crate::Simulation`].
+/// [`crate::Simulation`]. Internally packs the payload slot and its
+/// generation stamp, which makes stale handles (recycled slots) inert.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EventId(pub(crate) u64);
 
-/// An event staged by a `Ctx` during one actor callback, before it is
-/// committed to the queue (payload still inline; it moves into the pool
-/// exactly once, at commit).
-#[derive(Debug)]
-pub(crate) struct Scheduled<M> {
-    pub time: SimTime,
-    pub seq: u64,
-    pub id: EventId,
-    pub target: ActorId,
-    pub payload: M,
+impl EventId {
+    pub(crate) fn pack(slot: u32, gen: u32) -> Self {
+        EventId((u64::from(gen) << 32) | u64::from(slot))
+    }
+
+    pub(crate) fn slot(self) -> u32 {
+        self.0 as u32
+    }
+
+    pub(crate) fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
 }
 
-/// An event waiting in the simulation queue. Payload lives in the
-/// [`EventPool`] at `slot`.
+/// An event waiting in the scheduler queue. Its payload lives in the
+/// [`EventPool`] under `id`.
 ///
 /// Ordering is by `(time, seq)`: earlier deadlines first, and FIFO among
 /// events scheduled for the same instant. `seq` is a global monotonically
@@ -42,7 +49,6 @@ pub(crate) struct QueuedEvent {
     pub seq: u64,
     pub id: EventId,
     pub target: ActorId,
-    pub slot: u32,
 }
 
 impl PartialEq for QueuedEvent {
@@ -65,57 +71,106 @@ impl Ord for QueuedEvent {
     }
 }
 
-/// Slab allocator for in-flight event payloads.
+/// One slab slot: its current generation and (when live) the payload.
+#[derive(Debug)]
+struct PoolSlot<M> {
+    generation: u32,
+    payload: Option<M>,
+}
+
+/// Generation-stamped slab allocator for in-flight event payloads.
 ///
 /// Slots are handed out densely and recycled through a free list, so a
 /// steady-state simulation (schedule one, dispatch one) reaches a fixed
-/// footprint and never allocates again.
+/// footprint and never allocates again. Vacating a slot (dispatch *or*
+/// cancellation) bumps its generation, so the [`EventId`] handed out for a
+/// previous occupancy can never take, cancel, or observe a payload stored
+/// there later — the ABA guard that makes tombstone cancellation safe.
 #[derive(Debug)]
 pub(crate) struct EventPool<M> {
-    slots: Vec<Option<M>>,
+    slots: Vec<PoolSlot<M>>,
     free: Vec<u32>,
+    cancels: u64,
 }
 
 impl<M> EventPool<M> {
     pub fn with_capacity(capacity: usize) -> Self {
-        EventPool { slots: Vec::with_capacity(capacity), free: Vec::new() }
+        EventPool { slots: Vec::with_capacity(capacity), free: Vec::new(), cancels: 0 }
     }
 
-    /// Stores `payload`, returning its slot.
+    /// Stores `payload`, returning the generation-stamped id of its slot.
     ///
     /// # Panics
     ///
     /// Panics if more than `u32::MAX` events are simultaneously in flight.
-    pub fn insert(&mut self, payload: M) -> u32 {
+    pub fn insert(&mut self, payload: M) -> EventId {
         match self.free.pop() {
             Some(slot) => {
-                debug_assert!(self.slots[slot as usize].is_none(), "free slot occupied");
-                self.slots[slot as usize] = Some(payload);
-                slot
+                let entry = &mut self.slots[slot as usize];
+                debug_assert!(entry.payload.is_none(), "free slot occupied");
+                entry.payload = Some(payload);
+                EventId::pack(slot, entry.generation)
             }
             None => {
                 let slot = u32::try_from(self.slots.len()).expect("event pool slot fits u32");
-                self.slots.push(Some(payload));
-                slot
+                self.slots.push(PoolSlot { generation: 0, payload: Some(payload) });
+                EventId::pack(slot, 0)
             }
         }
     }
 
-    /// Removes and returns the payload at `slot`, recycling the slot.
+    /// Removes and returns the payload of `id`, recycling the slot.
     ///
-    /// # Panics
+    /// Returns `None` when the event is no longer live — it was cancelled,
+    /// already taken, or the slot has been recycled for a newer event
+    /// (generation mismatch).
+    pub fn take(&mut self, id: EventId) -> Option<M> {
+        let entry = self.slots.get_mut(id.slot() as usize)?;
+        if entry.generation != id.generation() {
+            return None;
+        }
+        let payload = entry.payload.take()?;
+        entry.generation = entry.generation.wrapping_add(1);
+        self.free.push(id.slot());
+        Some(payload)
+    }
+
+    /// Cancels the event `id`: drops its payload and recycles the slot.
     ///
-    /// Panics if the slot is empty (double-take).
-    pub fn take(&mut self, slot: u32) -> M {
-        let payload = self.slots[slot as usize].take().expect("event pool slot occupied");
-        self.free.push(slot);
-        payload
+    /// Returns `true` if the event was live. Stale ids (already fired,
+    /// already cancelled, or recycled slots) are a no-op.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.cancels += 1;
+        self.take(id).is_some()
+    }
+
+    /// Monotone count of [`EventPool::cancel`] calls (live or stale).
+    ///
+    /// The scheduler snapshots this around each actor callback: when it is
+    /// unchanged, none of the events staged by the callback can have been
+    /// cancelled, so the commit path skips the per-event liveness probe.
+    pub fn cancel_count(&self) -> u64 {
+        self.cancels
+    }
+
+    /// True while `id` still owns a payload (scheduled, not yet fired or
+    /// cancelled).
+    pub fn is_live(&self, id: EventId) -> bool {
+        self.slots
+            .get(id.slot() as usize)
+            .is_some_and(|e| e.generation == id.generation() && e.payload.is_some())
     }
 
     /// Number of payloads currently stored.
-    #[cfg(test)]
     pub fn len(&self) -> usize {
         self.slots.len() - self.free.len()
+    }
+
+    /// Number of slab slots ever allocated (the memory high-water mark in
+    /// slot units; flat slot counts across long cancel/fire loops are the
+    /// no-leak regression signal).
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
     }
 }
 
@@ -128,9 +183,8 @@ mod tests {
         QueuedEvent {
             time: SimTime::from_nanos(t),
             seq,
-            id: EventId(seq),
+            id: EventId::pack(0, 0),
             target: ActorId(0),
-            slot: 0,
         }
     }
 
@@ -148,22 +202,61 @@ mod tests {
         let a = pool.insert("a".into());
         let b = pool.insert("b".into());
         assert_ne!(a, b);
-        assert_eq!(pool.take(a), "a");
+        assert_eq!(pool.take(a), Some("a".into()));
         assert_eq!(pool.len(), 1);
         // The freed slot is reused before the slab grows.
         let c = pool.insert("c".into());
-        assert_eq!(c, a);
-        assert_eq!(pool.take(b), "b");
-        assert_eq!(pool.take(c), "c");
+        assert_eq!(c.slot(), a.slot());
+        assert_eq!(pool.slot_count(), 2);
+        assert_eq!(pool.take(b), Some("b".into()));
+        assert_eq!(pool.take(c), Some("c".into()));
         assert_eq!(pool.len(), 0);
     }
 
     #[test]
-    #[should_panic(expected = "occupied")]
-    fn double_take_panics() {
+    fn double_take_is_none() {
         let mut pool: EventPool<u8> = EventPool::with_capacity(1);
         let a = pool.insert(1);
-        let _ = pool.take(a);
-        let _ = pool.take(a);
+        assert_eq!(pool.take(a), Some(1));
+        assert_eq!(pool.take(a), None);
+    }
+
+    #[test]
+    fn stale_id_cannot_reach_recycled_slot() {
+        let mut pool: EventPool<&'static str> = EventPool::with_capacity(1);
+        let a = pool.insert("old");
+        assert!(pool.cancel(a));
+        // The recycled slot now belongs to a different event.
+        let b = pool.insert("new");
+        assert_eq!(b.slot(), a.slot());
+        assert_ne!(b.generation(), a.generation());
+        assert!(!pool.is_live(a));
+        assert!(pool.is_live(b));
+        // The stale handle is inert in every operation.
+        assert_eq!(pool.take(a), None);
+        assert!(!pool.cancel(a));
+        assert_eq!(pool.take(b), Some("new"));
+    }
+
+    #[test]
+    fn cancel_is_idempotent() {
+        let mut pool: EventPool<u8> = EventPool::with_capacity(1);
+        let a = pool.insert(9);
+        assert!(pool.is_live(a));
+        assert!(pool.cancel(a));
+        assert!(!pool.cancel(a));
+        assert!(!pool.is_live(a));
+        assert_eq!(pool.len(), 0);
+    }
+
+    #[test]
+    fn long_cancel_loop_reuses_one_slot() {
+        let mut pool: EventPool<u64> = EventPool::with_capacity(1);
+        for i in 0..100_000u64 {
+            let id = pool.insert(i);
+            assert!(pool.cancel(id));
+        }
+        assert_eq!(pool.slot_count(), 1, "cancel/insert loop must not grow the slab");
+        assert_eq!(pool.len(), 0);
     }
 }

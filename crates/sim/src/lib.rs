@@ -43,8 +43,10 @@
 
 mod actor;
 mod event;
+mod reference;
 mod simulation;
 mod time;
+mod wheel;
 
 pub use actor::{Actor, ActorId};
 pub use event::EventId;

@@ -1,0 +1,48 @@
+//! Reference scheduler queue: the original binary-heap implementation.
+//!
+//! Kept as the executable specification of the queue ordering contract.
+//! The differential proptest in [`crate::wheel`] checks the timer wheel
+//! against this queue on randomized schedules, and building the crate with
+//! the `reference-heap` feature swaps it back in as [`crate::Simulation`]'s
+//! queue — useful for A/B benchmarking and for bisecting any suspected
+//! trace divergence.
+
+use std::collections::BinaryHeap;
+
+use crate::event::QueuedEvent;
+
+/// Binary-heap queue ordered by `(time, seq)`: O(log n) push/pop.
+#[derive(Debug)]
+pub(crate) struct HeapQueue {
+    heap: BinaryHeap<std::cmp::Reverse<QueuedEvent>>,
+}
+
+// Without the feature this queue is exercised only by the differential
+// proptest, which the non-test build cannot see.
+#[cfg_attr(not(feature = "reference-heap"), allow(dead_code))]
+impl HeapQueue {
+    pub fn with_capacity(capacity: usize) -> Self {
+        HeapQueue { heap: BinaryHeap::with_capacity(capacity) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[cfg_attr(not(feature = "reference-heap"), allow(dead_code))]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub fn push(&mut self, ev: QueuedEvent) {
+        self.heap.push(std::cmp::Reverse(ev));
+    }
+
+    pub fn peek(&mut self) -> Option<&QueuedEvent> {
+        self.heap.peek().map(|std::cmp::Reverse(ev)| ev)
+    }
+
+    pub fn pop(&mut self) -> Option<QueuedEvent> {
+        self.heap.pop().map(|std::cmp::Reverse(ev)| ev)
+    }
+}

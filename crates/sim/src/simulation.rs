@@ -1,13 +1,16 @@
 //! The deterministic discrete-event scheduler.
 
-use std::collections::{BinaryHeap, HashSet};
-
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::actor::{Actor, ActorId};
-use crate::event::{EventId, EventPool, QueuedEvent, Scheduled};
+use crate::event::{EventId, EventPool, QueuedEvent};
 use crate::time::{SimDuration, SimTime};
+
+#[cfg(not(feature = "reference-heap"))]
+type Queue = crate::wheel::WheelQueue;
+#[cfg(feature = "reference-heap")]
+type Queue = crate::reference::HeapQueue;
 
 /// A single-threaded, seeded discrete-event simulation.
 ///
@@ -15,9 +18,14 @@ use crate::time::{SimDuration, SimTime};
 /// one [`StdRng`] seeded at construction: two runs with identical actors,
 /// world, and seed produce identical event sequences.
 ///
-/// Payloads are stored in a slab-backed [`EventPool`]; the binary heap only
-/// sifts small fixed-size records, and one staging buffer is reused across
-/// every dispatch, so steady-state execution is allocation-free.
+/// The queue is a hierarchical timer wheel ([`crate::wheel`]) holding small
+/// fixed-size records ordered by `(time, seq)`; payloads live in a
+/// generation-stamped slab ([`EventPool`]) keyed by the [`EventId`].
+/// Scheduling and dispatch are O(1) amortized, cancellation is a single
+/// slab access that tombstones the queue record, and steady-state execution
+/// is allocation-free. Building with the `reference-heap` feature swaps the
+/// wheel for the original binary-heap queue (the trace is identical; only
+/// the constant factors change).
 ///
 /// Lifecycle: construct with [`Simulation::new`] (or
 /// [`Simulation::with_capacity`] to pre-reserve the queue), register actors
@@ -26,15 +34,13 @@ use crate::time::{SimDuration, SimTime};
 /// from the world ([`Simulation::world`] / [`Simulation::into_world`]).
 pub struct Simulation<W, M> {
     now: SimTime,
-    queue: BinaryHeap<std::cmp::Reverse<QueuedEvent>>,
+    queue: Queue,
     pool: EventPool<M>,
-    cancelled: HashSet<EventId>,
     actors: Vec<Option<Box<dyn Actor<W, M>>>>,
     world: W,
     rng: StdRng,
-    staged: Vec<Scheduled<M>>,
+    staged: Vec<QueuedEvent>,
     next_seq: u64,
-    next_event_id: u64,
     dispatched: u64,
     started: bool,
 }
@@ -43,7 +49,9 @@ pub struct Simulation<W, M> {
 ///
 /// Grants access to the current time, the shared world, the deterministic
 /// RNG, and the scheduling interface. Events scheduled through a `Ctx` are
-/// committed to the queue when the callback returns.
+/// committed to the queue when the callback returns; their payloads move
+/// into the pool immediately, so a same-callback [`Ctx::cancel`] frees the
+/// payload before the record is ever queued.
 pub struct Ctx<'a, W, M> {
     now: SimTime,
     self_id: ActorId,
@@ -51,10 +59,9 @@ pub struct Ctx<'a, W, M> {
     pub world: &'a mut W,
     /// The simulation-wide deterministic RNG.
     pub rng: &'a mut StdRng,
-    staged: &'a mut Vec<Scheduled<M>>,
-    cancelled: &'a mut HashSet<EventId>,
+    staged: &'a mut Vec<QueuedEvent>,
+    pool: &'a mut EventPool<M>,
     next_seq: &'a mut u64,
-    next_event_id: &'a mut u64,
 }
 
 impl<'a, W, M> Ctx<'a, W, M> {
@@ -69,11 +76,10 @@ impl<'a, W, M> Ctx<'a, W, M> {
     }
 
     fn stage(&mut self, time: SimTime, target: ActorId, payload: M) -> EventId {
-        let id = EventId(*self.next_event_id);
-        *self.next_event_id += 1;
+        let id = self.pool.insert(payload);
         let seq = *self.next_seq;
         *self.next_seq += 1;
-        self.staged.push(Scheduled { time, seq, id, target, payload });
+        self.staged.push(QueuedEvent { time, seq, id, target });
         id
     }
 
@@ -109,12 +115,13 @@ impl<'a, W, M> Ctx<'a, W, M> {
         self.stage(time, target, payload)
     }
 
-    /// Cancels a previously scheduled event.
+    /// Cancels a previously scheduled event: O(1), drops the payload and
+    /// recycles its slab slot immediately.
     ///
     /// Cancelling an event that has already fired (or was already cancelled)
     /// is a no-op.
     pub fn cancel(&mut self, id: EventId) {
-        self.cancelled.insert(id);
+        self.pool.cancel(id);
     }
 }
 
@@ -126,31 +133,41 @@ impl<W, M> Simulation<W, M> {
     }
 
     /// Like [`Simulation::new`], but pre-reserves room for `capacity`
-    /// simultaneously in-flight events in both the heap and the payload
+    /// simultaneously in-flight events in both the queue and the payload
     /// pool, avoiding growth reallocations on known-hot workloads.
     pub fn with_capacity(world: W, seed: u64, capacity: usize) -> Self {
         Simulation {
             now: SimTime::ZERO,
-            queue: BinaryHeap::with_capacity(capacity),
+            queue: Queue::with_capacity(capacity),
             pool: EventPool::with_capacity(capacity),
-            cancelled: HashSet::new(),
             actors: Vec::new(),
             world,
             rng: StdRng::seed_from_u64(seed),
             staged: Vec::new(),
             next_seq: 0,
-            next_event_id: 0,
             dispatched: 0,
             started: false,
         }
     }
 
-    /// Moves a staged event's payload into the pool and commits the small
-    /// queue record.
-    fn commit(&mut self, ev: Scheduled<M>) {
-        let Scheduled { time, seq, id, target, payload } = ev;
-        let slot = self.pool.insert(payload);
-        self.queue.push(std::cmp::Reverse(QueuedEvent { time, seq, id, target, slot }));
+    /// Commits the staged records of one callback round. A record is
+    /// dropped when it was cancelled inside the callback that staged it
+    /// (its pool slot is already vacated or recycled) — but probing the
+    /// slab per event is only necessary when the round made a cancel call
+    /// at all, which `cancels_before` (a [`EventPool::cancel_count`]
+    /// snapshot from the start of the round) detects.
+    fn commit_staged(&mut self, staged: &mut Vec<QueuedEvent>, cancels_before: u64) {
+        if self.pool.cancel_count() == cancels_before {
+            for ev in staged.drain(..) {
+                self.queue.push(ev);
+            }
+        } else {
+            for ev in staged.drain(..) {
+                if self.pool.is_live(ev.id) {
+                    self.queue.push(ev);
+                }
+            }
+        }
     }
 
     /// Registers an actor and returns its id.
@@ -176,6 +193,17 @@ impl<W, M> Simulation<W, M> {
         self.dispatched
     }
 
+    /// Number of events currently scheduled and not yet fired or cancelled.
+    pub fn live_events(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Payload-slab high-water mark, in slots. A long cancel/fire loop must
+    /// hold this flat (slot reuse); growth here is a leak.
+    pub fn pool_slots(&self) -> usize {
+        self.pool.slot_count()
+    }
+
     /// Shared world, immutably.
     pub fn world(&self) -> &W {
         &self.world
@@ -192,19 +220,22 @@ impl<W, M> Simulation<W, M> {
     }
 
     /// Schedules an event from outside any actor (scenario setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past.
     pub fn schedule(&mut self, time: SimTime, target: ActorId, payload: M) -> EventId {
-        assert!(time >= self.now, "cannot schedule into the past");
-        let id = EventId(self.next_event_id);
-        self.next_event_id += 1;
+        assert!(time >= self.now, "cannot schedule into the past ({time} < {})", self.now);
+        let id = self.pool.insert(payload);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.commit(Scheduled { time, seq, id, target, payload });
+        self.queue.push(QueuedEvent { time, seq, id, target });
         id
     }
 
     /// Cancels an event scheduled via [`Simulation::schedule`] or a `Ctx`.
     pub fn cancel(&mut self, id: EventId) {
-        self.cancelled.insert(id);
+        self.pool.cancel(id);
     }
 
     fn start_if_needed(&mut self) {
@@ -213,6 +244,7 @@ impl<W, M> Simulation<W, M> {
         }
         self.started = true;
         let mut staged = std::mem::take(&mut self.staged);
+        let cancels_before = self.pool.cancel_count();
         for idx in 0..self.actors.len() {
             let mut actor = self.actors[idx].take().expect("actor present at start");
             let mut ctx = Ctx {
@@ -221,16 +253,13 @@ impl<W, M> Simulation<W, M> {
                 world: &mut self.world,
                 rng: &mut self.rng,
                 staged: &mut staged,
-                cancelled: &mut self.cancelled,
+                pool: &mut self.pool,
                 next_seq: &mut self.next_seq,
-                next_event_id: &mut self.next_event_id,
             };
             actor.on_start(&mut ctx);
             self.actors[idx] = Some(actor);
         }
-        for ev in staged.drain(..) {
-            self.commit(ev);
-        }
+        self.commit_staged(&mut staged, cancels_before);
         self.staged = staged;
     }
 
@@ -245,15 +274,13 @@ impl<W, M> Simulation<W, M> {
     pub fn step(&mut self) -> Option<SimTime> {
         self.start_if_needed();
         loop {
-            let std::cmp::Reverse(ev) = self.queue.pop()?;
-            if self.cancelled.remove(&ev.id) {
-                let _ = self.pool.take(ev.slot);
-                continue;
-            }
+            let ev = self.queue.pop()?;
+            // A vacated slab slot means the record is a cancellation
+            // tombstone: discard it without touching the clock.
+            let Some(payload) = self.pool.take(ev.id) else { continue };
             debug_assert!(ev.time >= self.now, "event queue went backwards");
             self.now = ev.time;
             self.dispatched += 1;
-            let payload = self.pool.take(ev.slot);
             let idx = ev.target.0;
             let mut actor = self
                 .actors
@@ -262,21 +289,19 @@ impl<W, M> Simulation<W, M> {
                 .take()
                 .expect("actor is not re-entrant");
             let mut staged = std::mem::take(&mut self.staged);
+            let cancels_before = self.pool.cancel_count();
             let mut ctx = Ctx {
                 now: self.now,
                 self_id: ev.target,
                 world: &mut self.world,
                 rng: &mut self.rng,
                 staged: &mut staged,
-                cancelled: &mut self.cancelled,
+                pool: &mut self.pool,
                 next_seq: &mut self.next_seq,
-                next_event_id: &mut self.next_event_id,
             };
             actor.on_event(&mut ctx, payload);
             self.actors[idx] = Some(actor);
-            for ev in staged.drain(..) {
-                self.commit(ev);
-            }
+            self.commit_staged(&mut staged, cancels_before);
             self.staged = staged;
             return Some(self.now);
         }
@@ -296,11 +321,10 @@ impl<W, M> Simulation<W, M> {
             let next_time = loop {
                 match self.queue.peek() {
                     None => break None,
-                    Some(std::cmp::Reverse(ev)) => {
-                        if self.cancelled.contains(&ev.id) {
-                            let std::cmp::Reverse(ev) = self.queue.pop().expect("peeked");
-                            self.cancelled.remove(&ev.id);
-                            let _ = self.pool.take(ev.slot);
+                    Some(ev) => {
+                        if !self.pool.is_live(ev.id) {
+                            // Cancellation tombstone: discard and re-peek.
+                            self.queue.pop();
                             continue;
                         }
                         break Some(ev.time);
@@ -332,6 +356,7 @@ impl<W: std::fmt::Debug, M> std::fmt::Debug for Simulation<W, M> {
             .field("now", &self.now)
             .field("actors", &self.actors.len())
             .field("queued", &self.queue.len())
+            .field("live", &self.pool.len())
             .field("dispatched", &self.dispatched)
             .field("world", &self.world)
             .finish()
@@ -529,5 +554,84 @@ mod tests {
         s.cancel(doomed);
         s.run();
         assert_eq!(s.world().entries, vec![(SimTime::from_secs(5), 0, 42)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past (t=1.000000s < t=5.000000s)")]
+    fn external_past_schedule_names_both_instants() {
+        struct Sink;
+        impl Actor<Log, u32> for Sink {
+            fn on_event(&mut self, ctx: &mut Ctx<'_, Log, u32>, event: u32) {
+                ctx.world.entries.push((ctx.now(), 0, event));
+            }
+        }
+        let mut s = Simulation::new(Log::default(), 1);
+        let id = s.add_actor(Box::new(Sink));
+        s.schedule(SimTime::from_secs(5), id, 1);
+        s.run();
+        assert_eq!(s.now(), SimTime::from_secs(5));
+        s.schedule(SimTime::from_secs(1), id, 2);
+    }
+
+    #[test]
+    fn cancel_then_fire_loop_holds_memory_flat() {
+        // The tombstone design's no-leak regression: a long loop of
+        // schedule/cancel/fire must keep both the slab and the queue at a
+        // handful of slots (the old design grew a HashSet of cancelled ids).
+        struct Churn {
+            remaining: u32,
+        }
+        impl Actor<Log, u32> for Churn {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Log, u32>) {
+                ctx.schedule_in(SimDuration::from_micros(1), 0);
+            }
+            fn on_event(&mut self, ctx: &mut Ctx<'_, Log, u32>, _event: u32) {
+                self.remaining -= 1;
+                if self.remaining > 0 {
+                    let doomed = ctx.schedule_in(SimDuration::from_micros(2), 1);
+                    ctx.schedule_in(SimDuration::from_micros(1), 0);
+                    ctx.cancel(doomed);
+                }
+            }
+        }
+        let mut s = Simulation::new(Log::default(), 1);
+        s.add_actor(Box::new(Churn { remaining: 1_000_000 }));
+        s.run();
+        assert_eq!(s.dispatched(), 1_000_000);
+        assert!(
+            s.pool_slots() <= 4,
+            "slab grew to {} slots over a 1M cancel/fire loop",
+            s.pool_slots()
+        );
+        assert_eq!(s.live_events(), 0);
+    }
+
+    #[test]
+    fn recycled_slot_never_delivers_stale_payload() {
+        // ABA guard at the scheduler level: cancel an event, schedule a new
+        // one that recycles its slot, then cancel via the *stale* handle.
+        // The new event must still fire with its own payload.
+        struct Aba {
+            stale: Option<EventId>,
+        }
+        impl Actor<Log, u32> for Aba {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Log, u32>) {
+                let doomed = ctx.schedule_in(SimDuration::from_secs(1), 111);
+                ctx.cancel(doomed);
+                // Recycles the slot `doomed` occupied.
+                ctx.schedule_in(SimDuration::from_secs(2), 222);
+                self.stale = Some(doomed);
+            }
+            fn on_event(&mut self, ctx: &mut Ctx<'_, Log, u32>, event: u32) {
+                ctx.world.entries.push((ctx.now(), 0, event));
+            }
+        }
+        let mut s = Simulation::new(Log::default(), 1);
+        s.add_actor(Box::new(Aba { stale: None }));
+        s.step();
+        // Fire the stale cancel from outside: must be a no-op.
+        s.cancel(EventId::pack(0, 0));
+        s.run();
+        assert_eq!(s.world().entries, vec![(SimTime::from_secs(2), 0, 222)]);
     }
 }

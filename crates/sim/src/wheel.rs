@@ -1,0 +1,378 @@
+//! Hierarchical timer wheel: the default scheduler queue.
+//!
+//! A calendar queue with [`LEVELS`] levels of [`SLOTS`] slots each. Level
+//! `L` buckets span `64^L` nanosecond ticks, so the hierarchy covers
+//! `64^11 = 2^66` ticks — the entire [`crate::SimTime`] range — without an
+//! overflow list. An event is filed at the level whose bucket span matches
+//! its distance from the wheel's cursor (the highest bit in which its tick
+//! differs from `elapsed`); as the cursor advances, higher-level buckets
+//! cascade into lower levels until every event reaches a level-0 bucket,
+//! which spans exactly one tick.
+//!
+//! # Ordering contract
+//!
+//! [`WheelQueue::pop`] yields events in exactly `(time, seq)` order — the
+//! same total order as the reference binary heap — **provided pushes carry
+//! strictly increasing `seq` values** (the [`crate::Simulation`] commit
+//! path guarantees this: `seq` is assigned from a global counter in commit
+//! order). Determinism rests on two structural facts, each guarded by
+//! debug assertions and the differential proptest against
+//! [`crate::reference::HeapQueue`]:
+//!
+//! - **Bucket order is seq order.** A bucket only receives events two
+//!   ways: cascaded from the covering higher-level bucket (which happens
+//!   exactly once, at the instant the cursor enters the covering span) and
+//!   direct pushes (which require the cursor to already be inside the
+//!   covering span, i.e. strictly after that cascade, because a push from
+//!   outside the span crosses a higher bit boundary and files higher).
+//!   Cascades preserve relative order and direct pushes append, so bucket
+//!   order equals commit order equals seq order.
+//! - **Level-0 buckets are single instants**, so draining one in bucket
+//!   order into the FIFO `current` run is `(time, seq)` order.
+//!
+//! Events pushed at-or-behind the cursor (an external
+//! [`crate::Simulation::schedule`] after a peek advanced the wheel, or a
+//! same-instant push while the current run drains) bypass the wheel: ties
+//! with the current instant append to `current` (their seq is necessarily
+//! larger), strictly-behind pushes go to the tiny `behind` binary heap,
+//! which always outranks the wheel.
+//!
+//! Steady-state cost: O(1) push, O(1) amortized pop (each event cascades
+//! at most [`LEVELS`] times, typically once or twice), no per-event
+//! `log n` sift and no allocation once bucket capacity has warmed up.
+
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::event::QueuedEvent;
+
+/// log2 of the slot count per level.
+const SLOT_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Number of levels; `6 * 11 = 66 >= 64` bits covers every `u64` tick.
+const LEVELS: usize = 11;
+
+/// Ticks spanned by one slot at `level`.
+fn slot_span(level: usize) -> u64 {
+    1u64 << (SLOT_BITS * level as u32)
+}
+
+/// The hierarchical timer wheel queue (see module docs).
+#[derive(Debug)]
+pub(crate) struct WheelQueue {
+    /// Wheel cursor: the tick the wheel has advanced to. Events at ticks
+    /// `> elapsed` live in the wheel; ticks `<= elapsed` live in `current`
+    /// or `behind`.
+    elapsed: u64,
+    /// `LEVELS * SLOTS` buckets, flattened as `level * SLOTS + slot`.
+    buckets: Vec<Vec<QueuedEvent>>,
+    /// Per-level occupancy bitmap (bit `s` set ⇔ bucket `s` non-empty).
+    occupied: [u64; LEVELS],
+    /// FIFO run of events at the current instant, drained front-to-back.
+    current: VecDeque<QueuedEvent>,
+    /// Events pushed strictly behind the cursor; almost always empty.
+    behind: BinaryHeap<std::cmp::Reverse<QueuedEvent>>,
+    /// Reusable drain buffer so cascades never allocate in steady state.
+    scratch: Vec<QueuedEvent>,
+    /// Total queued events across all internal structures.
+    len: usize,
+}
+
+impl WheelQueue {
+    pub fn with_capacity(capacity: usize) -> Self {
+        WheelQueue {
+            elapsed: 0,
+            buckets: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; LEVELS],
+            current: VecDeque::with_capacity(capacity),
+            behind: BinaryHeap::new(),
+            scratch: Vec::new(),
+            len: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Kept for API parity with [`crate::reference::HeapQueue`].
+    #[allow(dead_code)]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Level a tick files at, given the cursor: the highest differing bit
+    /// decides, so the bucket span matches the distance from the cursor.
+    fn level_for(elapsed: u64, tick: u64) -> usize {
+        let diff = elapsed ^ tick;
+        debug_assert!(diff != 0, "tick == elapsed must bypass the wheel");
+        ((63 - diff.leading_zeros()) / SLOT_BITS) as usize
+    }
+
+    fn bucket_index(level: usize, tick: u64) -> usize {
+        let slot = ((tick >> (SLOT_BITS * level as u32)) as usize) & (SLOTS - 1);
+        level * SLOTS + slot
+    }
+
+    pub fn push(&mut self, ev: QueuedEvent) {
+        self.len += 1;
+        self.file(ev);
+    }
+
+    /// Routes one event to the wheel, the current run, or the behind heap.
+    fn file(&mut self, ev: QueuedEvent) {
+        let tick = ev.time.as_nanos();
+        if tick > self.elapsed {
+            let level = Self::level_for(self.elapsed, tick);
+            let index = Self::bucket_index(level, tick);
+            self.buckets[index].push(ev);
+            self.occupied[level] |= 1 << (index & (SLOTS - 1));
+        } else if tick == self.elapsed {
+            // Same instant as the cursor: later commit ⇒ larger seq, so
+            // appending keeps the run in (time, seq) order.
+            debug_assert!(
+                self.current.back().is_none_or(|b| (b.time, b.seq) < (ev.time, ev.seq)),
+                "same-instant push out of seq order"
+            );
+            self.current.push_back(ev);
+        } else {
+            self.behind.push(std::cmp::Reverse(ev));
+        }
+    }
+
+    /// Earliest wheel deadline as `(deadline_tick, level)`, preferring the
+    /// *highest* level on ties so cascades run top-down (a lower-level
+    /// bucket sharing a boundary deadline cannot exist before the higher
+    /// bucket has cascaded — see module docs).
+    fn next_deadline(&self) -> Option<(u64, usize)> {
+        let mut best: Option<(u64, usize)> = None;
+        for level in (0..LEVELS).rev() {
+            let bitmap = self.occupied[level];
+            if bitmap == 0 {
+                continue;
+            }
+            let cursor_slot = ((self.elapsed >> (SLOT_BITS * level as u32)) as usize) & (SLOTS - 1);
+            let ahead = bitmap & (!0u64 << cursor_slot);
+            debug_assert!(ahead != 0, "occupied bucket behind the cursor at level {level}");
+            let slot = ahead.trailing_zeros() as u64;
+            let span = slot_span(level);
+            let rotation = self.elapsed & !(span.wrapping_mul(SLOTS as u64).wrapping_sub(1));
+            let deadline = rotation + slot * span;
+            debug_assert!(deadline >= self.elapsed, "wheel deadline went backwards");
+            if best.is_none_or(|(t, _)| deadline < t) {
+                best = Some((deadline, level));
+            }
+        }
+        best
+    }
+
+    /// Earliest event currently outside the wheel, if any.
+    fn staged_head(&self) -> Option<&QueuedEvent> {
+        // `behind` holds strictly earlier instants than `current`, so it
+        // always outranks the run.
+        if let Some(std::cmp::Reverse(b)) = self.behind.peek() {
+            debug_assert!(
+                self.current.front().is_none_or(|c| b.time < c.time),
+                "behind heap overlaps the current run"
+            );
+            return Some(b);
+        }
+        self.current.front()
+    }
+
+    /// Advances the wheel until the globally next event sits in `current`
+    /// or `behind` (or the queue is empty). Cascades are pure structural
+    /// motion: no event is dispatched, so priming during a peek cannot
+    /// perturb the trace.
+    fn prime(&mut self) {
+        // Anything already staged is at or behind the cursor, and every
+        // wheel deadline is strictly ahead of it, so the wheel scan below
+        // cannot change the head: skip it. This keeps the per-pop cost of
+        // draining an N-event instant at O(1) instead of N level scans.
+        if !self.current.is_empty() || !self.behind.is_empty() {
+            return;
+        }
+        loop {
+            let Some((deadline, level)) = self.next_deadline() else { return };
+            if let Some(head) = self.staged_head() {
+                let head_tick = head.time.as_nanos();
+                debug_assert!(head_tick != deadline, "staged run ties a wheel deadline");
+                if head_tick < deadline {
+                    return;
+                }
+            }
+            // Advance the cursor and drain the bucket. All earlier slots
+            // are empty (deadline is the minimum), so no event is skipped.
+            self.elapsed = deadline;
+            let index = Self::bucket_index(level, deadline);
+            self.occupied[level] &= !(1 << (index & (SLOTS - 1)));
+            let mut scratch = std::mem::take(&mut self.scratch);
+            std::mem::swap(&mut self.buckets[index], &mut scratch);
+            if level == 0 {
+                // A level-0 bucket spans one tick: bucket order is seq
+                // order, so it drains straight into the FIFO run.
+                debug_assert!(self.current.is_empty(), "current run not drained before advance");
+                debug_assert!(scratch.iter().all(|e| e.time.as_nanos() == deadline));
+                self.current.extend(scratch.drain(..));
+            } else {
+                for ev in scratch.drain(..) {
+                    debug_assert!(ev.time.as_nanos() >= deadline, "cascade moved an event back");
+                    self.file(ev);
+                }
+            }
+            // Hand the (possibly grown) capacity back for the next drain.
+            self.scratch = scratch;
+        }
+    }
+
+    /// Next event in `(time, seq)` order without removing it.
+    pub fn peek(&mut self) -> Option<&QueuedEvent> {
+        self.prime();
+        self.staged_head()
+    }
+
+    /// Removes and returns the next event in `(time, seq)` order.
+    pub fn pop(&mut self) -> Option<QueuedEvent> {
+        self.prime();
+        let ev = match self.behind.pop() {
+            Some(std::cmp::Reverse(ev)) => Some(ev),
+            None => self.current.pop_front(),
+        };
+        if ev.is_some() {
+            self.len -= 1;
+        }
+        ev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::ActorId;
+    use crate::event::EventId;
+    use crate::reference::HeapQueue;
+    use crate::time::SimTime;
+    use proptest::prelude::*;
+
+    fn ev(t: u64, seq: u64) -> QueuedEvent {
+        QueuedEvent {
+            time: SimTime::from_nanos(t),
+            seq,
+            id: EventId::pack(seq as u32, 0),
+            target: ActorId(0),
+        }
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut q = WheelQueue::with_capacity(0);
+        q.push(ev(500, 0));
+        q.push(ev(3, 1));
+        q.push(ev(500, 2));
+        q.push(ev(1 << 40, 3));
+        q.push(ev(4096, 4));
+        let order: Vec<(u64, u64)> =
+            std::iter::from_fn(|| q.pop()).map(|e| (e.time.as_nanos(), e.seq)).collect();
+        assert_eq!(order, vec![(3, 1), (500, 0), (500, 2), (4096, 4), (1 << 40, 3)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_matches_pop_and_tolerates_behind_cursor_pushes() {
+        let mut q = WheelQueue::with_capacity(0);
+        q.push(ev(1000, 0));
+        assert_eq!(q.peek().unwrap().time.as_nanos(), 1000);
+        // Peek primed the wheel to tick 1000; a push behind the cursor
+        // must still pop first.
+        q.push(ev(10, 1));
+        assert_eq!(q.peek().unwrap().time.as_nanos(), 10);
+        assert_eq!(q.pop().unwrap().time.as_nanos(), 10);
+        assert_eq!(q.pop().unwrap().time.as_nanos(), 1000);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn far_future_events_cascade_down() {
+        let mut q = WheelQueue::with_capacity(0);
+        // One event per level distance, including the very top.
+        let times = [1, 65, 4097, 1 << 20, 1 << 35, 1 << 55, u64::MAX];
+        for (seq, &t) in times.iter().enumerate() {
+            q.push(ev(t, seq as u64));
+        }
+        let popped: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.time.as_nanos()).collect();
+        assert_eq!(popped, times.to_vec());
+    }
+
+    #[test]
+    fn same_instant_push_during_drain_stays_fifo() {
+        let mut q = WheelQueue::with_capacity(0);
+        q.push(ev(100, 0));
+        q.push(ev(100, 1));
+        assert_eq!(q.pop().unwrap().seq, 0);
+        // The cursor now sits at tick 100; a same-instant later commit
+        // must pop after the remaining seq-1 event.
+        q.push(ev(100, 2));
+        assert_eq!(q.pop().unwrap().seq, 1);
+        assert_eq!(q.pop().unwrap().seq, 2);
+    }
+
+    /// One differential op: push at a (bounded) time, pop, or peek.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Push(u64),
+        Pop,
+        Peek,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            // Mix of dense small ticks (forcing same-tick FIFO and
+            // behind-cursor pushes) and sparse far ticks (forcing
+            // multi-level cascades).
+            (0u64..200).prop_map(Op::Push),
+            (0u64..u64::MAX).prop_map(Op::Push),
+            Just(Op::Pop),
+            Just(Op::Peek),
+        ]
+    }
+
+    proptest! {
+        /// The wheel is observationally identical to the reference binary
+        /// heap on any push/pop/peek interleaving with monotone seqs.
+        #[test]
+        fn differential_wheel_equals_reference_heap(
+            ops in proptest::collection::vec(op_strategy(), 1..400),
+        ) {
+            let mut wheel = WheelQueue::with_capacity(0);
+            let mut heap = HeapQueue::with_capacity(0);
+            let mut seq = 0u64;
+            for op in ops {
+                match op {
+                    Op::Push(t) => {
+                        wheel.push(ev(t, seq));
+                        heap.push(ev(t, seq));
+                        seq += 1;
+                    }
+                    Op::Pop => {
+                        let w = wheel.pop().map(|e| (e.time, e.seq));
+                        let h = heap.pop().map(|e| (e.time, e.seq));
+                        prop_assert_eq!(w, h);
+                    }
+                    Op::Peek => {
+                        let w = wheel.peek().map(|e| (e.time, e.seq));
+                        let h = heap.peek().map(|e| (e.time, e.seq));
+                        prop_assert_eq!(w, h);
+                    }
+                }
+                prop_assert_eq!(wheel.len(), heap.len());
+            }
+            // Drain both to the end: full sequences must match.
+            loop {
+                let w = wheel.pop().map(|e| (e.time, e.seq));
+                let h = heap.pop().map(|e| (e.time, e.seq));
+                prop_assert_eq!(w, h);
+                if h.is_none() { break; }
+            }
+        }
+    }
+}

@@ -65,6 +65,51 @@ proptest! {
         }
     }
 
+    /// The dispatch sequence equals the schedule stable-sorted by time with
+    /// cancelled entries removed — the full ordering oracle, covering
+    /// same-time FIFO and cancellation tombstones. Runs against whichever
+    /// queue the crate was built with (timer wheel by default, binary heap
+    /// under `--features reference-heap`), so the two configurations are
+    /// checked against the same model.
+    #[test]
+    fn dispatch_order_matches_sorted_oracle(
+        schedule in proptest::collection::vec((0u64..5_000, any::<bool>()), 1..64),
+    ) {
+        struct Setup {
+            schedule: Vec<(u64, bool)>,
+        }
+        impl Actor<Vec<(u64, u32)>, u32> for Setup {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Vec<(u64, u32)>, u32>) {
+                let mut doomed = Vec::new();
+                for (tag, &(delay, cancel)) in self.schedule.iter().enumerate() {
+                    let id = ctx.schedule_in(SimDuration::from_nanos(delay), tag as u32);
+                    if cancel {
+                        doomed.push(id);
+                    }
+                }
+                // Cancel after all scheduling so recycled slots interleave
+                // with live ones.
+                for id in doomed {
+                    ctx.cancel(id);
+                }
+            }
+            fn on_event(&mut self, ctx: &mut Ctx<'_, Vec<(u64, u32)>, u32>, ev: u32) {
+                ctx.world.push((ctx.now().as_nanos(), ev));
+            }
+        }
+        let mut s = Simulation::new(Vec::new(), 0);
+        s.add_actor(Box::new(Setup { schedule: schedule.clone() }));
+        s.run();
+        let mut expected: Vec<(u64, u32)> = schedule
+            .iter()
+            .enumerate()
+            .filter(|(_, &(_, cancel))| !cancel)
+            .map(|(tag, &(delay, _))| (delay, tag as u32))
+            .collect();
+        expected.sort_by_key(|&(delay, _)| delay); // stable: FIFO within a tick
+        prop_assert_eq!(s.into_world(), expected);
+    }
+
     /// Splitting a run into two `run_until` halves is equivalent to one.
     #[test]
     fn run_until_composes(

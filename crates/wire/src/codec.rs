@@ -1,7 +1,7 @@
 //! Binary encoding of [`Message`]: version byte, tag byte, fixed-width
 //! big-endian fields.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, Bytes};
 
 use crate::message::{Message, NodeId};
 
@@ -49,87 +49,107 @@ impl std::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
+fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
 impl Message {
     /// Encodes the message into its wire form.
     pub fn encode(&self) -> Vec<u8> {
-        let mut buf = BytesMut::with_capacity(32);
-        buf.put_u8(PROTOCOL_VERSION);
+        let mut buf = Vec::with_capacity(32);
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Allocation-free [`Message::encode`]: appends the wire form to `buf`
+    /// (a reused scratch buffer on the hot path — clear it first for a
+    /// standalone message).
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        put_u8(buf, PROTOCOL_VERSION);
         match self {
             Message::CalibrationRequest { nonce, sleep_ns } => {
-                buf.put_u8(TAG_CALIB_REQ);
-                buf.put_u64(*nonce);
-                buf.put_u64(*sleep_ns);
+                put_u8(buf, TAG_CALIB_REQ);
+                put_u64(buf, *nonce);
+                put_u64(buf, *sleep_ns);
             }
             Message::CalibrationResponse { nonce, ta_time_ns, slept_ns } => {
-                buf.put_u8(TAG_CALIB_RESP);
-                buf.put_u64(*nonce);
-                buf.put_u64(*ta_time_ns);
-                buf.put_u64(*slept_ns);
+                put_u8(buf, TAG_CALIB_RESP);
+                put_u64(buf, *nonce);
+                put_u64(buf, *ta_time_ns);
+                put_u64(buf, *slept_ns);
             }
             Message::PeerTimeRequest { nonce } => {
-                buf.put_u8(TAG_PEER_REQ);
-                buf.put_u64(*nonce);
+                put_u8(buf, TAG_PEER_REQ);
+                put_u64(buf, *nonce);
             }
             Message::PeerTimeResponse { nonce, timestamp_ns } => {
-                buf.put_u8(TAG_PEER_RESP);
-                buf.put_u64(*nonce);
-                buf.put_u64(*timestamp_ns);
+                put_u8(buf, TAG_PEER_RESP);
+                put_u64(buf, *nonce);
+                put_u64(buf, *timestamp_ns);
             }
             Message::ClientTimeRequest { nonce } => {
-                buf.put_u8(TAG_CLIENT_REQ);
-                buf.put_u64(*nonce);
+                put_u8(buf, TAG_CLIENT_REQ);
+                put_u64(buf, *nonce);
             }
             Message::ClientTimeResponse { nonce, timestamp_ns } => {
-                buf.put_u8(TAG_CLIENT_RESP);
-                buf.put_u64(*nonce);
+                put_u8(buf, TAG_CLIENT_RESP);
+                put_u64(buf, *nonce);
                 match timestamp_ns {
                     Some(ts) => {
-                        buf.put_u8(1);
-                        buf.put_u64(*ts);
+                        put_u8(buf, 1);
+                        put_u64(buf, *ts);
                     }
-                    None => buf.put_u8(0),
+                    None => put_u8(buf, 0),
                 }
             }
             Message::IntervalRequest { nonce } => {
-                buf.put_u8(TAG_INTERVAL_REQ);
-                buf.put_u64(*nonce);
+                put_u8(buf, TAG_INTERVAL_REQ);
+                put_u64(buf, *nonce);
             }
             Message::IntervalResponse { nonce, timestamp_ns, error_bound_ns, tainted } => {
-                buf.put_u8(TAG_INTERVAL_RESP);
-                buf.put_u64(*nonce);
-                buf.put_u64(*timestamp_ns);
-                buf.put_u64(*error_bound_ns);
-                buf.put_u8(u8::from(*tainted));
+                put_u8(buf, TAG_INTERVAL_RESP);
+                put_u64(buf, *nonce);
+                put_u64(buf, *timestamp_ns);
+                put_u64(buf, *error_bound_ns);
+                put_u8(buf, u8::from(*tainted));
             }
             Message::ChimerAnnouncement { epoch, chimers } => {
-                buf.put_u8(TAG_CHIMER_ANNOUNCE);
-                buf.put_u64(*epoch);
-                buf.put_u16(
+                put_u8(buf, TAG_CHIMER_ANNOUNCE);
+                put_u64(buf, *epoch);
+                put_u16(
+                    buf,
                     u16::try_from(chimers.len()).expect("chimer set exceeds u16::MAX entries"),
                 );
                 for c in chimers {
-                    buf.put_u16(c.0);
+                    put_u16(buf, c.0);
                 }
             }
             Message::TimeReadingRequest { nonce } => {
-                buf.put_u8(TAG_READING_REQ);
-                buf.put_u64(*nonce);
+                put_u8(buf, TAG_READING_REQ);
+                put_u64(buf, *nonce);
             }
             Message::TimeReadingResponse { nonce, reading } => {
-                buf.put_u8(TAG_READING_RESP);
-                buf.put_u64(*nonce);
+                put_u8(buf, TAG_READING_RESP);
+                put_u64(buf, *nonce);
                 match reading {
                     Some(r) => {
-                        buf.put_u8(1);
-                        buf.put_u64(r.estimate_ns);
-                        buf.put_u64(r.uncertainty_ns);
-                        buf.put_u8(u8::from(r.degraded));
+                        put_u8(buf, 1);
+                        put_u64(buf, r.estimate_ns);
+                        put_u64(buf, r.uncertainty_ns);
+                        put_u8(buf, u8::from(r.degraded));
                     }
-                    None => buf.put_u8(0),
+                    None => put_u8(buf, 0),
                 }
             }
         }
-        buf.to_vec()
     }
 
     /// Decodes a message from its wire form.
