@@ -1,0 +1,26 @@
+//! Serving-layer benchmark: the full trusted-timestamp serving path.
+//!
+//! `service/serving_storm` drives two batching front-ends with a 2 000/s
+//! open-loop client population for two simulated seconds — sealed
+//! requests, bounded admission, paced batch flushes with one enclave
+//! read each, sealed replies, and per-request SLO accounting. Baseline:
+//! `results/BENCH_serving.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use tt_bench::SERVING_STORM;
+
+fn bench_serving_storm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service");
+    group.throughput(Throughput::Elements(SERVING_STORM.events_per_run));
+    group.bench_function("serving_storm", |b| {
+        b.iter(|| black_box((SERVING_STORM.run)()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = service;
+    config = Criterion::default().sample_size(20);
+    targets = bench_serving_storm
+);
+criterion_main!(service);

@@ -307,8 +307,63 @@ pub const SEALED_FABRIC: Workload = Workload {
     run: sealed_fabric,
 };
 
+// ---------------------------------------------------------------------------
+// service: trusted-timestamp serving storm
+// ---------------------------------------------------------------------------
+
+/// Nodes (and thus front-ends) in the serving storm.
+pub const SERVING_NODES: usize = 2;
+/// Open-loop offered load (requests per second).
+pub const SERVING_RATE: f64 = 2_000.0;
+/// Simulated horizon of one serving-storm run.
+pub const SERVING_HORIZON_S: u64 = 2;
+
+use runtime::ClockState;
+use sim::SimTime;
+
+/// Serving-layer storm: open-loop clients → router → sealed requests →
+/// batching front-ends → one enclave read per batch → sealed replies →
+/// SLO accounting, with no protocol actors underneath (both node clocks
+/// are pre-calibrated and pinned `Ok`), so the measured cost is the
+/// serving path itself: admission, batching, pacing timers, and the
+/// histogram/counter recording on every settled request.
+pub fn serving_storm() -> u64 {
+    use trace::NodeStateTag;
+
+    let hosts: Vec<Host> = (0..SERVING_NODES).map(|_| Host::paper_default()).collect();
+    let net = Network::new(DelayModel::Constant(SimDuration::from_micros(200)), 0.0);
+    let mut world = World::new(net, hosts);
+    for i in 0..SERVING_NODES {
+        // Hand-calibrate: anchor each published clock at t=0 against the
+        // host's true TSC so every flush finds a valid, monotonic clock.
+        let addr = World::node_addr(i);
+        world.clocks[i] = ClockState {
+            valid: true,
+            anchor_ref_ns: 0.0,
+            anchor_ticks: world.read_tsc(addr, SimTime::ZERO),
+            f_calib_hz: world.host(addr).tsc.nominal_hz(),
+        };
+        world.recorder.node_mut(i).states.enter(SimTime::ZERO, NodeStateTag::Ok);
+    }
+    let mut s = Simulation::with_capacity(world, 5, SERVING_NODES + 2);
+    let spec = service::ServiceSpec::new()
+        .open_loop(service::OpenLoopSpec { rate_per_s: SERVING_RATE, ..Default::default() });
+    service::install(&mut s, &spec, 5);
+    s.run_until(SimTime::from_secs(SERVING_HORIZON_S));
+    s.dispatched()
+}
+
+/// The serving-storm workload.
+///
+/// `events_per_run` is the exact dispatched count of the seeded run
+/// (asserted by `workload_event_counts_are_exact` and re-checked on
+/// every gate replay).
+pub const SERVING_STORM: Workload =
+    Workload { name: "service/serving_storm", events_per_run: 13_919, run: serving_storm };
+
 /// All gate-eligible workloads.
-pub const WORKLOADS: [Workload; 4] = [KERNEL, TIMER_STORM, CANCEL_STORM, SEALED_FABRIC];
+pub const WORKLOADS: [Workload; 5] =
+    [KERNEL, TIMER_STORM, CANCEL_STORM, SEALED_FABRIC, SERVING_STORM];
 
 /// Looks a workload up by its baseline `"benchmark"` name.
 pub fn find_workload(name: &str) -> Option<&'static Workload> {

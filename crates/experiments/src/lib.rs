@@ -19,6 +19,7 @@
 //! | [`sweeps`] | E14–E18 — delay / size / AEX-rate / network / TA-load sweeps |
 //! | [`baseline`] | E19 — Triad vs a T3E-style TPM baseline |
 //! | [`chaos`] | E20 — fault-injection chaos suite (availability under faults) |
+//! | [`serve`] | E21 — trusted-timestamp serving under load and faults |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,13 +36,14 @@ pub mod fig6;
 pub mod inc_table;
 mod output;
 pub mod resilience;
+pub mod serve;
 pub mod sweeps;
 pub mod tsc_detect;
 
 pub use output::{comparison_markdown, comparison_table, write_text, Comparison, RunOpts};
 
 /// Every experiment id accepted by the runner.
-pub const ALL_EXPERIMENTS: [&str; 12] = [
+pub const ALL_EXPERIMENTS: [&str; 13] = [
     "fig1",
     "inc-table",
     "fig2",
@@ -54,6 +56,7 @@ pub const ALL_EXPERIMENTS: [&str; 12] = [
     "sweeps",
     "baseline",
     "chaos",
+    "serve",
 ];
 
 /// Runs one experiment by id, returning its rendered report and
@@ -110,6 +113,10 @@ pub fn run_by_id(id: &str, opts: &RunOpts) -> (String, Vec<Comparison>) {
         }
         "chaos" => {
             let r = chaos::run(opts);
+            (r.render(), r.comparisons())
+        }
+        "serve" => {
+            let r = serve::run(opts);
             (r.render(), r.comparisons())
         }
         other => panic!("unknown experiment id {other:?} (known: {ALL_EXPERIMENTS:?})"),

@@ -51,7 +51,7 @@ pub struct ClusterBuilder {
     extra_actors: Vec<Box<dyn Actor<World, SysEvent>>>,
     node_factory: Option<NodeFactory>,
     hosts: Option<Vec<Host>>,
-    clients: Vec<(usize, SimDuration, ClientMode)>,
+    clients: Vec<(usize, SimDuration, ClientMode, bool)>,
     fault_plan: Option<FaultPlan>,
 }
 
@@ -148,7 +148,7 @@ impl ClusterBuilder {
     /// Panics if `target` is out of range.
     pub fn client(mut self, target: usize, period: SimDuration) -> Self {
         assert!(target < self.n, "client target {target} out of range");
-        self.clients.push((target, period, ClientMode::Timestamp));
+        self.clients.push((target, period, ClientMode::Timestamp, false));
         self
     }
 
@@ -162,7 +162,26 @@ impl ClusterBuilder {
     /// Panics if `target` is out of range.
     pub fn reading_client(mut self, target: usize, period: SimDuration) -> Self {
         assert!(target < self.n, "client target {target} out of range");
-        self.clients.push((target, period, ClientMode::Reading));
+        self.clients.push((target, period, ClientMode::Reading, false));
+        self
+    }
+
+    /// Attaches a client workload with an explicit [`ClientMode`] and,
+    /// when `jitter` is set, a seeded start-phase offset so co-located
+    /// fixed-period clients don't fire in lockstep at `t = k·period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is out of range.
+    pub fn client_with(
+        mut self,
+        target: usize,
+        period: SimDuration,
+        mode: ClientMode,
+        jitter: bool,
+    ) -> Self {
+        assert!(target < self.n, "client target {target} out of range");
+        self.clients.push((target, period, mode, jitter));
         self
     }
 
@@ -235,7 +254,7 @@ impl ClusterBuilder {
         simulation.add_actor(Box::new(EnvDriver::new(node_ids.clone(), per_node_aex, machine_aex)));
         simulation.add_actor(Box::new(Sampler { interval: sample_interval }));
         let mut client_regs = Vec::new();
-        for (i, &(target, period, mode)) in clients.iter().enumerate() {
+        for (i, &(target, period, mode, jitter)) in clients.iter().enumerate() {
             let client_addr = Addr(1000 + u16::try_from(i).expect("client count fits u16"));
             let target_addr = World::node_addr(target);
             let key = {
@@ -246,12 +265,11 @@ impl ClusterBuilder {
                 key
             };
             simulation.world_mut().keys.provision_pair(client_addr, target_addr, key);
-            let id = simulation.add_actor(Box::new(ClientWorkload::with_mode(
-                client_addr,
-                target_addr,
-                period,
-                mode,
-            )));
+            let mut workload = ClientWorkload::with_mode(client_addr, target_addr, period, mode);
+            if jitter {
+                workload = workload.with_start_jitter();
+            }
+            let id = simulation.add_actor(Box::new(workload));
             client_regs.push((client_addr, id));
         }
         if let Some(plan) = fault_plan {

@@ -6,11 +6,13 @@
 //! from outside the TCB.
 
 use netsim::Addr;
+use rand::Rng;
 use sim::{Actor, Ctx, SimDuration};
 use wire::Message;
 
 use crate::event::SysEvent;
 use crate::messaging::{open_delivery, send_message};
+use crate::nonce::NonceWindow;
 use crate::world::World;
 
 /// Which client-facing API the workload exercises.
@@ -42,13 +44,18 @@ pub struct ClientWorkload {
     period: SimDuration,
     mode: ClientMode,
     next_nonce: u64,
-    /// Nonce of the one request currently awaiting its answer. Responses
-    /// with any other nonce are duplicates (fabric-level duplication) or
-    /// stale reordered stragglers and are dropped — the network may replay
-    /// them, so they must not count as serves nor feed the monotonicity
-    /// check twice.
-    awaiting: Option<u64>,
+    /// Window of requests currently awaiting their answer (capacity 1: the
+    /// workload has one request in flight, and a new request supersedes an
+    /// unanswered one). Responses outside the window are duplicates
+    /// (fabric-level duplication) or stale reordered stragglers and are
+    /// dropped — the network may replay them, so they must not count as
+    /// serves nor feed the monotonicity check twice.
+    pending: NonceWindow,
     last_timestamp: u64,
+    /// Offset the first request by a seeded uniform draw in `(0, period]`
+    /// so co-located fixed-period clients don't fire in lockstep. Off by
+    /// default: existing experiment artifacts depend on the phase.
+    start_jitter: bool,
 }
 
 impl ClientWorkload {
@@ -88,9 +95,20 @@ impl ClientWorkload {
             period,
             mode,
             next_nonce: 0,
-            awaiting: None,
+            pending: NonceWindow::new(1),
             last_timestamp: 0,
+            start_jitter: false,
         }
+    }
+
+    /// Enables seeded start-phase jitter: the first request fires at a
+    /// uniform draw in `(0, period]` instead of exactly at `period`, so a
+    /// population of same-period clients spreads over the whole period
+    /// instead of hammering the node in lockstep at `t = k·period`.
+    #[must_use]
+    pub fn with_start_jitter(mut self) -> Self {
+        self.start_jitter = true;
+        self
     }
 
     fn record_serve(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, ts: u64) {
@@ -113,14 +131,19 @@ impl ClientWorkload {
 
 impl Actor<World, SysEvent> for ClientWorkload {
     fn on_start(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
-        ctx.schedule_in(self.period, SysEvent::timer(0));
+        let first = if self.start_jitter {
+            SimDuration::from_nanos(ctx.rng.gen_range(1..=self.period.as_nanos()))
+        } else {
+            self.period
+        };
+        ctx.schedule_in(first, SysEvent::timer(0));
     }
 
     fn on_event(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, ev: SysEvent) {
         match ev {
             SysEvent::Timer { .. } => {
                 self.next_nonce += 1;
-                self.awaiting = Some(self.next_nonce);
+                self.pending.insert(self.next_nonce);
                 let req = match self.mode {
                     ClientMode::Timestamp => Message::ClientTimeRequest { nonce: self.next_nonce },
                     ClientMode::Reading => Message::TimeReadingRequest { nonce: self.next_nonce },
@@ -130,20 +153,18 @@ impl Actor<World, SysEvent> for ClientWorkload {
             }
             SysEvent::Deliver(d) => match open_delivery(ctx.world, self.me, &d) {
                 Some(Message::ClientTimeResponse { nonce, timestamp_ns }) => {
-                    if self.awaiting != Some(nonce) {
+                    if !self.pending.take(nonce) {
                         return;
                     }
-                    self.awaiting = None;
                     match timestamp_ns {
                         Some(ts) => self.record_serve(ctx, ts),
                         None => self.record_denial(ctx),
                     }
                 }
                 Some(Message::TimeReadingResponse { nonce, reading }) => {
-                    if self.awaiting != Some(nonce) {
+                    if !self.pending.take(nonce) {
                         return;
                     }
-                    self.awaiting = None;
                     match reading {
                         Some(r) => self.record_serve(ctx, r.estimate_ns),
                         None => self.record_denial(ctx),

@@ -24,6 +24,7 @@ mod env;
 mod event;
 mod keys;
 mod messaging;
+mod nonce;
 mod sampler;
 mod world;
 
@@ -32,5 +33,6 @@ pub use env::EnvDriver;
 pub use event::SysEvent;
 pub use keys::{link_aad, KeyTable};
 pub use messaging::{open_delivery, send_message};
+pub use nonce::NonceWindow;
 pub use sampler::Sampler;
 pub use world::{ClockState, Host, World};

@@ -6,7 +6,8 @@ use faults::{FaultPlan, RandomFaultConfig};
 use harness::ClusterBuilder;
 use netsim::{Addr, DelayModel};
 use resilient::{ResilientConfig, ResilientNode};
-use runtime::{SysEvent, World};
+use runtime::{ClientMode, SysEvent, World};
+use service::ServiceSpec;
 use sim::{SimDuration, SimTime, Simulation};
 use triad_core::TriadConfig;
 use tsc::{AexModel, Exponential, IsolatedCore, Periodic, SwitchAt, TriadLike};
@@ -124,6 +125,11 @@ pub struct ClientSpec {
     /// `true` for the graceful-degradation reading API, `false` for plain
     /// timestamp requests.
     pub reading: bool,
+    /// Seeded start-phase jitter: offset the first request by a uniform
+    /// draw in `(0, period]` so co-located fixed-period clients don't fire
+    /// in lockstep. Off by default — existing artifacts depend on the
+    /// deterministic phase.
+    pub jitter: bool,
 }
 
 /// A declarative, cloneable description of one simulation scenario.
@@ -174,6 +180,9 @@ pub struct ScenarioSpec {
     pub faults: Option<FaultSpec>,
     /// Client workloads.
     pub clients: Vec<ClientSpec>,
+    /// Trusted-timestamp serving layer (front-ends + load generators),
+    /// if any.
+    pub service: Option<ServiceSpec>,
 }
 
 impl ScenarioSpec {
@@ -195,6 +204,7 @@ impl ScenarioSpec {
             manipulations: Vec::new(),
             faults: None,
             clients: Vec::new(),
+            service: None,
         }
     }
 
@@ -289,7 +299,7 @@ impl ScenarioSpec {
     /// Attaches a timestamp-request client against node index `target`.
     #[must_use]
     pub fn client(mut self, target: usize, period: SimDuration) -> Self {
-        self.clients.push(ClientSpec { target, period, reading: false });
+        self.clients.push(ClientSpec { target, period, reading: false, jitter: false });
         self
     }
 
@@ -297,7 +307,27 @@ impl ScenarioSpec {
     /// `target`.
     #[must_use]
     pub fn reading_client(mut self, target: usize, period: SimDuration) -> Self {
-        self.clients.push(ClientSpec { target, period, reading: true });
+        self.clients.push(ClientSpec { target, period, reading: true, jitter: false });
+        self
+    }
+
+    /// Enables seeded start-phase jitter on every client attached so far
+    /// (and leaves later attachments untouched). With many same-period
+    /// clients this spreads the request phases over the whole period
+    /// instead of firing them in lockstep.
+    #[must_use]
+    pub fn jitter_clients(mut self) -> Self {
+        for c in &mut self.clients {
+            c.jitter = true;
+        }
+        self
+    }
+
+    /// Installs a trusted-timestamp serving layer (one front-end per
+    /// node plus the spec's load generators).
+    #[must_use]
+    pub fn service(mut self, service: ServiceSpec) -> Self {
+        self.service = Some(service);
         self
     }
 
@@ -347,13 +377,14 @@ impl ScenarioSpec {
             builder = builder.fault_plan(plan);
         }
         for c in &self.clients {
-            builder = if c.reading {
-                builder.reading_client(c.target, c.period)
-            } else {
-                builder.client(c.target, c.period)
-            };
+            let mode = if c.reading { ClientMode::Reading } else { ClientMode::Timestamp };
+            builder = builder.client_with(c.target, c.period, mode, c.jitter);
         }
-        builder.build()
+        let mut simulation = builder.build();
+        if let Some(svc) = &self.service {
+            service::install(&mut simulation, svc, seed);
+        }
+        simulation
     }
 
     /// Builds, runs to the horizon, and returns the measured world.
@@ -423,6 +454,16 @@ mod tests {
         assert_eq!(a.recorder.faults, b.recorder.faults);
         assert!(!a.recorder.faults.is_empty());
         assert_ne!(a.recorder.faults, c.recorder.faults);
+    }
+
+    #[test]
+    fn service_layer_installs_and_serves_through_the_spec() {
+        let spec =
+            ScenarioSpec::new(2).horizon(SimTime::from_secs(10)).service(ServiceSpec::default());
+        let a = spec.run(5);
+        let b = spec.run(5);
+        assert!(a.recorder.service.offered.count() > 0);
+        assert_eq!(a.recorder.service, b.recorder.service);
     }
 
     #[test]

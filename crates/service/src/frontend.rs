@@ -1,0 +1,203 @@
+//! The per-node serving front-end: bounded admission, request batching,
+//! load shedding, and degraded-mode answers.
+
+use std::collections::VecDeque;
+
+use netsim::Addr;
+use runtime::{open_delivery, send_message, SysEvent, World};
+use sim::{Actor, Ctx, EventId, SimTime};
+use trace::NodeStateTag;
+use wire::{Message, ServeOutcome, TimeReading};
+
+use crate::spec::FrontendSpec;
+
+/// Timer token for the batch-window flush (actor-private).
+const TOKEN_FLUSH: u64 = 1 << 63;
+
+/// One queued request awaiting the next batch.
+#[derive(Debug, Clone, Copy)]
+struct Queued {
+    client: Addr,
+    nonce: u64,
+    accept_degraded: bool,
+}
+
+/// The serving front-end co-located with one Triad node.
+///
+/// Requests are admitted into a bounded queue and drained in batches:
+/// each flush performs **one** enclave timestamp read (`rdtsc` plus the
+/// published calibration) and answers every request in the batch from
+/// it, with per-request ε-bumps preserving strict monotonicity. Flushes
+/// are paced — at most one batch per `batch_window` — so the drain rate
+/// is bounded at `batch_max / batch_window` and sustained excess load
+/// fills the queue instead of being served for free. A full queue sheds
+/// new arrivals with an immediate [`ServeOutcome::Overloaded`] reply; a
+/// crashed node's front-end goes silent (clients discover it by timeout,
+/// exactly as with a dead machine).
+///
+/// While the node is degraded (tainted, recalibrating) the front-end
+/// answers `accept_degraded` requests with a [`TimeReading`] whose
+/// uncertainty widens with time spent degraded, mirroring the hardened
+/// node's staleness-aware readings; all other requests get
+/// [`ServeOutcome::Unavailable`].
+#[derive(Debug)]
+pub struct Frontend {
+    me: Addr,
+    node: Addr,
+    node_index: usize,
+    spec: FrontendSpec,
+    queue: VecDeque<Queued>,
+    window_timer: Option<EventId>,
+    /// Earliest instant the next batch may run (pacing: one enclave read
+    /// per `batch_window`).
+    next_allowed: SimTime,
+    /// Monotonic serving floor (ns): no answer, full or degraded, ever
+    /// goes backwards or repeats.
+    floor_ns: u64,
+    /// When the node's current degraded stretch started, as observed at
+    /// flush time; drives the widening uncertainty term.
+    degraded_since: Option<SimTime>,
+}
+
+impl Frontend {
+    /// Creates the front-end for node index `node_index`, serving from
+    /// address `me`.
+    pub fn new(me: Addr, node_index: usize, spec: FrontendSpec) -> Self {
+        assert!(spec.queue_cap >= 1, "admission queue needs capacity");
+        assert!(spec.batch_max >= 1, "batches need at least one request");
+        Frontend {
+            me,
+            node: World::node_addr(node_index),
+            node_index,
+            spec,
+            queue: VecDeque::with_capacity(spec.queue_cap),
+            window_timer: None,
+            next_allowed: SimTime::ZERO,
+            floor_ns: 0,
+            degraded_since: None,
+        }
+    }
+
+    fn node_state(&self, ctx: &Ctx<'_, World, SysEvent>) -> Option<NodeStateTag> {
+        ctx.world.recorder.node(self.node_index).states.state_at(ctx.now())
+    }
+
+    fn on_request(
+        &mut self,
+        ctx: &mut Ctx<'_, World, SysEvent>,
+        client: Addr,
+        nonce: u64,
+        accept_degraded: bool,
+    ) {
+        if self.node_state(ctx) == Some(NodeStateTag::Crashed) {
+            // The machine is down: nothing answers. Clients find out the
+            // honest way — by timing out and failing over.
+            return;
+        }
+        if self.queue.len() >= self.spec.queue_cap {
+            let now = ctx.now();
+            ctx.world.recorder.node_mut(self.node_index).frontend_shed.increment(now);
+            send_message(
+                ctx,
+                self.me,
+                client,
+                &Message::ServeResponse { nonce, outcome: ServeOutcome::Overloaded },
+            );
+            return;
+        }
+        self.queue.push_back(Queued { client, nonce, accept_degraded });
+        if self.window_timer.is_none() {
+            // An under-full batch waits for the window boundary; after an
+            // idle stretch `next_allowed` is in the past and the flush
+            // fires immediately.
+            let delay = self.next_allowed.saturating_duration_since(ctx.now());
+            self.window_timer = Some(ctx.schedule_in(delay, SysEvent::timer(TOKEN_FLUSH)));
+        }
+    }
+
+    /// Answers up to `batch_max` queued requests from a single enclave
+    /// timestamp read.
+    fn flush(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+        if self.queue.is_empty() {
+            return;
+        }
+        let now = ctx.now();
+        self.next_allowed = now + self.spec.batch_window;
+        let state = self.node_state(ctx);
+        if state == Some(NodeStateTag::Crashed) {
+            // Crashed between admission and flush: the queue dies with
+            // the machine.
+            self.queue.clear();
+            return;
+        }
+        if state == Some(NodeStateTag::Ok) {
+            self.degraded_since = None;
+        } else if self.degraded_since.is_none() {
+            self.degraded_since = Some(now);
+        }
+
+        // The whole batch shares one enclave read.
+        let ticks = ctx.world.read_tsc(self.node, now);
+        let clock_ns = ctx.world.clocks[self.node_index].now_ns(ticks);
+        ctx.world.recorder.node_mut(self.node_index).frontend_batches.increment(now);
+
+        let degraded_uncertainty_ns = {
+            let base = self.spec.degraded_base_uncertainty.as_nanos() as f64;
+            let staleness = self.degraded_since.map_or(0.0, |t0| (now - t0).as_nanos() as f64);
+            (base + self.spec.degraded_drift_ppm * 1e-6 * staleness) as u64
+        };
+
+        let drained = self.queue.len().min(self.spec.batch_max);
+        for _ in 0..drained {
+            let Queued { client, nonce, accept_degraded } =
+                self.queue.pop_front().expect("drained within queue length");
+            let outcome = match (state, clock_ns) {
+                (Some(NodeStateTag::Ok), Some(ns)) => ServeOutcome::Time(self.bump_floor(ns)),
+                (Some(_), Some(ns)) if accept_degraded => ServeOutcome::Reading(TimeReading {
+                    estimate_ns: self.bump_floor(ns),
+                    uncertainty_ns: degraded_uncertainty_ns,
+                    degraded: true,
+                }),
+                _ => ServeOutcome::Unavailable,
+            };
+            if matches!(outcome, ServeOutcome::Time(_) | ServeOutcome::Reading(_)) {
+                ctx.world.recorder.node_mut(self.node_index).frontend_served.increment(now);
+            }
+            send_message(ctx, self.me, client, &Message::ServeResponse { nonce, outcome });
+        }
+        if !self.queue.is_empty() {
+            // Backlog remains: drain it at the paced batch rate rather
+            // than instantly, so a saturated node sheds instead of
+            // pretending to be infinitely fast.
+            self.window_timer =
+                Some(ctx.schedule_in(self.spec.batch_window, SysEvent::timer(TOKEN_FLUSH)));
+        }
+    }
+
+    /// Applies the monotonic serving floor with an ε-bump: equal or
+    /// regressed raw readings serve `floor + 1`.
+    fn bump_floor(&mut self, raw_ns: f64) -> u64 {
+        let ts = (raw_ns.max(0.0) as u64).max(self.floor_ns + 1);
+        self.floor_ns = ts;
+        ts
+    }
+}
+
+impl Actor<World, SysEvent> for Frontend {
+    fn on_event(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, ev: SysEvent) {
+        match ev {
+            SysEvent::Deliver(d) => {
+                if let Some(Message::ServeRequest { nonce, accept_degraded }) =
+                    open_delivery(ctx.world, self.me, &d)
+                {
+                    self.on_request(ctx, d.src, nonce, accept_degraded);
+                }
+            }
+            SysEvent::Timer { token } if token == TOKEN_FLUSH => {
+                self.window_timer = None;
+                self.flush(ctx);
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Seeded load generators: aggregated open-loop arrival processes and
+//! closed-loop think-time populations, with failover routing and
+//! client-side SLO accounting.
+
+use std::collections::HashMap;
+
+use netsim::Addr;
+use rand::rngs::StdRng;
+use rand::Rng;
+use runtime::{open_delivery, send_message, SysEvent, World};
+use sim::{Actor, Ctx, EventId, SimDuration, SimTime};
+use wire::{Message, ServeOutcome};
+
+use crate::router::Router;
+use crate::spec::{ArrivalSpec, ClosedLoopSpec, OpenLoopSpec, RouterSpec};
+
+/// Timer token: next open-loop arrival.
+const TOKEN_ARRIVAL: u64 = 1 << 63;
+/// Timer token tag: per-request timeout; low bits carry the nonce.
+const TOKEN_TIMEOUT: u64 = 1 << 62;
+/// Timer token tag: closed-loop think expiry; low bits carry the client.
+const TOKEN_THINK: u64 = (1 << 63) | (1 << 62);
+/// Low bits available for a nonce or client index inside a token.
+const TOKEN_PAYLOAD: u64 = (1 << 62) - 1;
+
+fn exp_draw(rng: &mut StdRng, mean_ns: f64) -> u64 {
+    let u: f64 = rng.gen();
+    ((-mean_ns * (1.0 - u).ln()).max(1.0)) as u64
+}
+
+/// One request's retry state, shared by both generator kinds.
+#[derive(Debug)]
+struct Pending {
+    first_sent: SimTime,
+    attempts: u32,
+    target: usize,
+    timeout: EventId,
+}
+
+/// The request/retry engine behind both generators: picks targets via
+/// the [`Router`], arms per-request timeouts, fails over, and settles
+/// every request into exactly one `ServiceTrace` outcome counter.
+#[derive(Debug)]
+struct Dispatcher {
+    me: Addr,
+    frontends: Vec<Addr>,
+    router: Router,
+    spec: RouterSpec,
+    accept_degraded: bool,
+    in_flight: HashMap<u64, Pending>,
+}
+
+impl Dispatcher {
+    fn new(me: Addr, frontends: Vec<Addr>, spec: RouterSpec, accept_degraded: bool) -> Self {
+        let router = Router::new(spec, frontends.len());
+        Dispatcher { me, frontends, router, spec, accept_degraded, in_flight: HashMap::new() }
+    }
+
+    /// Issues a brand-new request (attempt 1 of `max_attempts`).
+    fn issue(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, nonce: u64) {
+        let now = ctx.now();
+        ctx.world.recorder.service.offered.increment(now);
+        self.attempt(ctx, nonce, now, 1, None);
+    }
+
+    fn attempt(
+        &mut self,
+        ctx: &mut Ctx<'_, World, SysEvent>,
+        nonce: u64,
+        first_sent: SimTime,
+        attempts: u32,
+        avoid: Option<usize>,
+    ) {
+        let now = ctx.now();
+        let target = self.router.pick(now, avoid);
+        if let Some(prev) = avoid {
+            if target != prev {
+                ctx.world.recorder.service.failovers.increment(now);
+            }
+        }
+        send_message(
+            ctx,
+            self.me,
+            self.frontends[target],
+            &Message::ServeRequest { nonce, accept_degraded: self.accept_degraded },
+        );
+        let timeout = ctx.schedule_in(self.spec.timeout, SysEvent::timer(TOKEN_TIMEOUT | nonce));
+        self.in_flight.insert(nonce, Pending { first_sent, attempts, target, timeout });
+    }
+
+    /// Settles or retries after an answer. Returns `true` when the
+    /// request left the in-flight set (for closed-loop pacing); unknown
+    /// or stale nonces return `false`.
+    fn on_response(
+        &mut self,
+        ctx: &mut Ctx<'_, World, SysEvent>,
+        nonce: u64,
+        outcome: ServeOutcome,
+    ) -> bool {
+        let Some(pending) = self.in_flight.remove(&nonce) else {
+            return false; // Duplicate or post-timeout straggler.
+        };
+        ctx.cancel(pending.timeout);
+        let now = ctx.now();
+        let service = &mut ctx.world.recorder.service;
+        match outcome {
+            ServeOutcome::Time(_) => {
+                service.served_ok.increment(now);
+                service.latency.push((now - pending.first_sent).as_nanos() as f64);
+                self.router.success(pending.target);
+            }
+            ServeOutcome::Reading(_) => {
+                service.served_degraded.increment(now);
+                service.latency.push((now - pending.first_sent).as_nanos() as f64);
+                self.router.success(pending.target);
+            }
+            ServeOutcome::Overloaded => {
+                self.router.overloaded(pending.target, now);
+                if pending.attempts < self.spec.max_attempts {
+                    self.attempt(
+                        ctx,
+                        nonce,
+                        pending.first_sent,
+                        pending.attempts + 1,
+                        Some(pending.target),
+                    );
+                    return false;
+                }
+                service.shed.increment(now);
+            }
+            ServeOutcome::Unavailable => {
+                self.router.overloaded(pending.target, now);
+                if pending.attempts < self.spec.max_attempts {
+                    self.attempt(
+                        ctx,
+                        nonce,
+                        pending.first_sent,
+                        pending.attempts + 1,
+                        Some(pending.target),
+                    );
+                    return false;
+                }
+                service.unavailable.increment(now);
+            }
+        }
+        true
+    }
+
+    /// Settles or retries after a timeout. Returns `true` when the
+    /// request left the in-flight set.
+    fn on_timeout(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, nonce: u64) -> bool {
+        let Some(pending) = self.in_flight.remove(&nonce) else {
+            return false; // Already answered.
+        };
+        let now = ctx.now();
+        self.router.timed_out(pending.target, now);
+        if pending.attempts < self.spec.max_attempts {
+            self.attempt(
+                ctx,
+                nonce,
+                pending.first_sent,
+                pending.attempts + 1,
+                Some(pending.target),
+            );
+            return false;
+        }
+        ctx.world.recorder.service.timeouts.increment(now);
+        true
+    }
+}
+
+/// An aggregated open-loop arrival process: one actor standing in for a
+/// large client population, issuing requests on a seeded inter-arrival
+/// stream shaped by a [`crate::LoadProfile`] — the offered load does not
+/// slow down when the cluster does.
+#[derive(Debug)]
+pub struct OpenLoopGen {
+    spec: OpenLoopSpec,
+    dispatcher: Dispatcher,
+    next_nonce: u64,
+}
+
+impl OpenLoopGen {
+    /// Creates the generator at `me`, spreading over `frontends`
+    /// (index = node index).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive rate or an empty cluster.
+    pub fn new(me: Addr, frontends: Vec<Addr>, spec: OpenLoopSpec, router: RouterSpec) -> Self {
+        assert!(spec.rate_per_s > 0.0, "open-loop rate must be positive");
+        let accept = spec.accept_degraded;
+        OpenLoopGen {
+            spec,
+            dispatcher: Dispatcher::new(me, frontends, router, accept),
+            next_nonce: 0,
+        }
+    }
+
+    fn next_gap(&self, ctx: &mut Ctx<'_, World, SysEvent>) -> SimDuration {
+        let mean_ns = 1e9 / (self.spec.rate_per_s * self.spec.profile.factor_at(ctx.now()));
+        let gap_ns = match self.spec.arrival {
+            ArrivalSpec::Exponential => exp_draw(ctx.rng, mean_ns),
+            ArrivalSpec::Uniform { spread } => {
+                let u: f64 = ctx.rng.gen();
+                ((mean_ns * (1.0 - spread + 2.0 * spread * u)).max(1.0)) as u64
+            }
+        };
+        SimDuration::from_nanos(gap_ns.max(1))
+    }
+}
+
+impl Actor<World, SysEvent> for OpenLoopGen {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+        let gap = self.next_gap(ctx);
+        ctx.schedule_in(gap, SysEvent::timer(TOKEN_ARRIVAL));
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, ev: SysEvent) {
+        match ev {
+            SysEvent::Timer { token } if token == TOKEN_ARRIVAL => {
+                self.next_nonce += 1;
+                self.dispatcher.issue(ctx, self.next_nonce);
+                let gap = self.next_gap(ctx);
+                ctx.schedule_in(gap, SysEvent::timer(TOKEN_ARRIVAL));
+            }
+            SysEvent::Timer { token } if token & TOKEN_THINK == TOKEN_TIMEOUT => {
+                self.dispatcher.on_timeout(ctx, token & TOKEN_PAYLOAD);
+            }
+            SysEvent::Deliver(d) => {
+                if let Some(Message::ServeResponse { nonce, outcome }) =
+                    open_delivery(ctx.world, self.dispatcher.me, &d)
+                {
+                    self.dispatcher.on_response(ctx, nonce, outcome);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A closed-loop population: each virtual user waits for its answer (or
+/// gives up at the final timeout), thinks for an exponential while, then
+/// asks again — load that self-throttles as the cluster slows.
+#[derive(Debug)]
+pub struct ClosedLoopGen {
+    spec: ClosedLoopSpec,
+    dispatcher: Dispatcher,
+    /// Per-user next sequence number; the wire nonce is
+    /// `(user << 32) | seq`.
+    next_seq: Vec<u32>,
+}
+
+impl ClosedLoopGen {
+    /// Creates the population at `me`, spreading over `frontends`
+    /// (index = node index).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty population, an empty cluster, or more than
+    /// 2³⁰ users (the nonce encoding's limit).
+    pub fn new(me: Addr, frontends: Vec<Addr>, spec: ClosedLoopSpec, router: RouterSpec) -> Self {
+        assert!(spec.clients >= 1, "a closed-loop population needs users");
+        assert!(spec.clients < (1 << 30), "closed-loop population too large for nonce encoding");
+        let accept = spec.accept_degraded;
+        ClosedLoopGen {
+            dispatcher: Dispatcher::new(me, frontends, router, accept),
+            next_seq: vec![0; spec.clients],
+            spec,
+        }
+    }
+
+    fn schedule_think(&self, ctx: &mut Ctx<'_, World, SysEvent>, user: usize) {
+        let think = SimDuration::from_nanos(exp_draw(ctx.rng, self.spec.think.as_nanos() as f64));
+        ctx.schedule_in(think, SysEvent::timer(TOKEN_THINK | user as u64));
+    }
+
+    fn issue_for(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, user: usize) {
+        self.next_seq[user] += 1;
+        let nonce = ((user as u64) << 32) | u64::from(self.next_seq[user]);
+        self.dispatcher.issue(ctx, nonce);
+    }
+}
+
+impl Actor<World, SysEvent> for ClosedLoopGen {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+        for user in 0..self.spec.clients {
+            self.schedule_think(ctx, user);
+        }
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, ev: SysEvent) {
+        match ev {
+            SysEvent::Timer { token } if token & TOKEN_THINK == TOKEN_THINK => {
+                self.issue_for(ctx, (token & TOKEN_PAYLOAD) as usize);
+            }
+            SysEvent::Timer { token } if token & TOKEN_THINK == TOKEN_TIMEOUT => {
+                let nonce = token & TOKEN_PAYLOAD;
+                if self.dispatcher.on_timeout(ctx, nonce) {
+                    self.schedule_think(ctx, (nonce >> 32) as usize);
+                }
+            }
+            SysEvent::Deliver(d) => {
+                if let Some(Message::ServeResponse { nonce, outcome }) =
+                    open_delivery(ctx.world, self.dispatcher.me, &d)
+                {
+                    if self.dispatcher.on_response(ctx, nonce, outcome) {
+                        self.schedule_think(ctx, (nonce >> 32) as usize);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Client-side cluster routing: round-robin spreading with per-node
+//! health tracking and failover.
+
+use sim::SimTime;
+
+use crate::spec::RouterSpec;
+
+/// Per-generator routing state over an `n`-node cluster.
+///
+/// Requests round-robin across nodes, skipping any node currently held
+/// down: a timeout marks its target down for `cooldown` (it may be
+/// crashed), an `Overloaded` reply for the shorter `penalty` (it is alive
+/// but saturated). When every node is held down the router picks one
+/// anyway — a client with no healthy choices must still try *somewhere*.
+#[derive(Debug, Clone)]
+pub struct Router {
+    spec: RouterSpec,
+    cursor: usize,
+    down_until: Vec<SimTime>,
+}
+
+impl Router {
+    /// A router over node indices `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero.
+    pub fn new(spec: RouterSpec, n: usize) -> Self {
+        assert!(n >= 1, "routing needs at least one node");
+        Router { spec, cursor: 0, down_until: vec![SimTime::ZERO; n] }
+    }
+
+    /// Picks the next node, preferring healthy ones and avoiding
+    /// `avoid` (the node a failing attempt just used) when any other
+    /// healthy node exists.
+    pub fn pick(&mut self, now: SimTime, avoid: Option<usize>) -> usize {
+        let n = self.down_until.len();
+        let healthy = |i: usize, down_until: &[SimTime]| down_until[i] <= now;
+        // First pass: healthy and not the node we are failing away from.
+        for step in 0..n {
+            let i = (self.cursor + step) % n;
+            if healthy(i, &self.down_until) && Some(i) != avoid {
+                self.cursor = (i + 1) % n;
+                return i;
+            }
+        }
+        // Second pass: any healthy node (possibly `avoid` itself).
+        for step in 0..n {
+            let i = (self.cursor + step) % n;
+            if healthy(i, &self.down_until) {
+                self.cursor = (i + 1) % n;
+                return i;
+            }
+        }
+        // Everything is held down: forced pick, round-robin order.
+        let i = self.cursor % n;
+        self.cursor = (i + 1) % n;
+        i
+    }
+
+    /// Records a successful answer from node `i`: it is healthy again.
+    pub fn success(&mut self, i: usize) {
+        self.down_until[i] = SimTime::ZERO;
+    }
+
+    /// Records an `Overloaded` reply from node `i`: deprioritize briefly.
+    pub fn overloaded(&mut self, i: usize, now: SimTime) {
+        self.down_until[i] = self.down_until[i].max(now + self.spec.penalty);
+    }
+
+    /// Records a timed-out attempt against node `i`: back off hard.
+    pub fn timed_out(&mut self, i: usize, now: SimTime) {
+        self.down_until[i] = self.down_until[i].max(now + self.spec.cooldown);
+    }
+
+    /// True when node `i` is currently held down.
+    pub fn is_down(&self, i: usize, now: SimTime) -> bool {
+        self.down_until[i] > now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use sim::SimDuration;
+
+    use super::*;
+
+    fn spec() -> RouterSpec {
+        RouterSpec {
+            timeout: SimDuration::from_millis(25),
+            max_attempts: 3,
+            cooldown: SimDuration::from_millis(200),
+            penalty: SimDuration::from_millis(20),
+        }
+    }
+
+    #[test]
+    fn round_robin_spreads_over_healthy_nodes() {
+        let mut r = Router::new(spec(), 3);
+        let now = SimTime::ZERO;
+        let picks: Vec<usize> = (0..6).map(|_| r.pick(now, None)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn down_nodes_are_skipped_until_they_recover() {
+        let mut r = Router::new(spec(), 3);
+        let now = SimTime::from_secs(1);
+        r.timed_out(1, now);
+        assert!(r.is_down(1, now));
+        let picks: Vec<usize> = (0..4).map(|_| r.pick(now, None)).collect();
+        assert!(!picks.contains(&1), "held-down node picked: {picks:?}");
+        // After the cooldown it rejoins the rotation.
+        let later = now + SimDuration::from_millis(500);
+        assert!(!r.is_down(1, later));
+        let picks: Vec<usize> = (0..3).map(|_| r.pick(later, None)).collect();
+        assert!(picks.contains(&1));
+    }
+
+    #[test]
+    fn failover_avoids_the_failing_node_when_possible() {
+        let mut r = Router::new(spec(), 2);
+        let now = SimTime::ZERO;
+        for _ in 0..4 {
+            assert_ne!(r.pick(now, Some(0)), 0);
+        }
+    }
+
+    #[test]
+    fn forced_pick_when_everything_is_down() {
+        let mut r = Router::new(spec(), 2);
+        let now = SimTime::from_secs(1);
+        r.timed_out(0, now);
+        r.timed_out(1, now);
+        let i = r.pick(now, None);
+        assert!(i < 2);
+        // Success clears the hold immediately.
+        r.success(i);
+        assert!(!r.is_down(i, now));
+    }
+
+    #[test]
+    fn single_node_cluster_always_routes_to_it() {
+        let mut r = Router::new(spec(), 1);
+        let now = SimTime::ZERO;
+        r.timed_out(0, now);
+        assert_eq!(r.pick(now, Some(0)), 0);
+    }
+}

@@ -1,0 +1,285 @@
+//! Declarative, cloneable descriptions of the serving layer — the data
+//! [`crate::install`] turns into front-end and load-generator actors.
+
+use sim::{SimDuration, SimTime};
+
+/// The shape of open-loop inter-arrival draws. The *rate* lives in
+/// [`OpenLoopSpec::rate_per_s`]; the spec only picks the distribution
+/// around the implied mean gap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalSpec {
+    /// Memoryless (Poisson-process) arrivals: exponential gaps. The
+    /// aggregate of many independent clients, per the usual limit.
+    Exponential,
+    /// Uniform gaps in `mean · [1 - spread, 1 + spread]` — a smoother
+    /// population with bounded burstiness.
+    Uniform {
+        /// Half-width of the gap jitter as a fraction of the mean gap,
+        /// in `[0, 1)`.
+        spread: f64,
+    },
+}
+
+/// How the offered load evolves over the run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadProfile {
+    /// The nominal rate for the whole run.
+    Constant,
+    /// Linear ramp from `from_frac` of the nominal rate at `t = 0` up to
+    /// the full rate at `t = over`, constant afterwards.
+    Ramp {
+        /// Starting fraction of the nominal rate, in `(0, 1]`.
+        from_frac: f64,
+        /// Ramp duration.
+        over: SimDuration,
+    },
+    /// The nominal rate, except a `factor`× surge during
+    /// `[at, at + width)` — a flash crowd.
+    Burst {
+        /// When the surge starts.
+        at: SimTime,
+        /// Rate multiplier during the surge (> 1 for a surge).
+        factor: f64,
+        /// Surge duration.
+        width: SimDuration,
+    },
+}
+
+impl LoadProfile {
+    /// The rate multiplier in effect at `now`.
+    pub fn factor_at(&self, now: SimTime) -> f64 {
+        match *self {
+            LoadProfile::Constant => 1.0,
+            LoadProfile::Ramp { from_frac, over } => {
+                if over.is_zero() {
+                    return 1.0;
+                }
+                let frac = (now.as_nanos() as f64 / over.as_nanos() as f64).min(1.0);
+                from_frac + (1.0 - from_frac) * frac
+            }
+            LoadProfile::Burst { at, factor, width } => {
+                if now >= at && now < at + width {
+                    factor
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+}
+
+/// One aggregated open-loop arrival process: a large client population
+/// modelled as a single seeded stream of requests that keeps arriving at
+/// the offered rate no matter how the cluster is doing — the load shape
+/// that actually drives servers into overload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpenLoopSpec {
+    /// Nominal offered rate (requests per simulated second).
+    pub rate_per_s: f64,
+    /// Inter-arrival distribution.
+    pub arrival: ArrivalSpec,
+    /// Rate evolution over the run.
+    pub profile: LoadProfile,
+    /// Whether requests tolerate degraded `TimeReading` answers.
+    pub accept_degraded: bool,
+}
+
+impl Default for OpenLoopSpec {
+    fn default() -> Self {
+        OpenLoopSpec {
+            rate_per_s: 1000.0,
+            arrival: ArrivalSpec::Exponential,
+            profile: LoadProfile::Constant,
+            accept_degraded: true,
+        }
+    }
+}
+
+/// A closed-loop population: `clients` virtual users that each wait for
+/// their answer (or its timeout), think for a while, and only then ask
+/// again — load that self-throttles when the cluster slows down.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClosedLoopSpec {
+    /// Number of virtual users.
+    pub clients: usize,
+    /// Mean think time between an answer and the next request
+    /// (exponentially distributed).
+    pub think: SimDuration,
+    /// Whether requests tolerate degraded `TimeReading` answers.
+    pub accept_degraded: bool,
+}
+
+impl Default for ClosedLoopSpec {
+    fn default() -> Self {
+        ClosedLoopSpec { clients: 16, think: SimDuration::from_millis(100), accept_degraded: true }
+    }
+}
+
+/// The per-node serving front-end: a bounded admission queue drained in
+/// batches, one enclave timestamp read per batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontendSpec {
+    /// Admission-queue bound; requests beyond it are shed with an
+    /// immediate `Overloaded` reply.
+    pub queue_cap: usize,
+    /// Most requests amortized over one enclave read.
+    pub batch_max: usize,
+    /// How long an under-full batch waits before flushing anyway. With
+    /// `batch_max` this bounds the front-end's drain rate at
+    /// `batch_max / batch_window`.
+    pub batch_window: SimDuration,
+    /// Base half-width of degraded-mode answers (mirrors the hardened
+    /// node's standing self-assessed error bound).
+    pub degraded_base_uncertainty: SimDuration,
+    /// Widening rate of degraded-mode answers while the node stays
+    /// degraded (ppm of elapsed degraded time).
+    pub degraded_drift_ppm: f64,
+}
+
+impl Default for FrontendSpec {
+    fn default() -> Self {
+        FrontendSpec {
+            queue_cap: 256,
+            batch_max: 32,
+            batch_window: SimDuration::from_millis(2),
+            degraded_base_uncertainty: SimDuration::from_millis(1),
+            degraded_drift_ppm: 50.0,
+        }
+    }
+}
+
+/// Client-side routing policy: per-node health tracking with failover.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouterSpec {
+    /// How long a generator waits for an answer before declaring the
+    /// attempt dead and failing over.
+    pub timeout: SimDuration,
+    /// Total attempts per request (1 = no retry).
+    pub max_attempts: u32,
+    /// How long a node stays deprioritized after a timeout (it may be
+    /// crashed — back off hard).
+    pub cooldown: SimDuration,
+    /// How long a node stays deprioritized after an `Overloaded` reply
+    /// (it is alive but saturated — back off briefly).
+    pub penalty: SimDuration,
+}
+
+impl Default for RouterSpec {
+    fn default() -> Self {
+        RouterSpec {
+            timeout: SimDuration::from_millis(25),
+            max_attempts: 3,
+            cooldown: SimDuration::from_millis(250),
+            penalty: SimDuration::from_millis(20),
+        }
+    }
+}
+
+/// The whole serving layer: one front-end per node plus any number of
+/// load generators, all sharing one routing policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceSpec {
+    /// Per-node front-end parameters (identical across nodes).
+    pub frontend: FrontendSpec,
+    /// Client-side routing policy (identical across generators).
+    pub router: RouterSpec,
+    /// Aggregated open-loop arrival processes.
+    pub open_loop: Vec<OpenLoopSpec>,
+    /// Closed-loop think-time populations.
+    pub closed_loop: Vec<ClosedLoopSpec>,
+}
+
+impl Default for ServiceSpec {
+    fn default() -> Self {
+        ServiceSpec {
+            frontend: FrontendSpec::default(),
+            router: RouterSpec::default(),
+            open_loop: vec![OpenLoopSpec::default()],
+            closed_loop: Vec::new(),
+        }
+    }
+}
+
+impl ServiceSpec {
+    /// A serving layer with no generators yet; attach them with
+    /// [`ServiceSpec::open_loop`] / [`ServiceSpec::closed_loop`].
+    pub fn new() -> Self {
+        ServiceSpec { open_loop: Vec::new(), ..Default::default() }
+    }
+
+    /// Overrides the front-end parameters.
+    #[must_use]
+    pub fn frontend(mut self, frontend: FrontendSpec) -> Self {
+        self.frontend = frontend;
+        self
+    }
+
+    /// Overrides the routing policy.
+    #[must_use]
+    pub fn router(mut self, router: RouterSpec) -> Self {
+        self.router = router;
+        self
+    }
+
+    /// Attaches an open-loop arrival process.
+    #[must_use]
+    pub fn open_loop(mut self, spec: OpenLoopSpec) -> Self {
+        self.open_loop.push(spec);
+        self
+    }
+
+    /// Attaches a closed-loop population.
+    #[must_use]
+    pub fn closed_loop(mut self, spec: ClosedLoopSpec) -> Self {
+        self.closed_loop.push(spec);
+        self
+    }
+
+    /// Total generator actors this spec will install.
+    pub fn generator_count(&self) -> usize {
+        self.open_loop.len() + self.closed_loop.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramp_profile_interpolates_and_saturates() {
+        let p = LoadProfile::Ramp { from_frac: 0.2, over: SimDuration::from_secs(10) };
+        assert!((p.factor_at(SimTime::ZERO) - 0.2).abs() < 1e-12);
+        assert!((p.factor_at(SimTime::from_secs(5)) - 0.6).abs() < 1e-12);
+        assert!((p.factor_at(SimTime::from_secs(10)) - 1.0).abs() < 1e-12);
+        assert!((p.factor_at(SimTime::from_secs(60)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn burst_profile_is_a_window() {
+        let p = LoadProfile::Burst {
+            at: SimTime::from_secs(5),
+            factor: 4.0,
+            width: SimDuration::from_secs(2),
+        };
+        assert!((p.factor_at(SimTime::from_secs(4)) - 1.0).abs() < 1e-12);
+        assert!((p.factor_at(SimTime::from_secs(5)) - 4.0).abs() < 1e-12);
+        assert!((p.factor_at(SimTime::from_secs(7)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_length_ramp_is_constant() {
+        let p = LoadProfile::Ramp { from_frac: 0.5, over: SimDuration::ZERO };
+        assert!((p.factor_at(SimTime::ZERO) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spec_builders_accumulate_generators() {
+        let spec = ServiceSpec::new()
+            .open_loop(OpenLoopSpec::default())
+            .open_loop(OpenLoopSpec { rate_per_s: 50.0, ..Default::default() })
+            .closed_loop(ClosedLoopSpec::default());
+        assert_eq!(spec.generator_count(), 3);
+        assert_eq!(spec.open_loop.len(), 2);
+        assert_eq!(spec.closed_loop.len(), 1);
+    }
+}

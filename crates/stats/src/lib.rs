@@ -10,6 +10,8 @@
 //!   the hardened protocol,
 //! - [`Cdf`] / [`Histogram`]: empirical distributions (Figure 1's inter-AEX
 //!   delay CDFs),
+//! - [`LogHistogram`]: log-linear latency buckets with bounded-relative-error
+//!   percentiles (the serving layer's SLO accounting),
 //! - [`Interval`] / [`marzullo`]: clock-agreement primitives for Section V's
 //!   true-chimer filtering,
 //! - drift/ppm conversion helpers matching the paper's reporting units.
@@ -19,6 +21,7 @@
 
 mod cdf;
 mod drift;
+mod hist;
 mod interval;
 mod regression;
 mod summary;
@@ -27,6 +30,7 @@ pub use cdf::{Cdf, Histogram};
 pub use drift::{
     drift_rate_ms_per_s, drift_rate_ppm, freq_error_ppm, ppm_to_ms_per_s, ppm_to_s_per_day,
 };
+pub use hist::LogHistogram;
 pub use interval::{marzullo, Agreement, Interval};
 pub use regression::{median_in_place, LinearFit, Regression};
 pub use summary::Summary;

@@ -1,7 +1,7 @@
 //! Property-based tests for the stats crate's core invariants.
 
 use proptest::prelude::*;
-use stats::{marzullo, Cdf, Interval, Regression, Summary};
+use stats::{marzullo, Cdf, Interval, LogHistogram, Regression, Summary};
 
 fn finite_f64() -> impl Strategy<Value = f64> {
     (-1.0e9..1.0e9f64).prop_filter("finite", |x| x.is_finite())
@@ -96,6 +96,39 @@ proptest! {
                 prop_assert!(!(iv.lo <= a.interval.lo && a.interval.hi <= iv.hi));
             }
         }
+    }
+
+    #[test]
+    fn log_histogram_percentiles_match_sorted_oracle(
+        xs in proptest::collection::vec(1.0e3..1.0e9f64, 1..400),
+        ratio in 1.02..1.5f64,
+        p in 0.0..100.0f64,
+    ) {
+        // The histogram's percentile must agree with the exact nearest-rank
+        // percentile of the raw samples to within one bucket's relative
+        // error: exact ≤ reported ≤ exact · ratio (samples kept in-range so
+        // no under/overflow clamping applies).
+        let mut h = LogHistogram::new(1.0e3, 1.0e9, ratio);
+        for &x in &xs {
+            h.push(x);
+        }
+        let exact = Cdf::from_samples(xs.iter().copied()).percentile(p);
+        let reported = h.percentile(p);
+        prop_assert!(reported >= exact * (1.0 - 1e-12), "p{p}: {reported} < exact {exact}");
+        prop_assert!(reported <= exact * ratio * (1.0 + 1e-12), "p{p}: {reported} > {exact}·{ratio}");
+    }
+
+    #[test]
+    fn log_histogram_total_and_counts_are_conserved(
+        xs in proptest::collection::vec(1.0..1.0e12f64, 0..300),
+    ) {
+        let mut h = LogHistogram::new(1.0e3, 1.0e9, 1.1);
+        for &x in &xs {
+            h.push(x);
+        }
+        let binned: u64 = h.counts().iter().sum();
+        prop_assert_eq!(binned + h.underflow() + h.overflow(), h.total());
+        prop_assert_eq!(h.total(), xs.len() as u64);
     }
 
     #[test]

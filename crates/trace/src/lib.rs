@@ -9,6 +9,8 @@
 //!   6b),
 //! - [`NodeTrace`] / [`Recorder`]: the per-node bundle a simulation run
 //!   fills in,
+//! - [`ServiceTrace`]: serving-layer SLO accounting — end-to-end latency
+//!   histogram, goodput/shed/failover counters,
 //! - [`RunSink`] and its implementations ([`CsvSink`], [`MarkdownSink`],
 //!   [`TableSink`]): the one row-streaming interface behind every tabular
 //!   artifact,
@@ -22,6 +24,7 @@ mod counter;
 mod recorder;
 mod render;
 mod series;
+mod service;
 mod sink;
 mod timeline;
 
@@ -31,5 +34,6 @@ pub use render::{
     ascii_chart, ascii_fault_overlay, ascii_gantt, availability_report, render_table,
 };
 pub use series::TimeSeries;
+pub use service::ServiceTrace;
 pub use sink::{stream_rows, write_csv, CsvSink, MarkdownSink, RunSink, TableSink};
 pub use timeline::{NodeStateTag, Segment, StateTimeline};

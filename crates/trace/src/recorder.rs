@@ -4,6 +4,7 @@ use sim::SimTime;
 
 use crate::counter::StepCounter;
 use crate::series::TimeSeries;
+use crate::service::ServiceTrace;
 use crate::timeline::StateTimeline;
 
 /// Everything measured about one Triad node during a run — the inputs to
@@ -52,6 +53,14 @@ pub struct NodeTrace {
     /// Degraded-mode client readings: self-assessed uncertainty half-width
     /// (ns) attached to each served `TimeReading`.
     pub reading_uncertainty_ns: TimeSeries,
+    /// Serving front-end: batches flushed (each one enclave timestamp
+    /// read amortized over every request in the batch).
+    pub frontend_batches: StepCounter,
+    /// Serving front-end: requests answered (full or degraded).
+    pub frontend_served: StepCounter,
+    /// Serving front-end: requests shed with an `Overloaded` reply because
+    /// the admission queue was full.
+    pub frontend_shed: StepCounter,
 }
 
 impl NodeTrace {
@@ -111,6 +120,9 @@ pub struct Recorder {
     nodes: Vec<NodeTrace>,
     /// Run-level fault-injection overlay (empty in fault-free runs).
     pub faults: FaultLog,
+    /// Cluster-level serving-layer SLO accounting (empty when no serving
+    /// layer is installed).
+    pub service: ServiceTrace,
 }
 
 impl Recorder {
@@ -119,6 +131,7 @@ impl Recorder {
         Recorder {
             nodes: (1..=n).map(|i| NodeTrace::new(format!("Node {i}"))).collect(),
             faults: FaultLog::default(),
+            service: ServiceTrace::default(),
         }
     }
 

@@ -1,0 +1,90 @@
+//! Cluster-level serving-layer measurements (SLO accounting).
+
+use stats::LogHistogram;
+
+use crate::counter::StepCounter;
+
+/// Everything the serving layer measures about a run, recorded from the
+/// *client* side (load generators): one request is counted exactly once
+/// in `offered` and exactly once in one of the four outcome counters,
+/// whatever path it took through retries and failovers.
+///
+/// Latencies are end-to-end — first send to final verdict, across all
+/// failover attempts — in a log-linear [`LogHistogram`] whose percentiles
+/// feed the SLO tables (p50/p95/p99/p99.9).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceTrace {
+    /// End-to-end request latency (ns) of every *answered* request.
+    pub latency: LogHistogram,
+    /// Requests issued by the load generators (before retries).
+    pub offered: StepCounter,
+    /// Requests answered with a full-precision timestamp.
+    pub served_ok: StepCounter,
+    /// Requests answered with a degraded `TimeReading` estimate.
+    pub served_degraded: StepCounter,
+    /// Requests that ended `Overloaded` after exhausting failover.
+    pub shed: StepCounter,
+    /// Requests that ended `Unavailable` after exhausting failover.
+    pub unavailable: StepCounter,
+    /// Requests abandoned after timing out on their last attempt.
+    pub timeouts: StepCounter,
+    /// Retries that switched to a different node (failover routing).
+    pub failovers: StepCounter,
+}
+
+impl Default for ServiceTrace {
+    fn default() -> Self {
+        ServiceTrace {
+            latency: LogHistogram::latency_ns(),
+            offered: StepCounter::default(),
+            served_ok: StepCounter::default(),
+            served_degraded: StepCounter::default(),
+            shed: StepCounter::default(),
+            unavailable: StepCounter::default(),
+            timeouts: StepCounter::default(),
+            failovers: StepCounter::default(),
+        }
+    }
+}
+
+impl ServiceTrace {
+    /// Requests that received *some* answer (full or degraded).
+    pub fn goodput(&self) -> u64 {
+        self.served_ok.count() + self.served_degraded.count()
+    }
+
+    /// Requests that ended without a usable answer.
+    pub fn badput(&self) -> u64 {
+        self.shed.count() + self.unavailable.count() + self.timeouts.count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use sim::SimTime;
+
+    use super::*;
+
+    #[test]
+    fn goodput_and_badput_partition_outcomes() {
+        let mut t = ServiceTrace::default();
+        let at = SimTime::from_secs(1);
+        t.offered.increment(at);
+        t.offered.increment(at);
+        t.offered.increment(at);
+        t.served_ok.increment(at);
+        t.served_degraded.increment(at);
+        t.shed.increment(at);
+        assert_eq!(t.goodput(), 2);
+        assert_eq!(t.badput(), 1);
+        assert_eq!(t.goodput() + t.badput(), t.offered.count());
+    }
+
+    #[test]
+    fn default_latency_histogram_is_empty_and_mergeable() {
+        let a = ServiceTrace::default();
+        let mut h = a.latency.clone();
+        h.merge(&ServiceTrace::default().latency);
+        assert_eq!(h.total(), 0);
+    }
+}

@@ -3,7 +3,7 @@
 
 use bytes::{Buf, Bytes};
 
-use crate::message::{Message, NodeId};
+use crate::message::{Message, NodeId, ServeOutcome};
 
 /// Version byte prepended to every encoded message.
 pub const PROTOCOL_VERSION: u8 = 1;
@@ -19,6 +19,14 @@ const TAG_INTERVAL_RESP: u8 = 8;
 const TAG_CHIMER_ANNOUNCE: u8 = 9;
 const TAG_READING_REQ: u8 = 10;
 const TAG_READING_RESP: u8 = 11;
+const TAG_SERVE_REQ: u8 = 12;
+const TAG_SERVE_RESP: u8 = 13;
+
+// ServeOutcome discriminants inside TAG_SERVE_RESP.
+const OUTCOME_TIME: u8 = 0;
+const OUTCOME_READING: u8 = 1;
+const OUTCOME_OVERLOADED: u8 = 2;
+const OUTCOME_UNAVAILABLE: u8 = 3;
 
 /// A message failed to decode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -149,6 +157,29 @@ impl Message {
                     None => put_u8(buf, 0),
                 }
             }
+            Message::ServeRequest { nonce, accept_degraded } => {
+                put_u8(buf, TAG_SERVE_REQ);
+                put_u64(buf, *nonce);
+                put_u8(buf, u8::from(*accept_degraded));
+            }
+            Message::ServeResponse { nonce, outcome } => {
+                put_u8(buf, TAG_SERVE_RESP);
+                put_u64(buf, *nonce);
+                match outcome {
+                    ServeOutcome::Time(ts) => {
+                        put_u8(buf, OUTCOME_TIME);
+                        put_u64(buf, *ts);
+                    }
+                    ServeOutcome::Reading(r) => {
+                        put_u8(buf, OUTCOME_READING);
+                        put_u64(buf, r.estimate_ns);
+                        put_u64(buf, r.uncertainty_ns);
+                        put_u8(buf, u8::from(r.degraded));
+                    }
+                    ServeOutcome::Overloaded => put_u8(buf, OUTCOME_OVERLOADED),
+                    ServeOutcome::Unavailable => put_u8(buf, OUTCOME_UNAVAILABLE),
+                }
+            }
         }
     }
 
@@ -228,6 +259,33 @@ impl Message {
                 };
                 Message::TimeReadingResponse { nonce, reading }
             }
+            TAG_SERVE_REQ => Message::ServeRequest {
+                nonce: get_u64(&mut buf)?,
+                accept_degraded: match get_u8(&mut buf)? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(DecodeError::InvalidValue),
+                },
+            },
+            TAG_SERVE_RESP => {
+                let nonce = get_u64(&mut buf)?;
+                let outcome = match get_u8(&mut buf)? {
+                    OUTCOME_TIME => ServeOutcome::Time(get_u64(&mut buf)?),
+                    OUTCOME_READING => ServeOutcome::Reading(crate::message::TimeReading {
+                        estimate_ns: get_u64(&mut buf)?,
+                        uncertainty_ns: get_u64(&mut buf)?,
+                        degraded: match get_u8(&mut buf)? {
+                            0 => false,
+                            1 => true,
+                            _ => return Err(DecodeError::InvalidValue),
+                        },
+                    }),
+                    OUTCOME_OVERLOADED => ServeOutcome::Overloaded,
+                    OUTCOME_UNAVAILABLE => ServeOutcome::Unavailable,
+                    _ => return Err(DecodeError::InvalidValue),
+                };
+                Message::ServeResponse { nonce, outcome }
+            }
             other => return Err(DecodeError::UnknownTag(other)),
         };
         if buf.has_remaining() {
@@ -298,6 +356,41 @@ mod tests {
                 degraded: true,
             }),
         });
+        round_trip(Message::ServeRequest { nonce: 8, accept_degraded: true });
+        round_trip(Message::ServeRequest { nonce: 9, accept_degraded: false });
+        round_trip(Message::ServeResponse { nonce: 8, outcome: ServeOutcome::Time(77) });
+        round_trip(Message::ServeResponse {
+            nonce: 8,
+            outcome: ServeOutcome::Reading(crate::message::TimeReading {
+                estimate_ns: 5,
+                uncertainty_ns: 6,
+                degraded: true,
+            }),
+        });
+        round_trip(Message::ServeResponse { nonce: 8, outcome: ServeOutcome::Overloaded });
+        round_trip(Message::ServeResponse { nonce: 8, outcome: ServeOutcome::Unavailable });
+    }
+
+    #[test]
+    fn serve_flags_and_outcomes_validated() {
+        let mut encoded = Message::ServeRequest { nonce: 1, accept_degraded: true }.encode();
+        let last = encoded.len() - 1;
+        encoded[last] = 9;
+        assert_eq!(Message::decode(&encoded), Err(DecodeError::InvalidValue));
+        let mut encoded =
+            Message::ServeResponse { nonce: 1, outcome: ServeOutcome::Overloaded }.encode();
+        let last = encoded.len() - 1;
+        encoded[last] = 42;
+        assert_eq!(Message::decode(&encoded), Err(DecodeError::InvalidValue));
+    }
+
+    #[test]
+    fn serve_requests_are_size_indistinguishable() {
+        // The attacker must not learn from ciphertext length whether a
+        // client tolerates degraded answers.
+        let a = Message::ServeRequest { nonce: 1, accept_degraded: false }.encode();
+        let b = Message::ServeRequest { nonce: 2, accept_degraded: true }.encode();
+        assert_eq!(a.len(), b.len());
     }
 
     #[test]

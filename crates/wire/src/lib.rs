@@ -18,4 +18,4 @@ mod codec;
 mod message;
 
 pub use codec::{DecodeError, PROTOCOL_VERSION};
-pub use message::{Message, NodeId, TimeReading};
+pub use message::{Message, NodeId, ServeOutcome, TimeReading};

@@ -139,6 +139,42 @@ pub enum Message {
         /// The reading, absent only while no clock estimate exists.
         reading: Option<TimeReading>,
     },
+    /// Client → serving front-end: a timestamp request routed through the
+    /// serving layer (admission queue + batching) rather than straight at
+    /// a protocol node.
+    ServeRequest {
+        /// Request/response correlation value (also the retry dedup key:
+        /// a failover resend carries the same nonce).
+        nonce: u64,
+        /// True when the client accepts a degraded [`TimeReading`] while
+        /// the node is outside its OK state; false demands a fresh
+        /// timestamp or nothing.
+        accept_degraded: bool,
+    },
+    /// Serving front-end → client: the admission/batching outcome of a
+    /// [`Message::ServeRequest`].
+    ServeResponse {
+        /// Echo of the request nonce.
+        nonce: u64,
+        /// What the front-end could do for the request.
+        outcome: ServeOutcome,
+    },
+}
+
+/// The serving front-end's answer to one admitted (or rejected) request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeOutcome {
+    /// A fresh trusted timestamp (ns) served while the node is OK.
+    Time(u64),
+    /// A degraded-mode reading (node tainted/recalibrating), only sent to
+    /// clients that set `accept_degraded`.
+    Reading(TimeReading),
+    /// The admission queue was full; the client should back off or fail
+    /// over to another node.
+    Overloaded,
+    /// The node cannot serve (never calibrated, or degraded and the client
+    /// refused degraded readings).
+    Unavailable,
 }
 
 impl Message {
@@ -156,6 +192,8 @@ impl Message {
             Message::ChimerAnnouncement { .. } => "chimer_announce",
             Message::TimeReadingRequest { .. } => "reading_req",
             Message::TimeReadingResponse { .. } => "reading_resp",
+            Message::ServeRequest { .. } => "serve_req",
+            Message::ServeResponse { .. } => "serve_resp",
         }
     }
 }
@@ -191,6 +229,8 @@ mod tests {
             Message::ChimerAnnouncement { epoch: 0, chimers: vec![] },
             Message::TimeReadingRequest { nonce: 0 },
             Message::TimeReadingResponse { nonce: 0, reading: None },
+            Message::ServeRequest { nonce: 0, accept_degraded: false },
+            Message::ServeResponse { nonce: 0, outcome: ServeOutcome::Overloaded },
         ];
         let mut kinds: Vec<_> = msgs.iter().map(|m| m.kind()).collect();
         kinds.sort_unstable();

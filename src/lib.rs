@@ -45,6 +45,7 @@
 //! | [`resilient`] | the §V hardened protocol |
 //! | [`faults`] | cross-layer fault injection (chaos plans + driver) |
 //! | [`harness`] | scenario builder tying everything together |
+//! | [`service`] | trusted-timestamp serving layer: load generation, batching front-ends, failover routing, SLO accounting |
 //! | [`experiments`] | regeneration of every paper figure/table |
 
 #![forbid(unsafe_code)]
@@ -57,6 +58,7 @@ pub use faults;
 pub use harness;
 pub use netsim;
 pub use resilient;
+pub use service;
 pub use sim;
 pub use stats;
 pub use trace;

@@ -1,0 +1,63 @@
+//! E21 parallelism determinism: the serving sweep's artifacts must be
+//! byte-identical whether the grid runs on one worker thread or eight.
+//!
+//! This is the workspace-level acceptance check for the serving layer:
+//! every source of randomness is derived from per-cell seeds, so the
+//! runner's thread count must be unobservable in the output.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use triad_tt::experiments::{run_by_id, RunOpts};
+
+/// All files under `dir`, relative paths, sorted.
+fn files_under(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in fs::read_dir(&d).expect("read_dir") {
+            let path = entry.expect("dir entry").path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                out.push(path.strip_prefix(dir).expect("under root").to_path_buf());
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+#[test]
+fn serve_smoke_artifacts_are_identical_across_jobs() {
+    let base = std::env::temp_dir().join("triad_serve_determinism");
+    fs::remove_dir_all(&base).ok();
+    let run = |jobs: usize| {
+        let mut opts = RunOpts::smoke(base.join(format!("jobs{jobs}")));
+        opts.jobs = jobs;
+        let (report, comparisons) = run_by_id("serve", &opts);
+        (opts.out_dir, report, comparisons)
+    };
+    let (dir1, report1, rows1) = run(1);
+    let (dir8, report8, rows8) = run(8);
+
+    assert_eq!(report1, report8, "rendered report depends on --jobs");
+    assert_eq!(rows1.len(), rows8.len());
+    for (a, b) in rows1.iter().zip(&rows8) {
+        assert_eq!(a.measured, b.measured, "comparison row depends on --jobs: {}", a.metric);
+        assert_eq!(a.matches, b.matches);
+    }
+
+    let files = files_under(&dir1);
+    assert_eq!(files, files_under(&dir8), "artifact file sets differ");
+    assert!(
+        files.iter().any(|f| f.ends_with("serve_grid.csv")),
+        "expected serve_grid.csv among {files:?}"
+    );
+    for rel in &files {
+        let a = fs::read(dir1.join(rel)).expect("read jobs=1 artifact");
+        let b = fs::read(dir8.join(rel)).expect("read jobs=8 artifact");
+        assert_eq!(a, b, "artifact {} differs between --jobs 1 and --jobs 8", rel.display());
+    }
+    fs::remove_dir_all(&base).ok();
+}
