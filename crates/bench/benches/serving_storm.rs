@@ -1,13 +1,18 @@
-//! Serving-layer benchmark: the full trusted-timestamp serving path.
+//! Serving-layer benchmarks: the full trusted-timestamp serving path.
 //!
 //! `service/serving_storm` drives two batching front-ends with a 2 000/s
 //! open-loop client population for two simulated seconds — sealed
 //! requests, bounded admission, paced batch flushes with one enclave
 //! read each, sealed replies, and per-request SLO accounting. Baseline:
 //! `results/BENCH_serving.json`.
+//!
+//! `service/quorum_storm` drives a three-node panel with a 1 500/s
+//! quorum-read loop — per-read fan-out, deadline timers, interval
+//! projection, Marzullo agreement, and quarantine bookkeeping. Baseline:
+//! `results/BENCH_quorum.json`.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use tt_bench::SERVING_STORM;
+use tt_bench::{QUORUM_STORM, SERVING_STORM};
 
 fn bench_serving_storm(c: &mut Criterion) {
     let mut group = c.benchmark_group("service");
@@ -18,9 +23,18 @@ fn bench_serving_storm(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_quorum_storm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service");
+    group.throughput(Throughput::Elements(QUORUM_STORM.events_per_run));
+    group.bench_function("quorum_storm", |b| {
+        b.iter(|| black_box((QUORUM_STORM.run)()));
+    });
+    group.finish();
+}
+
 criterion_group!(
     name = service;
     config = Criterion::default().sample_size(20);
-    targets = bench_serving_storm
+    targets = bench_serving_storm, bench_quorum_storm
 );
 criterion_main!(service);

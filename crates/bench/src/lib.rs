@@ -342,6 +342,7 @@ pub fn serving_storm() -> u64 {
             anchor_ref_ns: 0.0,
             anchor_ticks: world.read_tsc(addr, SimTime::ZERO),
             f_calib_hz: world.host(addr).tsc.nominal_hz(),
+            uncertainty_ns: 0.0,
         };
         world.recorder.node_mut(i).states.enter(SimTime::ZERO, NodeStateTag::Ok);
     }
@@ -361,9 +362,60 @@ pub fn serving_storm() -> u64 {
 pub const SERVING_STORM: Workload =
     Workload { name: "service/serving_storm", events_per_run: 13_919, run: serving_storm };
 
+// ---------------------------------------------------------------------------
+// service: quorum-read storm
+// ---------------------------------------------------------------------------
+
+/// Nodes (a full `2f + 1` panel at `f = 1`) in the quorum storm.
+pub const QUORUM_NODES: usize = 3;
+/// Open-loop quorum-read rate (reads per second).
+pub const QUORUM_RATE: f64 = 1_500.0;
+/// Simulated horizon of one quorum-storm run.
+pub const QUORUM_HORIZON_S: u64 = 2;
+
+/// Quorum-read storm: every arrival fans an attestation request out to a
+/// three-node panel, each front-end batches and answers with a sealed
+/// interval attestation, and the generator projects the intervals,
+/// runs Marzullo agreement, and settles the read — the full E22 hot path
+/// (fan-out, per-read deadline timers, overlap decision, health
+/// bookkeeping) with pre-calibrated clocks so no protocol actors run
+/// underneath.
+pub fn quorum_storm() -> u64 {
+    use trace::NodeStateTag;
+
+    let hosts: Vec<Host> = (0..QUORUM_NODES).map(|_| Host::paper_default()).collect();
+    let net = Network::new(DelayModel::Constant(SimDuration::from_micros(200)), 0.0);
+    let mut world = World::new(net, hosts);
+    for i in 0..QUORUM_NODES {
+        let addr = World::node_addr(i);
+        world.clocks[i] = ClockState {
+            valid: true,
+            anchor_ref_ns: 0.0,
+            anchor_ticks: world.read_tsc(addr, SimTime::ZERO),
+            f_calib_hz: world.host(addr).tsc.nominal_hz(),
+            uncertainty_ns: 0.0,
+        };
+        world.recorder.node_mut(i).states.enter(SimTime::ZERO, NodeStateTag::Ok);
+    }
+    let mut s = Simulation::with_capacity(world, 6, QUORUM_NODES + 2);
+    let spec = service::ServiceSpec::new()
+        .quorum_loop(service::QuorumLoopSpec { rate_per_s: QUORUM_RATE, ..Default::default() });
+    service::install(&mut s, &spec, 6);
+    s.run_until(SimTime::from_secs(QUORUM_HORIZON_S));
+    s.dispatched()
+}
+
+/// The quorum-storm workload.
+///
+/// `events_per_run` is the exact dispatched count of the seeded run
+/// (asserted by `workload_event_counts_are_exact` and re-checked on
+/// every gate replay).
+pub const QUORUM_STORM: Workload =
+    Workload { name: "service/quorum_storm", events_per_run: 24_075, run: quorum_storm };
+
 /// All gate-eligible workloads.
-pub const WORKLOADS: [Workload; 5] =
-    [KERNEL, TIMER_STORM, CANCEL_STORM, SEALED_FABRIC, SERVING_STORM];
+pub const WORKLOADS: [Workload; 6] =
+    [KERNEL, TIMER_STORM, CANCEL_STORM, SEALED_FABRIC, SERVING_STORM, QUORUM_STORM];
 
 /// Looks a workload up by its baseline `"benchmark"` name.
 pub fn find_workload(name: &str) -> Option<&'static Workload> {

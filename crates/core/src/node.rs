@@ -190,6 +190,9 @@ impl TriadNode {
             anchor_ref_ns: self.anchor_ref_ns,
             anchor_ticks: self.anchor_ticks,
             f_calib_hz: self.f_calib_hz.unwrap_or(1.0),
+            // Base Triad nodes carry no self-assessed error bound; the
+            // serving layer substitutes its configured floor.
+            uncertainty_ns: 0.0,
         };
     }
 

@@ -20,6 +20,7 @@
 //! | [`baseline`] | E19 — Triad vs a T3E-style TPM baseline |
 //! | [`chaos`] | E20 — fault-injection chaos suite (availability under faults) |
 //! | [`serve`] | E21 — trusted-timestamp serving under load and faults |
+//! | [`quorum`] | E22 — quorum-attested reads vs lying nodes (Byzantine detection) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +36,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod inc_table;
 mod output;
+pub mod quorum;
 pub mod resilience;
 pub mod serve;
 pub mod sweeps;
@@ -43,7 +45,7 @@ pub mod tsc_detect;
 pub use output::{comparison_markdown, comparison_table, write_text, Comparison, RunOpts};
 
 /// Every experiment id accepted by the runner.
-pub const ALL_EXPERIMENTS: [&str; 13] = [
+pub const ALL_EXPERIMENTS: [&str; 14] = [
     "fig1",
     "inc-table",
     "fig2",
@@ -57,6 +59,7 @@ pub const ALL_EXPERIMENTS: [&str; 13] = [
     "baseline",
     "chaos",
     "serve",
+    "quorum",
 ];
 
 /// Runs one experiment by id, returning its rendered report and
@@ -117,6 +120,10 @@ pub fn run_by_id(id: &str, opts: &RunOpts) -> (String, Vec<Comparison>) {
         }
         "serve" => {
             let r = serve::run(opts);
+            (r.render(), r.comparisons())
+        }
+        "quorum" => {
+            let r = quorum::run(opts);
             (r.render(), r.comparisons())
         }
         other => panic!("unknown experiment id {other:?} (known: {ALL_EXPERIMENTS:?})"),

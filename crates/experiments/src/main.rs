@@ -5,8 +5,8 @@
 //!                   [--seed N] [--out DIR]
 //!
 //! EXPERIMENT   one or more of: fig1 inc-table fig2 fig3 fig4 fig5 fig6
-//!              resilience tsc-detect sweeps baseline chaos serve all
-//!              (default: all)
+//!              resilience tsc-detect sweeps baseline chaos serve quorum
+//!              all (default: all)
 //! --quick      shortened horizons (minutes instead of the paper's hours)
 //! --smoke      CI liveness mode: implies --quick, shrinks grid
 //!              experiments (chaos runs a mini-grid)

@@ -69,6 +69,10 @@ impl FaultDriver {
                 let actor = ctx.world.actor_of(World::node_addr(node));
                 ctx.send(actor, SimDuration::ZERO, SysEvent::Restart);
             }
+            FaultAction::StartLie { node, offset_ns, equivocate } => {
+                ctx.world.lies[node] = Some(runtime::Lie { offset_ns, equivocate });
+            }
+            FaultAction::StopLie { node } => ctx.world.lies[node] = None,
             FaultAction::AexStorm { node, count, spacing } => {
                 let machine_wide = node.is_none();
                 let targets: Vec<_> = match node {

@@ -96,6 +96,23 @@ pub enum FaultAction {
         /// Gap between consecutive interrupts.
         spacing: SimDuration,
     },
+    /// Make node `node` start lying: its serving front-end skews every
+    /// served/attested timestamp by `offset_ns` (alternating sign when
+    /// `equivocate`). The node's protocol stack stays honest — this is the
+    /// compromised-serving-path threat the quorum reader must catch.
+    StartLie {
+        /// 0-based node index.
+        node: usize,
+        /// Planned skew in nanoseconds (signed).
+        offset_ns: i64,
+        /// Alternate the skew's sign per answer (equivocation).
+        equivocate: bool,
+    },
+    /// Make node `node` honest again.
+    StopLie {
+        /// 0-based node index.
+        node: usize,
+    },
 }
 
 impl FaultAction {
@@ -122,6 +139,11 @@ impl FaultAction {
                 Some(i) => format!("aex-storm node{} x{count} @{spacing}", i + 1),
                 None => format!("aex-storm all x{count} @{spacing}"),
             },
+            FaultAction::StartLie { node, offset_ns, equivocate } => {
+                let mode = if *equivocate { "equivocate" } else { "skew" };
+                format!("lie node{} {mode} {offset_ns}ns", node + 1)
+            }
+            FaultAction::StopLie { node } => format!("lie-stop node{}", node + 1),
         }
     }
 }
@@ -174,6 +196,21 @@ impl FaultPlan {
     pub fn partition_window(self, a: Addr, b: Addr, from: SimTime, duration: SimDuration) -> Self {
         self.at(from, FaultAction::PartitionPair { a, b })
             .at(from + duration, FaultAction::HealPair { a, b })
+    }
+
+    /// A lying-node window for node index `node`: start serving skewed
+    /// (or equivocating) timestamps at `from`, honest again after
+    /// `duration`.
+    pub fn lie_window(
+        self,
+        node: usize,
+        offset_ns: i64,
+        equivocate: bool,
+        from: SimTime,
+        duration: SimDuration,
+    ) -> Self {
+        self.at(from, FaultAction::StartLie { node, offset_ns, equivocate })
+            .at(from + duration, FaultAction::StopLie { node })
     }
 
     /// A lossy episode on the directed link `src → dst`.
@@ -247,6 +284,18 @@ impl FaultPlan {
             plan = plan
                 .at(from, FaultAction::AexStorm { node, count, spacing: config.aex_storm_spacing });
         }
+        // Lying episodes draw last so plans generated before this fault
+        // class existed (lying_episodes = 0, the default) replay the
+        // identical RNG stream and stay byte-for-byte stable.
+        for _ in 0..config.lying_episodes {
+            let node = rng.gen_range(0..n_nodes);
+            let magnitude = rng.gen_range(config.lie_offset_ns.0..=config.lie_offset_ns.1);
+            let offset_ns = if rng.gen_range(0..2u32) == 0 { magnitude } else { -magnitude };
+            let equivocate = rng.gen_range(0..3u32) == 0;
+            let from = config.draw_start(&mut rng);
+            let d = draw_duration(&mut rng, config.lie_duration);
+            plan = plan.lie_window(node, offset_ns, equivocate, from, d);
+        }
         plan
     }
 
@@ -309,6 +358,14 @@ pub struct RandomFaultConfig {
     pub aex_storm_len: (u32, u32),
     /// Gap between interrupts inside a storm.
     pub aex_storm_spacing: SimDuration,
+    /// Number of lying-node windows (default 0: plans generated before
+    /// this fault class existed are reproduced unchanged).
+    pub lying_episodes: u32,
+    /// Skew magnitude range drawn per lying episode (ns; the sign and an
+    /// equivocation coin are drawn separately).
+    pub lie_offset_ns: (i64, i64),
+    /// Duration range for each lying episode.
+    pub lie_duration: (SimDuration, SimDuration),
 }
 
 impl Default for RandomFaultConfig {
@@ -329,6 +386,9 @@ impl Default for RandomFaultConfig {
             aex_storms: 2,
             aex_storm_len: (3, 10),
             aex_storm_spacing: SimDuration::from_millis(200),
+            lying_episodes: 0,
+            lie_offset_ns: (50_000_000, 500_000_000),
+            lie_duration: (SimDuration::from_secs(20), SimDuration::from_secs(60)),
         }
     }
 }
@@ -336,8 +396,12 @@ impl Default for RandomFaultConfig {
 impl RandomFaultConfig {
     fn validate(&self, n_nodes: usize) {
         assert!(self.window.0 < self.window.1, "fault window must be non-empty");
-        let targets_nodes =
-            self.crashes + self.partitions + self.loss_episodes + self.aex_storms > 0;
+        let targets_nodes = self.crashes
+            + self.partitions
+            + self.loss_episodes
+            + self.aex_storms
+            + self.lying_episodes
+            > 0;
         assert!(n_nodes > 0 || !targets_nodes, "node-targeting faults need at least one node");
         assert!(
             (0.0..=1.0).contains(&self.loss_range.0)
@@ -354,6 +418,11 @@ impl RandomFaultConfig {
             assert!(lo <= hi, "duration ranges must be ordered");
         }
         assert!(self.aex_storm_len.0 <= self.aex_storm_len.1, "aex_storm_len must be ordered");
+        assert!(
+            0 <= self.lie_offset_ns.0 && self.lie_offset_ns.0 <= self.lie_offset_ns.1,
+            "lie_offset_ns must be an ordered non-negative magnitude range"
+        );
+        assert!(self.lie_duration.0 <= self.lie_duration.1, "duration ranges must be ordered");
     }
 
     fn draw_start(&self, rng: &mut StdRng) -> SimTime {
@@ -447,10 +516,61 @@ mod tests {
             FaultAction::RestartNode { node: 0 }.label(),
             FaultAction::AexStorm { node: None, count: 5, spacing: SimDuration::from_millis(1) }
                 .label(),
+            FaultAction::StartLie { node: 0, offset_ns: 100, equivocate: false }.label(),
+            FaultAction::StartLie { node: 0, offset_ns: 100, equivocate: true }.label(),
+            FaultAction::StopLie { node: 0 }.label(),
         ];
         let unique: std::collections::BTreeSet<_> = labels.iter().collect();
         assert_eq!(unique.len(), labels.len());
         assert_eq!(FaultAction::CrashNode { node: 0 }.label(), "crash node1");
+        assert_eq!(
+            FaultAction::StartLie { node: 1, offset_ns: -250, equivocate: false }.label(),
+            "lie node2 skew -250ns"
+        );
+    }
+
+    #[test]
+    fn lie_window_emits_paired_events() {
+        let plan = FaultPlan::new().lie_window(
+            2,
+            250_000_000,
+            true,
+            SimTime::from_secs(40),
+            SimDuration::from_secs(30),
+        );
+        let sched = plan.into_schedule();
+        assert_eq!(sched.len(), 2);
+        assert_eq!(sched[0].at, SimTime::from_secs(40));
+        assert_eq!(
+            sched[0].action,
+            FaultAction::StartLie { node: 2, offset_ns: 250_000_000, equivocate: true }
+        );
+        assert_eq!(sched[1].at, SimTime::from_secs(70));
+        assert_eq!(sched[1].action, FaultAction::StopLie { node: 2 });
+    }
+
+    #[test]
+    fn lying_episodes_default_off_and_leave_legacy_plans_unchanged() {
+        // A config predating the lying fault class must generate the exact
+        // same plan it always did (committed chaos artifacts depend on it).
+        let cfg = RandomFaultConfig::default();
+        assert_eq!(cfg.lying_episodes, 0);
+        let plan = FaultPlan::randomized(&cfg, 3, 42);
+        assert!(!plan.events().iter().any(|e| matches!(
+            e.action,
+            FaultAction::StartLie { .. } | FaultAction::StopLie { .. }
+        )));
+
+        // Turning episodes on appends lie windows without perturbing the
+        // prefix drawn for the older fault classes.
+        let lying = RandomFaultConfig { lying_episodes: 2, ..RandomFaultConfig::default() };
+        let lying_plan = FaultPlan::randomized(&lying, 3, 42);
+        assert_eq!(plan.events(), &lying_plan.events()[..plan.len()]);
+        let n_lies = lying_plan.events()[plan.len()..]
+            .iter()
+            .filter(|e| matches!(e.action, FaultAction::StartLie { .. }))
+            .count();
+        assert_eq!(n_lies, 2);
     }
 
     #[test]

@@ -187,6 +187,9 @@ impl ResilientNode {
             anchor_ref_ns: self.anchor_ref_ns,
             anchor_ticks: self.anchor_ticks,
             f_calib_hz: self.f_calib_hz.unwrap_or(1.0),
+            // Publish the §V self-assessed bound evaluated at the anchor;
+            // readers widen it for staleness (ticks since the anchor).
+            uncertainty_ns: self.error_bound_ns(self.anchor_ticks),
         };
     }
 

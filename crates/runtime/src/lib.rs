@@ -35,4 +35,4 @@ pub use keys::{link_aad, KeyTable};
 pub use messaging::{open_delivery, send_message};
 pub use nonce::NonceWindow;
 pub use sampler::Sampler;
-pub use world::{ClockState, Host, World};
+pub use world::{ClockState, Host, Lie, World};

@@ -58,6 +58,7 @@ mod tests {
             anchor_ref_ns: 0.0,
             anchor_ticks: 0,
             f_calib_hz: tsc::PAPER_TSC_HZ,
+            uncertainty_ns: 0.0,
         };
         // Node 2: calibrated 10% high (an F+ victim) → ≈ −91 ms/s drift.
         world.clocks[1] = ClockState {
@@ -65,6 +66,7 @@ mod tests {
             anchor_ref_ns: 0.0,
             anchor_ticks: 0,
             f_calib_hz: tsc::PAPER_TSC_HZ * 1.1,
+            uncertainty_ns: 0.0,
         };
         let mut s = Simulation::new(world, 1);
         s.add_actor(Box::new(Sampler { interval: SimDuration::from_millis(500) }));

@@ -61,11 +61,24 @@ pub struct ClockState {
     pub anchor_ticks: u64,
     /// Calibrated TSC frequency `F^calib` (ticks per second).
     pub f_calib_hz: f64,
+    /// Self-assessed error half-width (ns) at the anchor instant.
+    ///
+    /// Hardened (§V) nodes publish their interval bound here so the serving
+    /// layer can attest intervals the quorum reader can cross-check; base
+    /// Triad nodes publish 0 ("no self-assessment") and the serving layer
+    /// falls back to its configured floor.
+    pub uncertainty_ns: f64,
 }
 
 impl Default for ClockState {
     fn default() -> Self {
-        ClockState { valid: false, anchor_ref_ns: 0.0, anchor_ticks: 0, f_calib_hz: 1.0 }
+        ClockState {
+            valid: false,
+            anchor_ref_ns: 0.0,
+            anchor_ticks: 0,
+            f_calib_hz: 1.0,
+            uncertainty_ns: 0.0,
+        }
     }
 }
 
@@ -78,6 +91,34 @@ impl ClockState {
         }
         let dticks = ticks_now as f64 - self.anchor_ticks as f64;
         Some(self.anchor_ref_ns + dticks / self.f_calib_hz * 1e9)
+    }
+}
+
+/// An active lying-node fault: the node's serving front-end misreports
+/// timestamps by a planned offset while its protocol stack runs honestly.
+///
+/// This models a compromised serving path (the paper's single-node-trust
+/// failure): calibration, peer untainting and the published clock are all
+/// correct, but everything the node *tells clients* is skewed. Installed
+/// and cleared by the fault driver; `None` means the node is honest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lie {
+    /// Planned skew applied to served/attested timestamps (ns, signed).
+    pub offset_ns: i64,
+    /// When true the node equivocates: successive answers alternate
+    /// between `+offset_ns` and `-offset_ns` instead of skewing steadily,
+    /// so different clients observe mutually inconsistent clocks.
+    pub equivocate: bool,
+}
+
+impl Lie {
+    /// The skew for the `seq`-th answer this node has served while lying.
+    pub fn skew_ns(&self, seq: u64) -> i64 {
+        if self.equivocate && seq % 2 == 1 {
+            -self.offset_ns
+        } else {
+            self.offset_ns
+        }
     }
 }
 
@@ -98,6 +139,9 @@ pub struct World {
     /// TA-outage windows; the authority actor drops all traffic (and
     /// pending held responses) while it is `false`.
     pub ta_online: bool,
+    /// Per-node active lying-node fault (same indexing as `hosts`).
+    /// `None` everywhere unless a fault plan injects a [`Lie`].
+    pub lies: Vec<Option<Lie>>,
     actors: HashMap<Addr, ActorId>,
     /// Messaging hot-path scratch buffers (see [`Scratch`]).
     pub(crate) scratch: Scratch,
@@ -114,6 +158,7 @@ impl World {
             recorder: Recorder::for_nodes(n),
             keys: KeyTable::new(),
             ta_online: true,
+            lies: vec![None; n],
             actors: HashMap::new(),
             scratch: Scratch::default(),
         }
@@ -242,6 +287,7 @@ mod tests {
             anchor_ref_ns: 1e9,
             anchor_ticks: 2_900_000_000,
             f_calib_hz: 2.9e9,
+            uncertainty_ns: 0.0,
         };
         // One second of ticks past the anchor → exactly one more second.
         let ns = c.now_ns(2 * 2_900_000_000).unwrap();
@@ -249,6 +295,19 @@ mod tests {
         // Ticks *before* the anchor also evaluate (negative progress).
         let ns = c.now_ns(0).unwrap();
         assert!((ns - 0.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn lies_default_honest_and_skew_alternates() {
+        let w = world(3);
+        assert!(w.lies.iter().all(Option::is_none));
+        let skew = Lie { offset_ns: 250, equivocate: false };
+        assert_eq!(skew.skew_ns(0), 250);
+        assert_eq!(skew.skew_ns(1), 250);
+        let equiv = Lie { offset_ns: 250, equivocate: true };
+        assert_eq!(equiv.skew_ns(0), 250);
+        assert_eq!(equiv.skew_ns(1), -250);
+        assert_eq!(equiv.skew_ns(2), 250);
     }
 
     #[test]

@@ -65,6 +65,7 @@ proptest! {
             anchor_ref_ns: anchor_ns,
             anchor_ticks,
             f_calib_hz: f_mhz * 1e6,
+            uncertainty_ns: 0.0,
         };
         let at_anchor = c.now_ns(anchor_ticks).unwrap();
         prop_assert!((at_anchor - anchor_ns).abs() < 1.0);

@@ -325,8 +325,23 @@ impl ScenarioSpec {
 
     /// Installs a trusted-timestamp serving layer (one front-end per
     /// node plus the spec's load generators).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a quorum loop's panel does not fit the cluster: a
+    /// `2f + 1` panel needs at least `2f + 1` nodes, or the spec promises
+    /// a liar tolerance the cluster cannot deliver.
     #[must_use]
     pub fn service(mut self, service: ServiceSpec) -> Self {
+        for q in &service.quorum_loop {
+            assert!(
+                q.quorum.panel_size() <= self.n,
+                "quorum f={} needs a {}-node panel but the cluster has {} node(s)",
+                q.quorum.f,
+                q.quorum.panel_size(),
+                self.n,
+            );
+        }
         self.service = Some(service);
         self
     }
@@ -464,6 +479,35 @@ mod tests {
         let b = spec.run(5);
         assert!(a.recorder.service.offered.count() > 0);
         assert_eq!(a.recorder.service, b.recorder.service);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a 3-node panel but the cluster has 2 node(s)")]
+    fn quorum_panel_larger_than_the_cluster_is_rejected() {
+        let svc = ServiceSpec::new().quorum_loop(service::QuorumLoopSpec::default());
+        let _ = ScenarioSpec::new(2).service(svc);
+    }
+
+    #[test]
+    fn quorum_service_with_a_lying_node_assembles_and_detects() {
+        let svc = ServiceSpec::new().quorum_loop(service::QuorumLoopSpec::default());
+        let spec = ScenarioSpec::new(3)
+            .horizon(SimTime::from_secs(30))
+            .node_impl(NodeImplSpec::Resilient(Box::default()))
+            .service(svc)
+            .faults(FaultSpec::Fixed(FaultPlan::new().lie_window(
+                0,
+                250_000_000,
+                false,
+                SimTime::from_secs(18),
+                SimDuration::from_secs(10),
+            )));
+        let w = spec.run(13);
+        let s = &w.recorder.service;
+        assert!(s.quorum_accepted.count() > 0, "quorum reads must keep accepting");
+        assert!(w.recorder.node(0).byzantine_suspected.count() > 0, "the liar must be flagged");
+        assert_eq!(w.recorder.node(1).byzantine_suspected.count(), 0);
+        assert_eq!(w.recorder.node(2).byzantine_suspected.count(), 0);
     }
 
     #[test]

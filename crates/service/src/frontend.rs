@@ -4,22 +4,35 @@
 use std::collections::VecDeque;
 
 use netsim::Addr;
-use runtime::{open_delivery, send_message, SysEvent, World};
+use runtime::{open_delivery, send_message, Lie, SysEvent, World};
 use sim::{Actor, Ctx, EventId, SimTime};
 use trace::NodeStateTag;
-use wire::{Message, ServeOutcome, TimeReading};
+use wire::{AttestOutcome, Message, ServeOutcome, TimeReading};
 
 use crate::spec::FrontendSpec;
 
 /// Timer token for the batch-window flush (actor-private).
 const TOKEN_FLUSH: u64 = 1 << 63;
 
+/// What a queued request is asking for.
+#[derive(Debug, Clone, Copy)]
+enum ReqKind {
+    /// A plain timestamp read ([`Message::ServeRequest`]).
+    Serve {
+        /// Whether the client tolerates degraded `TimeReading` answers.
+        accept_degraded: bool,
+    },
+    /// A quorum attestation ([`Message::AttestRequest`]): always answered
+    /// with an interval, never a bare timestamp.
+    Attest,
+}
+
 /// One queued request awaiting the next batch.
 #[derive(Debug, Clone, Copy)]
 struct Queued {
     client: Addr,
     nonce: u64,
-    accept_degraded: bool,
+    kind: ReqKind,
 }
 
 /// The serving front-end co-located with one Triad node.
@@ -57,6 +70,9 @@ pub struct Frontend {
     /// When the node's current degraded stretch started, as observed at
     /// flush time; drives the widening uncertainty term.
     degraded_since: Option<SimTime>,
+    /// Answers served while a lying-node fault is active; drives the
+    /// equivocation alternation in [`Lie::skew_ns`].
+    lie_seq: u64,
 }
 
 impl Frontend {
@@ -75,6 +91,7 @@ impl Frontend {
             next_allowed: SimTime::ZERO,
             floor_ns: 0,
             degraded_since: None,
+            lie_seq: 0,
         }
     }
 
@@ -87,7 +104,7 @@ impl Frontend {
         ctx: &mut Ctx<'_, World, SysEvent>,
         client: Addr,
         nonce: u64,
-        accept_degraded: bool,
+        kind: ReqKind,
     ) {
         if self.node_state(ctx) == Some(NodeStateTag::Crashed) {
             // The machine is down: nothing answers. Clients find out the
@@ -97,15 +114,18 @@ impl Frontend {
         if self.queue.len() >= self.spec.queue_cap {
             let now = ctx.now();
             ctx.world.recorder.node_mut(self.node_index).frontend_shed.increment(now);
-            send_message(
-                ctx,
-                self.me,
-                client,
-                &Message::ServeResponse { nonce, outcome: ServeOutcome::Overloaded },
-            );
+            let shed = match kind {
+                ReqKind::Serve { .. } => {
+                    Message::ServeResponse { nonce, outcome: ServeOutcome::Overloaded }
+                }
+                ReqKind::Attest => {
+                    Message::AttestResponse { nonce, outcome: AttestOutcome::Overloaded }
+                }
+            };
+            send_message(ctx, self.me, client, &shed);
             return;
         }
-        self.queue.push_back(Queued { client, nonce, accept_degraded });
+        self.queue.push_back(Queued { client, nonce, kind });
         if self.window_timer.is_none() {
             // An under-full batch waits for the window boundary; after an
             // idle stretch `next_allowed` is in the past and the flush
@@ -146,24 +166,77 @@ impl Frontend {
             let staleness = self.degraded_since.map_or(0.0, |t0| (now - t0).as_nanos() as f64);
             (base + self.spec.degraded_drift_ppm * 1e-6 * staleness) as u64
         };
+        // Attested half-width: the node's published §V self-assessed bound,
+        // widened for the calibration's age (the published bound is an
+        // anchor-instant figure) and for any degraded stretch, floored so
+        // it always covers honest inter-node divergence.
+        let attest_uncertainty_ns = {
+            let clock = &ctx.world.clocks[self.node_index];
+            let published = if clock.valid && clock.f_calib_hz > 0.0 {
+                let age_ns =
+                    ticks.saturating_sub(clock.anchor_ticks) as f64 / clock.f_calib_hz * 1e9;
+                clock.uncertainty_ns + self.spec.degraded_drift_ppm * 1e-6 * age_ns
+            } else {
+                0.0
+            };
+            let widened = if state == Some(NodeStateTag::Ok) {
+                published
+            } else {
+                published + degraded_uncertainty_ns as f64
+            };
+            widened.max(self.spec.attest_floor_uncertainty.as_nanos() as f64) as u64
+        };
+        // An active lying-node fault skews everything this front-end tells
+        // clients; the protocol stack underneath stays honest.
+        let lie = ctx.world.lies[self.node_index];
 
         let drained = self.queue.len().min(self.spec.batch_max);
         for _ in 0..drained {
-            let Queued { client, nonce, accept_degraded } =
+            let Queued { client, nonce, kind } =
                 self.queue.pop_front().expect("drained within queue length");
-            let outcome = match (state, clock_ns) {
-                (Some(NodeStateTag::Ok), Some(ns)) => ServeOutcome::Time(self.bump_floor(ns)),
-                (Some(_), Some(ns)) if accept_degraded => ServeOutcome::Reading(TimeReading {
-                    estimate_ns: self.bump_floor(ns),
-                    uncertainty_ns: degraded_uncertainty_ns,
-                    degraded: true,
-                }),
-                _ => ServeOutcome::Unavailable,
+            let answer = match kind {
+                ReqKind::Serve { accept_degraded } => {
+                    let outcome = match (state, clock_ns) {
+                        (Some(NodeStateTag::Ok), Some(ns)) => {
+                            let ts = self.bump_floor(ns);
+                            ServeOutcome::Time(self.apply_lie(ts, lie))
+                        }
+                        (Some(_), Some(ns)) if accept_degraded => {
+                            let ts = self.bump_floor(ns);
+                            ServeOutcome::Reading(TimeReading {
+                                estimate_ns: self.apply_lie(ts, lie),
+                                uncertainty_ns: degraded_uncertainty_ns,
+                                degraded: true,
+                            })
+                        }
+                        _ => ServeOutcome::Unavailable,
+                    };
+                    if matches!(outcome, ServeOutcome::Time(_) | ServeOutcome::Reading(_)) {
+                        ctx.world.recorder.node_mut(self.node_index).frontend_served.increment(now);
+                    }
+                    Message::ServeResponse { nonce, outcome }
+                }
+                ReqKind::Attest => {
+                    let outcome = match (state, clock_ns) {
+                        (Some(s), Some(ns)) if s != NodeStateTag::Crashed => {
+                            let ts = self.bump_floor(ns);
+                            ctx.world
+                                .recorder
+                                .node_mut(self.node_index)
+                                .frontend_attests
+                                .increment(now);
+                            AttestOutcome::Attestation(TimeReading {
+                                estimate_ns: self.apply_lie(ts, lie),
+                                uncertainty_ns: attest_uncertainty_ns,
+                                degraded: s != NodeStateTag::Ok,
+                            })
+                        }
+                        _ => AttestOutcome::Unavailable,
+                    };
+                    Message::AttestResponse { nonce, outcome }
+                }
             };
-            if matches!(outcome, ServeOutcome::Time(_) | ServeOutcome::Reading(_)) {
-                ctx.world.recorder.node_mut(self.node_index).frontend_served.increment(now);
-            }
-            send_message(ctx, self.me, client, &Message::ServeResponse { nonce, outcome });
+            send_message(ctx, self.me, client, &answer);
         }
         if !self.queue.is_empty() {
             // Backlog remains: drain it at the paced batch rate rather
@@ -181,18 +254,34 @@ impl Frontend {
         self.floor_ns = ts;
         ts
     }
+
+    /// Applies the active lying-node fault, if any, to an outgoing
+    /// timestamp. The monotonic floor tracks the *honest* value — a liar
+    /// skews at the edge, it does not corrupt its own bookkeeping.
+    fn apply_lie(&mut self, ts: u64, lie: Option<Lie>) -> u64 {
+        match lie {
+            Some(l) => {
+                let skew = l.skew_ns(self.lie_seq);
+                self.lie_seq += 1;
+                ts.saturating_add_signed(skew)
+            }
+            None => ts,
+        }
+    }
 }
 
 impl Actor<World, SysEvent> for Frontend {
     fn on_event(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, ev: SysEvent) {
         match ev {
-            SysEvent::Deliver(d) => {
-                if let Some(Message::ServeRequest { nonce, accept_degraded }) =
-                    open_delivery(ctx.world, self.me, &d)
-                {
-                    self.on_request(ctx, d.src, nonce, accept_degraded);
+            SysEvent::Deliver(d) => match open_delivery(ctx.world, self.me, &d) {
+                Some(Message::ServeRequest { nonce, accept_degraded }) => {
+                    self.on_request(ctx, d.src, nonce, ReqKind::Serve { accept_degraded });
                 }
-            }
+                Some(Message::AttestRequest { nonce }) => {
+                    self.on_request(ctx, d.src, nonce, ReqKind::Attest);
+                }
+                _ => {}
+            },
             SysEvent::Timer { token } if token == TOKEN_FLUSH => {
                 self.window_timer = None;
                 self.flush(ctx);

@@ -56,13 +56,19 @@ impl Dispatcher {
         Dispatcher { me, frontends, router, spec, accept_degraded, in_flight: HashMap::new() }
     }
 
-    /// Issues a brand-new request (attempt 1 of `max_attempts`).
-    fn issue(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, nonce: u64) {
+    /// Issues a brand-new request (attempt 1 of `max_attempts`). Returns
+    /// `true` when the request settled immediately (every node hard-down:
+    /// the distinct fail-fast outcome) — closed-loop users must still get
+    /// their think timer in that case.
+    fn issue(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, nonce: u64) -> bool {
         let now = ctx.now();
         ctx.world.recorder.service.offered.increment(now);
-        self.attempt(ctx, nonce, now, 1, None);
+        self.attempt(ctx, nonce, now, 1, None)
     }
 
+    /// One routed attempt. Returns `true` when the request settled right
+    /// here instead of going in flight (no routable node: every machine
+    /// is held hard-down, so retrying would only burn the budget).
     fn attempt(
         &mut self,
         ctx: &mut Ctx<'_, World, SysEvent>,
@@ -70,9 +76,12 @@ impl Dispatcher {
         first_sent: SimTime,
         attempts: u32,
         avoid: Option<usize>,
-    ) {
+    ) -> bool {
         let now = ctx.now();
-        let target = self.router.pick(now, avoid);
+        let Some(target) = self.router.pick(now, avoid) else {
+            ctx.world.recorder.service.all_down.increment(now);
+            return true;
+        };
         if let Some(prev) = avoid {
             if target != prev {
                 ctx.world.recorder.service.failovers.increment(now);
@@ -86,6 +95,7 @@ impl Dispatcher {
         );
         let timeout = ctx.schedule_in(self.spec.timeout, SysEvent::timer(TOKEN_TIMEOUT | nonce));
         self.in_flight.insert(nonce, Pending { first_sent, attempts, target, timeout });
+        false
     }
 
     /// Settles or retries after an answer. Returns `true` when the
@@ -117,28 +127,26 @@ impl Dispatcher {
             ServeOutcome::Overloaded => {
                 self.router.overloaded(pending.target, now);
                 if pending.attempts < self.spec.max_attempts {
-                    self.attempt(
+                    return self.attempt(
                         ctx,
                         nonce,
                         pending.first_sent,
                         pending.attempts + 1,
                         Some(pending.target),
                     );
-                    return false;
                 }
                 service.shed.increment(now);
             }
             ServeOutcome::Unavailable => {
                 self.router.overloaded(pending.target, now);
                 if pending.attempts < self.spec.max_attempts {
-                    self.attempt(
+                    return self.attempt(
                         ctx,
                         nonce,
                         pending.first_sent,
                         pending.attempts + 1,
                         Some(pending.target),
                     );
-                    return false;
                 }
                 service.unavailable.increment(now);
             }
@@ -153,16 +161,15 @@ impl Dispatcher {
             return false; // Already answered.
         };
         let now = ctx.now();
-        self.router.timed_out(pending.target, now);
+        self.router.timed_out(pending.target, now, ctx.rng);
         if pending.attempts < self.spec.max_attempts {
-            self.attempt(
+            return self.attempt(
                 ctx,
                 nonce,
                 pending.first_sent,
                 pending.attempts + 1,
                 Some(pending.target),
             );
-            return false;
         }
         ctx.world.recorder.service.timeouts.increment(now);
         true
@@ -278,7 +285,11 @@ impl ClosedLoopGen {
     fn issue_for(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, user: usize) {
         self.next_seq[user] += 1;
         let nonce = ((user as u64) << 32) | u64::from(self.next_seq[user]);
-        self.dispatcher.issue(ctx, nonce);
+        if self.dispatcher.issue(ctx, nonce) {
+            // Settled immediately (all nodes hard-down): the user still
+            // thinks and tries again later.
+            self.schedule_think(ctx, user);
+        }
     }
 }
 

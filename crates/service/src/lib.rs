@@ -13,10 +13,18 @@
 //!   degraded-mode `TimeReading` answers while the node is tainted or
 //!   recalibrating;
 //! - [`Router`]: client-side failover routing with per-node health
-//!   tracking driven by timeouts and overload signals;
+//!   tracking driven by timeouts and overload signals — hard-down
+//!   (timed-out) and soft-down (overloaded) nodes are distinguished, and
+//!   an all-hard-down cluster fails fast instead of burning retries;
+//! - [`QuorumGen`]: quorum-attested reads — each arrival fans an
+//!   attestation request to a `2f + 1` panel, accepts on `f + 1`
+//!   mutually overlapping uncertainty intervals (Marzullo agreement over
+//!   Cristian-projected attestations), flags disjoint outliers as
+//!   Byzantine suspects, and quarantines repeat offenders behind a
+//!   seeded probation/half-open rejoin policy;
 //! - SLO accounting into [`trace::ServiceTrace`]: an end-to-end latency
-//!   histogram (p50/p95/p99/p99.9) plus goodput, shed, timeout, and
-//!   failover counters.
+//!   histogram (p50/p95/p99/p99.9) plus goodput, shed, timeout,
+//!   failover, and quorum/suspect/quarantine counters.
 //!
 //! Everything is declarative data ([`ServiceSpec`]) instantiated by
 //! [`install`] onto an already-assembled cluster simulation, and fully
@@ -31,6 +39,7 @@
 
 mod frontend;
 mod gen;
+mod quorum;
 mod router;
 mod spec;
 
@@ -40,9 +49,11 @@ use sim::Simulation;
 
 pub use frontend::Frontend;
 pub use gen::{ClosedLoopGen, OpenLoopGen};
+pub use quorum::{decide, AttestSample, QuorumDecision, QuorumGen, QuorumHealth};
 pub use router::Router;
 pub use spec::{
-    ArrivalSpec, ClosedLoopSpec, FrontendSpec, LoadProfile, OpenLoopSpec, RouterSpec, ServiceSpec,
+    ArrivalSpec, ClosedLoopSpec, FrontendSpec, LoadProfile, OpenLoopSpec, QuorumLoopSpec,
+    QuorumSpec, RouterSpec, ServiceSpec,
 };
 
 /// The serving address of the front-end beside node index `i`.
@@ -108,6 +119,15 @@ pub fn install(simulation: &mut Simulation<World, SysEvent>, spec: &ServiceSpec,
             frontends.clone(),
             *closed,
             spec.router,
+        )));
+        register(simulation, g, id);
+        g += 1;
+    }
+    for quorum in &spec.quorum_loop {
+        let id = simulation.add_actor(Box::new(QuorumGen::new(
+            generator_addr(g),
+            frontends.clone(),
+            *quorum,
         )));
         register(simulation, g, id);
         g += 1;

@@ -1,6 +1,8 @@
 //! Client-side cluster routing: round-robin spreading with per-node
 //! health tracking and failover.
 
+use rand::rngs::StdRng;
+use rand::Rng;
 use sim::SimTime;
 
 use crate::spec::RouterSpec;
@@ -8,15 +10,24 @@ use crate::spec::RouterSpec;
 /// Per-generator routing state over an `n`-node cluster.
 ///
 /// Requests round-robin across nodes, skipping any node currently held
-/// down: a timeout marks its target down for `cooldown` (it may be
-/// crashed), an `Overloaded` reply for the shorter `penalty` (it is alive
-/// but saturated). When every node is held down the router picks one
-/// anyway — a client with no healthy choices must still try *somewhere*.
+/// down: a timeout marks its target *hard*-down for `cooldown` (it may be
+/// crashed), an `Overloaded` reply *soft*-down for the shorter `penalty`
+/// (it is alive but saturated). When every node is soft-down the router
+/// still picks one — a saturated cluster is worth a try — but when every
+/// node is hard-down [`Router::pick`] returns `None` so the caller can
+/// fail fast with a distinct outcome instead of burning its retry budget
+/// against known-dead machines.
+///
+/// With a non-zero [`RouterSpec::half_open_jitter`] each hard mark-down
+/// adds a seeded uniform draw to its cooldown, desynchronizing the
+/// instant different generators re-probe a recovering node (no rejoin
+/// stampede onto the first machine back up).
 #[derive(Debug, Clone)]
 pub struct Router {
     spec: RouterSpec,
     cursor: usize,
     down_until: Vec<SimTime>,
+    hard_until: Vec<SimTime>,
 }
 
 impl Router {
@@ -27,13 +38,19 @@ impl Router {
     /// Panics when `n` is zero.
     pub fn new(spec: RouterSpec, n: usize) -> Self {
         assert!(n >= 1, "routing needs at least one node");
-        Router { spec, cursor: 0, down_until: vec![SimTime::ZERO; n] }
+        Router {
+            spec,
+            cursor: 0,
+            down_until: vec![SimTime::ZERO; n],
+            hard_until: vec![SimTime::ZERO; n],
+        }
     }
 
     /// Picks the next node, preferring healthy ones and avoiding
     /// `avoid` (the node a failing attempt just used) when any other
-    /// healthy node exists.
-    pub fn pick(&mut self, now: SimTime, avoid: Option<usize>) -> usize {
+    /// healthy node exists. Returns `None` only when *every* node is
+    /// hard-down (timed out recently): there is nowhere worth sending.
+    pub fn pick(&mut self, now: SimTime, avoid: Option<usize>) -> Option<usize> {
         let n = self.down_until.len();
         let healthy = |i: usize, down_until: &[SimTime]| down_until[i] <= now;
         // First pass: healthy and not the node we are failing away from.
@@ -41,7 +58,7 @@ impl Router {
             let i = (self.cursor + step) % n;
             if healthy(i, &self.down_until) && Some(i) != avoid {
                 self.cursor = (i + 1) % n;
-                return i;
+                return Some(i);
             }
         }
         // Second pass: any healthy node (possibly `avoid` itself).
@@ -49,18 +66,26 @@ impl Router {
             let i = (self.cursor + step) % n;
             if healthy(i, &self.down_until) {
                 self.cursor = (i + 1) % n;
-                return i;
+                return Some(i);
             }
         }
-        // Everything is held down: forced pick, round-robin order.
-        let i = self.cursor % n;
-        self.cursor = (i + 1) % n;
-        i
+        // Third pass: everything is at least soft-down; force a pick among
+        // nodes that are *not* hard-down (alive but saturated).
+        for step in 0..n {
+            let i = (self.cursor + step) % n;
+            if self.hard_until[i] <= now {
+                self.cursor = (i + 1) % n;
+                return Some(i);
+            }
+        }
+        // Every node timed out recently: fail fast, don't burn retries.
+        None
     }
 
     /// Records a successful answer from node `i`: it is healthy again.
     pub fn success(&mut self, i: usize) {
         self.down_until[i] = SimTime::ZERO;
+        self.hard_until[i] = SimTime::ZERO;
     }
 
     /// Records an `Overloaded` reply from node `i`: deprioritize briefly.
@@ -68,9 +93,17 @@ impl Router {
         self.down_until[i] = self.down_until[i].max(now + self.spec.penalty);
     }
 
-    /// Records a timed-out attempt against node `i`: back off hard.
-    pub fn timed_out(&mut self, i: usize, now: SimTime) {
-        self.down_until[i] = self.down_until[i].max(now + self.spec.cooldown);
+    /// Records a timed-out attempt against node `i`: back off hard, plus
+    /// a seeded half-open jitter draw when the spec enables one (the draw
+    /// is skipped entirely at `ZERO`, leaving `rng` untouched).
+    pub fn timed_out(&mut self, i: usize, now: SimTime, rng: &mut StdRng) {
+        let mut hold = self.spec.cooldown;
+        if !self.spec.half_open_jitter.is_zero() {
+            let jitter_ns = rng.gen_range(0..=self.spec.half_open_jitter.as_nanos());
+            hold += sim::SimDuration::from_nanos(jitter_ns);
+        }
+        self.down_until[i] = self.down_until[i].max(now + hold);
+        self.hard_until[i] = self.hard_until[i].max(now + hold);
     }
 
     /// True when node `i` is currently held down.
@@ -81,6 +114,7 @@ impl Router {
 
 #[cfg(test)]
 mod tests {
+    use rand::SeedableRng;
     use sim::SimDuration;
 
     use super::*;
@@ -91,14 +125,19 @@ mod tests {
             max_attempts: 3,
             cooldown: SimDuration::from_millis(200),
             penalty: SimDuration::from_millis(20),
+            half_open_jitter: SimDuration::ZERO,
         }
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
     }
 
     #[test]
     fn round_robin_spreads_over_healthy_nodes() {
         let mut r = Router::new(spec(), 3);
         let now = SimTime::ZERO;
-        let picks: Vec<usize> = (0..6).map(|_| r.pick(now, None)).collect();
+        let picks: Vec<usize> = (0..6).map(|_| r.pick(now, None).unwrap()).collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
     }
 
@@ -106,14 +145,14 @@ mod tests {
     fn down_nodes_are_skipped_until_they_recover() {
         let mut r = Router::new(spec(), 3);
         let now = SimTime::from_secs(1);
-        r.timed_out(1, now);
+        r.timed_out(1, now, &mut rng());
         assert!(r.is_down(1, now));
-        let picks: Vec<usize> = (0..4).map(|_| r.pick(now, None)).collect();
+        let picks: Vec<usize> = (0..4).map(|_| r.pick(now, None).unwrap()).collect();
         assert!(!picks.contains(&1), "held-down node picked: {picks:?}");
         // After the cooldown it rejoins the rotation.
         let later = now + SimDuration::from_millis(500);
         assert!(!r.is_down(1, later));
-        let picks: Vec<usize> = (0..3).map(|_| r.pick(later, None)).collect();
+        let picks: Vec<usize> = (0..3).map(|_| r.pick(later, None).unwrap()).collect();
         assert!(picks.contains(&1));
     }
 
@@ -122,17 +161,23 @@ mod tests {
         let mut r = Router::new(spec(), 2);
         let now = SimTime::ZERO;
         for _ in 0..4 {
-            assert_ne!(r.pick(now, Some(0)), 0);
+            assert_ne!(r.pick(now, Some(0)), Some(0));
         }
     }
 
     #[test]
-    fn forced_pick_when_everything_is_down() {
+    fn all_hard_down_fails_fast_instead_of_forcing_a_pick() {
+        // Satellite regression: when every node timed out recently, the
+        // router must say so (`None`) instead of routing the request at a
+        // known-dead machine and burning the retry budget.
         let mut r = Router::new(spec(), 2);
         let now = SimTime::from_secs(1);
-        r.timed_out(0, now);
-        r.timed_out(1, now);
-        let i = r.pick(now, None);
+        r.timed_out(0, now, &mut rng());
+        r.timed_out(1, now, &mut rng());
+        assert_eq!(r.pick(now, None), None);
+        // Past the cooldown the cluster is routable again.
+        let later = now + SimDuration::from_millis(500);
+        let i = r.pick(later, None).unwrap();
         assert!(i < 2);
         // Success clears the hold immediately.
         r.success(i);
@@ -140,10 +185,67 @@ mod tests {
     }
 
     #[test]
+    fn all_soft_down_still_forces_a_pick() {
+        // Overload penalties mean "alive but saturated" — a cluster of
+        // saturated nodes is still worth one attempt.
+        let mut r = Router::new(spec(), 2);
+        let now = SimTime::from_secs(1);
+        r.overloaded(0, now);
+        r.overloaded(1, now);
+        assert!(r.pick(now, None).is_some());
+    }
+
+    #[test]
+    fn mixed_soft_and_hard_down_routes_to_the_soft_node() {
+        let mut r = Router::new(spec(), 3);
+        let now = SimTime::from_secs(1);
+        r.timed_out(0, now, &mut rng());
+        r.timed_out(2, now, &mut rng());
+        r.overloaded(1, now);
+        // Node 1 is merely penalized; the forced pick must choose it over
+        // the two timed-out nodes.
+        assert_eq!(r.pick(now, None), Some(1));
+    }
+
+    #[test]
+    fn half_open_jitter_spreads_recovery_instants() {
+        let jittered = RouterSpec { half_open_jitter: SimDuration::from_millis(100), ..spec() };
+        let now = SimTime::from_secs(1);
+        // Two generators marking the same node down at the same instant
+        // draw different recovery times from their own seeded streams.
+        let mut a = Router::new(jittered, 2);
+        let mut b = Router::new(jittered, 2);
+        let mut rng_a = StdRng::seed_from_u64(1);
+        let mut rng_b = StdRng::seed_from_u64(2);
+        a.timed_out(0, now, &mut rng_a);
+        b.timed_out(0, now, &mut rng_b);
+        assert_ne!(a.down_until[0], b.down_until[0], "jitter did not desynchronize rejoins");
+        // Both recover somewhere inside [cooldown, cooldown + jitter].
+        for r in [&a, &b] {
+            let hold = r.down_until[0] - now;
+            assert!(hold >= SimDuration::from_millis(200));
+            assert!(hold <= SimDuration::from_millis(300));
+        }
+    }
+
+    #[test]
+    fn zero_jitter_skips_the_rng_draw() {
+        // Determinism contract: at the default ZERO the RNG stream must
+        // be left untouched (committed artifacts depend on it).
+        let mut r = Router::new(spec(), 1);
+        let mut rng_used = rng();
+        let mut rng_control = rng();
+        r.timed_out(0, SimTime::from_secs(1), &mut rng_used);
+        let a: u64 = rng_used.gen();
+        let b: u64 = rng_control.gen();
+        assert_eq!(a, b, "zero jitter consumed RNG state");
+    }
+
+    #[test]
     fn single_node_cluster_always_routes_to_it() {
         let mut r = Router::new(spec(), 1);
         let now = SimTime::ZERO;
-        r.timed_out(0, now);
-        assert_eq!(r.pick(now, Some(0)), 0);
+        r.overloaded(0, now);
+        assert_eq!(r.pick(now, Some(0)), Some(0));
     }
 }

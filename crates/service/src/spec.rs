@@ -134,6 +134,11 @@ pub struct FrontendSpec {
     /// Widening rate of degraded-mode answers while the node stays
     /// degraded (ppm of elapsed degraded time).
     pub degraded_drift_ppm: f64,
+    /// Floor half-width of quorum attestations. The attested uncertainty
+    /// is the node's published self-assessed bound (plus staleness
+    /// widening), but never below this floor — it must cover the honest
+    /// inter-node clock divergence or honest panels will false-positive.
+    pub attest_floor_uncertainty: SimDuration,
 }
 
 impl Default for FrontendSpec {
@@ -144,6 +149,7 @@ impl Default for FrontendSpec {
             batch_window: SimDuration::from_millis(2),
             degraded_base_uncertainty: SimDuration::from_millis(1),
             degraded_drift_ppm: 50.0,
+            attest_floor_uncertainty: SimDuration::from_millis(2),
         }
     }
 }
@@ -162,6 +168,13 @@ pub struct RouterSpec {
     /// How long a node stays deprioritized after an `Overloaded` reply
     /// (it is alive but saturated — back off briefly).
     pub penalty: SimDuration,
+    /// Seeded jitter added on top of `cooldown` when a node is marked
+    /// down hard: each generator draws its own recovery instant uniformly
+    /// from `[0, half_open_jitter]`, so simultaneous rejoins don't let
+    /// every client stampede the first node whose cooldown expires.
+    /// `ZERO` (the default) disables the draw entirely, leaving the
+    /// simulation's RNG stream untouched.
+    pub half_open_jitter: SimDuration,
 }
 
 impl Default for RouterSpec {
@@ -171,6 +184,89 @@ impl Default for RouterSpec {
             max_attempts: 3,
             cooldown: SimDuration::from_millis(250),
             penalty: SimDuration::from_millis(20),
+            half_open_jitter: SimDuration::ZERO,
+        }
+    }
+}
+
+/// The quorum read policy: panel sizing, the overlap acceptance rule's
+/// `f`, and the suspect quarantine/probation knobs (the same
+/// threshold-cooldown shape as `triad_core`'s TA circuit breaker, applied
+/// to Byzantine suspicion instead of TA failures).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuorumSpec {
+    /// Tolerated simultaneous liars. Reads fan out to up to `2f + 1`
+    /// nodes and accept on `f + 1` mutually overlapping attestations.
+    pub f: usize,
+    /// How long a read waits for panel answers before deciding with
+    /// whatever arrived.
+    pub collect_timeout: SimDuration,
+    /// Suspect flags (strikes) before a node is quarantined; a clean
+    /// attestation while trusted resets the count.
+    pub suspect_threshold: u32,
+    /// How long a quarantined node sits out before a half-open probe
+    /// may readmit it.
+    pub probation: SimDuration,
+    /// Seeded jitter added to each probation so simultaneously
+    /// quarantined nodes don't rejoin in lockstep. `ZERO` disables the
+    /// draw.
+    pub probe_jitter: SimDuration,
+    /// Slack beyond strict disjointness before an attestation is flagged:
+    /// a node is suspected only when its projected interval misses the
+    /// agreement region by more than this margin. An in-envelope
+    /// adversary can displace the agreement by at most the envelope
+    /// width, so a margin at that scale stops it framing honest nodes
+    /// with tight intervals; a real liar misses by orders of magnitude
+    /// more. `ZERO` restores the strict rule.
+    pub suspect_margin: SimDuration,
+}
+
+impl Default for QuorumSpec {
+    fn default() -> Self {
+        QuorumSpec {
+            f: 1,
+            collect_timeout: SimDuration::from_millis(50),
+            suspect_threshold: 3,
+            probation: SimDuration::from_secs(2),
+            probe_jitter: SimDuration::from_millis(100),
+            suspect_margin: SimDuration::from_millis(10),
+        }
+    }
+}
+
+impl QuorumSpec {
+    /// Panel size the read fans out to when enough nodes are eligible.
+    pub fn panel_size(&self) -> usize {
+        2 * self.f + 1
+    }
+
+    /// Attestations that must mutually overlap for acceptance.
+    pub fn accept_threshold(&self) -> usize {
+        self.f + 1
+    }
+}
+
+/// One aggregated open-loop *quorum read* process: every arrival fans an
+/// attestation request out to a whole panel instead of a single node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuorumLoopSpec {
+    /// Nominal offered rate (quorum reads per simulated second).
+    pub rate_per_s: f64,
+    /// Inter-arrival distribution.
+    pub arrival: ArrivalSpec,
+    /// Rate evolution over the run.
+    pub profile: LoadProfile,
+    /// The quorum policy driving panel selection and acceptance.
+    pub quorum: QuorumSpec,
+}
+
+impl Default for QuorumLoopSpec {
+    fn default() -> Self {
+        QuorumLoopSpec {
+            rate_per_s: 200.0,
+            arrival: ArrivalSpec::Exponential,
+            profile: LoadProfile::Constant,
+            quorum: QuorumSpec::default(),
         }
     }
 }
@@ -187,6 +283,8 @@ pub struct ServiceSpec {
     pub open_loop: Vec<OpenLoopSpec>,
     /// Closed-loop think-time populations.
     pub closed_loop: Vec<ClosedLoopSpec>,
+    /// Open-loop quorum read processes.
+    pub quorum_loop: Vec<QuorumLoopSpec>,
 }
 
 impl Default for ServiceSpec {
@@ -196,6 +294,7 @@ impl Default for ServiceSpec {
             router: RouterSpec::default(),
             open_loop: vec![OpenLoopSpec::default()],
             closed_loop: Vec::new(),
+            quorum_loop: Vec::new(),
         }
     }
 }
@@ -235,9 +334,16 @@ impl ServiceSpec {
         self
     }
 
+    /// Attaches an open-loop quorum read process.
+    #[must_use]
+    pub fn quorum_loop(mut self, spec: QuorumLoopSpec) -> Self {
+        self.quorum_loop.push(spec);
+        self
+    }
+
     /// Total generator actors this spec will install.
     pub fn generator_count(&self) -> usize {
-        self.open_loop.len() + self.closed_loop.len()
+        self.open_loop.len() + self.closed_loop.len() + self.quorum_loop.len()
     }
 }
 
@@ -277,9 +383,26 @@ mod tests {
         let spec = ServiceSpec::new()
             .open_loop(OpenLoopSpec::default())
             .open_loop(OpenLoopSpec { rate_per_s: 50.0, ..Default::default() })
-            .closed_loop(ClosedLoopSpec::default());
-        assert_eq!(spec.generator_count(), 3);
+            .closed_loop(ClosedLoopSpec::default())
+            .quorum_loop(QuorumLoopSpec::default());
+        assert_eq!(spec.generator_count(), 4);
         assert_eq!(spec.open_loop.len(), 2);
         assert_eq!(spec.closed_loop.len(), 1);
+        assert_eq!(spec.quorum_loop.len(), 1);
+    }
+
+    #[test]
+    fn quorum_spec_thresholds() {
+        let q = QuorumSpec { f: 2, ..Default::default() };
+        assert_eq!(q.panel_size(), 5);
+        assert_eq!(q.accept_threshold(), 3);
+        assert_eq!(QuorumSpec::default().panel_size(), 3);
+    }
+
+    #[test]
+    fn router_jitter_defaults_off() {
+        // Committed artifacts depend on the jitter draw being skipped
+        // entirely at the default setting.
+        assert!(RouterSpec::default().half_open_jitter.is_zero());
     }
 }

@@ -58,6 +58,28 @@ impl Interval {
         self.lo <= other.hi && other.lo <= self.hi
     }
 
+    /// The interval widened by `pad` on both sides (Cristian-style slack:
+    /// a reading collected over a round-trip is only known to `±pad` more
+    /// than its self-assessed bound).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pad` is negative or NaN.
+    pub fn inflate(&self, pad: f64) -> Interval {
+        assert!(pad >= 0.0, "pad must be non-negative, got {pad}");
+        Interval::new(self.lo - pad, self.hi + pad)
+    }
+
+    /// The interval shifted by `delta` along the timeline (projection of a
+    /// past reading to a later decision instant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is NaN.
+    pub fn shift(&self, delta: f64) -> Interval {
+        Interval::new(self.lo + delta, self.hi + delta)
+    }
+
     /// Intersection of two intervals, if non-empty.
     pub fn intersect(&self, other: &Interval) -> Option<Interval> {
         let lo = self.lo.max(other.lo);
@@ -182,6 +204,26 @@ mod tests {
     #[should_panic(expected = "out of order")]
     fn inverted_interval_panics() {
         let _ = Interval::new(2.0, 1.0);
+    }
+
+    #[test]
+    fn inflate_and_shift() {
+        let iv = Interval::around(100.0, 5.0);
+        assert_eq!(iv.inflate(2.0), Interval::new(93.0, 107.0));
+        assert_eq!(iv.inflate(0.0), iv);
+        assert_eq!(iv.shift(10.0), Interval::new(105.0, 115.0));
+        assert_eq!(iv.shift(-10.0), Interval::new(85.0, 95.0));
+        // A pad exactly bridging a gap makes touching intervals overlap.
+        let a = Interval::new(0.0, 10.0);
+        let b = Interval::new(12.0, 20.0);
+        assert!(!a.overlaps(&b));
+        assert!(a.inflate(1.0).overlaps(&b.inflate(1.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "pad must be non-negative")]
+    fn negative_inflate_panics() {
+        let _ = Interval::new(0.0, 1.0).inflate(-0.5);
     }
 
     #[test]

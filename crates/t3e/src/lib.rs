@@ -235,6 +235,7 @@ impl Actor<World, SysEvent> for T3eNode {
                                 anchor_ref_ns: ta_time_ns as f64,
                                 anchor_ticks: ticks,
                                 f_calib_hz: ctx.world.host(self.me).tsc.nominal_hz(),
+                                uncertainty_ns: 0.0,
                             };
                         }
                     }

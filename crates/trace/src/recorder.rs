@@ -61,6 +61,14 @@ pub struct NodeTrace {
     /// Serving front-end: requests shed with an `Overloaded` reply because
     /// the admission queue was full.
     pub frontend_shed: StepCounter,
+    /// Serving front-end: quorum attestations answered.
+    pub frontend_attests: StepCounter,
+    /// Quorum reader: times this node's attestation was flagged as a
+    /// `ByzantineSuspect` outlier (disjoint from the agreed interval).
+    pub byzantine_suspected: StepCounter,
+    /// Quorum reader: times this node was quarantined after repeated
+    /// suspect flags.
+    pub quarantined: StepCounter,
 }
 
 impl NodeTrace {

@@ -30,6 +30,28 @@ pub struct ServiceTrace {
     pub timeouts: StepCounter,
     /// Retries that switched to a different node (failover routing).
     pub failovers: StepCounter,
+    /// Requests failed fast because every node was held down by the
+    /// router's health tracker (no attempt was worth making).
+    pub all_down: StepCounter,
+    /// End-to-end quorum-read latency (ns): first fan-out send to the
+    /// accept verdict. Compare against `latency` for the quorum price.
+    pub quorum_latency: LogHistogram,
+    /// Quorum reads issued (each fans out to a whole panel).
+    pub quorum_offered: StepCounter,
+    /// Quorum reads that reached `f+1` mutually overlapping attestations.
+    pub quorum_accepted: StepCounter,
+    /// Quorum reads whose collected attestations never overlapped enough.
+    pub quorum_no_quorum: StepCounter,
+    /// Quorum reads that failed for *liveness*: fewer than `f+1`
+    /// panel-eligible nodes at issue, or fewer than `f+1` attestations
+    /// collected by the deadline (nodes refused or never answered).
+    pub quorum_unavailable: StepCounter,
+    /// `ByzantineSuspect` detection events (one per flagged attestation).
+    pub byzantine_suspects: StepCounter,
+    /// Suspect nodes quarantined by the probation policy.
+    pub quarantines: StepCounter,
+    /// Quarantined nodes readmitted after a clean half-open probe.
+    pub rejoins: StepCounter,
 }
 
 impl Default for ServiceTrace {
@@ -43,6 +65,15 @@ impl Default for ServiceTrace {
             unavailable: StepCounter::default(),
             timeouts: StepCounter::default(),
             failovers: StepCounter::default(),
+            all_down: StepCounter::default(),
+            quorum_latency: LogHistogram::latency_ns(),
+            quorum_offered: StepCounter::default(),
+            quorum_accepted: StepCounter::default(),
+            quorum_no_quorum: StepCounter::default(),
+            quorum_unavailable: StepCounter::default(),
+            byzantine_suspects: StepCounter::default(),
+            quarantines: StepCounter::default(),
+            rejoins: StepCounter::default(),
         }
     }
 }
@@ -55,7 +86,12 @@ impl ServiceTrace {
 
     /// Requests that ended without a usable answer.
     pub fn badput(&self) -> u64 {
-        self.shed.count() + self.unavailable.count() + self.timeouts.count()
+        self.shed.count() + self.unavailable.count() + self.timeouts.count() + self.all_down.count()
+    }
+
+    /// Quorum reads that ended without an accepted interval.
+    pub fn quorum_badput(&self) -> u64 {
+        self.quorum_no_quorum.count() + self.quorum_unavailable.count()
     }
 }
 
@@ -77,6 +113,28 @@ mod tests {
         t.shed.increment(at);
         assert_eq!(t.goodput(), 2);
         assert_eq!(t.badput(), 1);
+        assert_eq!(t.goodput() + t.badput(), t.offered.count());
+    }
+
+    #[test]
+    fn quorum_counters_partition_quorum_outcomes() {
+        let mut t = ServiceTrace::default();
+        let at = SimTime::from_secs(1);
+        for _ in 0..3 {
+            t.quorum_offered.increment(at);
+        }
+        t.quorum_accepted.increment(at);
+        t.quorum_accepted.increment(at);
+        t.quorum_no_quorum.increment(at);
+        assert_eq!(t.quorum_accepted.count() + t.quorum_badput(), t.quorum_offered.count());
+    }
+
+    #[test]
+    fn all_down_counts_as_badput() {
+        let mut t = ServiceTrace::default();
+        let at = SimTime::from_secs(2);
+        t.offered.increment(at);
+        t.all_down.increment(at);
         assert_eq!(t.goodput() + t.badput(), t.offered.count());
     }
 

@@ -3,7 +3,7 @@
 
 use bytes::{Buf, Bytes};
 
-use crate::message::{Message, NodeId, ServeOutcome};
+use crate::message::{AttestOutcome, Message, NodeId, ServeOutcome};
 
 /// Version byte prepended to every encoded message.
 pub const PROTOCOL_VERSION: u8 = 1;
@@ -21,12 +21,19 @@ const TAG_READING_REQ: u8 = 10;
 const TAG_READING_RESP: u8 = 11;
 const TAG_SERVE_REQ: u8 = 12;
 const TAG_SERVE_RESP: u8 = 13;
+const TAG_ATTEST_REQ: u8 = 14;
+const TAG_ATTEST_RESP: u8 = 15;
 
 // ServeOutcome discriminants inside TAG_SERVE_RESP.
 const OUTCOME_TIME: u8 = 0;
 const OUTCOME_READING: u8 = 1;
 const OUTCOME_OVERLOADED: u8 = 2;
 const OUTCOME_UNAVAILABLE: u8 = 3;
+
+// AttestOutcome discriminants inside TAG_ATTEST_RESP.
+const ATTEST_ATTESTATION: u8 = 0;
+const ATTEST_OVERLOADED: u8 = 1;
+const ATTEST_UNAVAILABLE: u8 = 2;
 
 /// A message failed to decode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -180,6 +187,24 @@ impl Message {
                     ServeOutcome::Unavailable => put_u8(buf, OUTCOME_UNAVAILABLE),
                 }
             }
+            Message::AttestRequest { nonce } => {
+                put_u8(buf, TAG_ATTEST_REQ);
+                put_u64(buf, *nonce);
+            }
+            Message::AttestResponse { nonce, outcome } => {
+                put_u8(buf, TAG_ATTEST_RESP);
+                put_u64(buf, *nonce);
+                match outcome {
+                    AttestOutcome::Attestation(r) => {
+                        put_u8(buf, ATTEST_ATTESTATION);
+                        put_u64(buf, r.estimate_ns);
+                        put_u64(buf, r.uncertainty_ns);
+                        put_u8(buf, u8::from(r.degraded));
+                    }
+                    AttestOutcome::Overloaded => put_u8(buf, ATTEST_OVERLOADED),
+                    AttestOutcome::Unavailable => put_u8(buf, ATTEST_UNAVAILABLE),
+                }
+            }
         }
     }
 
@@ -286,6 +311,25 @@ impl Message {
                 };
                 Message::ServeResponse { nonce, outcome }
             }
+            TAG_ATTEST_REQ => Message::AttestRequest { nonce: get_u64(&mut buf)? },
+            TAG_ATTEST_RESP => {
+                let nonce = get_u64(&mut buf)?;
+                let outcome = match get_u8(&mut buf)? {
+                    ATTEST_ATTESTATION => AttestOutcome::Attestation(crate::message::TimeReading {
+                        estimate_ns: get_u64(&mut buf)?,
+                        uncertainty_ns: get_u64(&mut buf)?,
+                        degraded: match get_u8(&mut buf)? {
+                            0 => false,
+                            1 => true,
+                            _ => return Err(DecodeError::InvalidValue),
+                        },
+                    }),
+                    ATTEST_OVERLOADED => AttestOutcome::Overloaded,
+                    ATTEST_UNAVAILABLE => AttestOutcome::Unavailable,
+                    _ => return Err(DecodeError::InvalidValue),
+                };
+                Message::AttestResponse { nonce, outcome }
+            }
             other => return Err(DecodeError::UnknownTag(other)),
         };
         if buf.has_remaining() {
@@ -369,6 +413,38 @@ mod tests {
         });
         round_trip(Message::ServeResponse { nonce: 8, outcome: ServeOutcome::Overloaded });
         round_trip(Message::ServeResponse { nonce: 8, outcome: ServeOutcome::Unavailable });
+        round_trip(Message::AttestRequest { nonce: 11 });
+        round_trip(Message::AttestResponse {
+            nonce: 11,
+            outcome: AttestOutcome::Attestation(crate::message::TimeReading {
+                estimate_ns: 9_000_000_001,
+                uncertainty_ns: 350_000,
+                degraded: false,
+            }),
+        });
+        round_trip(Message::AttestResponse { nonce: 11, outcome: AttestOutcome::Overloaded });
+        round_trip(Message::AttestResponse { nonce: 11, outcome: AttestOutcome::Unavailable });
+    }
+
+    #[test]
+    fn attest_outcomes_validated() {
+        let mut encoded =
+            Message::AttestResponse { nonce: 1, outcome: AttestOutcome::Overloaded }.encode();
+        let last = encoded.len() - 1;
+        encoded[last] = 9;
+        assert_eq!(Message::decode(&encoded), Err(DecodeError::InvalidValue));
+        let mut encoded = Message::AttestResponse {
+            nonce: 1,
+            outcome: AttestOutcome::Attestation(crate::message::TimeReading {
+                estimate_ns: 1,
+                uncertainty_ns: 2,
+                degraded: true,
+            }),
+        }
+        .encode();
+        let last = encoded.len() - 1;
+        encoded[last] = 7;
+        assert_eq!(Message::decode(&encoded), Err(DecodeError::InvalidValue));
     }
 
     #[test]

@@ -18,4 +18,4 @@ mod codec;
 mod message;
 
 pub use codec::{DecodeError, PROTOCOL_VERSION};
-pub use message::{Message, NodeId, ServeOutcome, TimeReading};
+pub use message::{AttestOutcome, Message, NodeId, ServeOutcome, TimeReading};

@@ -159,6 +159,23 @@ pub enum Message {
         /// What the front-end could do for the request.
         outcome: ServeOutcome,
     },
+    /// Quorum client → serving front-end: one leg of a fanned-out quorum
+    /// read. Every panel member receives the same nonce; the quorum layer
+    /// cross-checks the returned intervals instead of trusting any single
+    /// node's answer.
+    AttestRequest {
+        /// Read correlation value, shared by the whole panel.
+        nonce: u64,
+    },
+    /// Serving front-end → quorum client: this node's sealed timestamp
+    /// attestation — always an interval, never a bare timestamp, so the
+    /// quorum layer can run interval-overlap agreement on it.
+    AttestResponse {
+        /// Echo of the read nonce.
+        nonce: u64,
+        /// The attestation, or why the node could not produce one.
+        outcome: AttestOutcome,
+    },
 }
 
 /// The serving front-end's answer to one admitted (or rejected) request.
@@ -174,6 +191,19 @@ pub enum ServeOutcome {
     Overloaded,
     /// The node cannot serve (never calibrated, or degraded and the client
     /// refused degraded readings).
+    Unavailable,
+}
+
+/// The serving front-end's answer to one quorum attestation request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttestOutcome {
+    /// The node's current clock estimate with its self-assessed
+    /// uncertainty half-width. Degraded nodes still attest (with a widened
+    /// interval); the quorum layer, not the node, decides trust.
+    Attestation(TimeReading),
+    /// The admission queue was full; the sample is missing from the panel.
+    Overloaded,
+    /// The node has no clock estimate at all (never calibrated).
     Unavailable,
 }
 
@@ -194,6 +224,8 @@ impl Message {
             Message::TimeReadingResponse { .. } => "reading_resp",
             Message::ServeRequest { .. } => "serve_req",
             Message::ServeResponse { .. } => "serve_resp",
+            Message::AttestRequest { .. } => "attest_req",
+            Message::AttestResponse { .. } => "attest_resp",
         }
     }
 }
@@ -231,6 +263,8 @@ mod tests {
             Message::TimeReadingResponse { nonce: 0, reading: None },
             Message::ServeRequest { nonce: 0, accept_degraded: false },
             Message::ServeResponse { nonce: 0, outcome: ServeOutcome::Overloaded },
+            Message::AttestRequest { nonce: 0 },
+            Message::AttestResponse { nonce: 0, outcome: AttestOutcome::Unavailable },
         ];
         let mut kinds: Vec<_> = msgs.iter().map(|m| m.kind()).collect();
         kinds.sort_unstable();

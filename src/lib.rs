@@ -45,7 +45,7 @@
 //! | [`resilient`] | the §V hardened protocol |
 //! | [`faults`] | cross-layer fault injection (chaos plans + driver) |
 //! | [`harness`] | scenario builder tying everything together |
-//! | [`service`] | trusted-timestamp serving layer: load generation, batching front-ends, failover routing, SLO accounting |
+//! | [`service`] | trusted-timestamp serving layer: load generation, batching front-ends, failover routing, quorum-attested reads with Byzantine detection, SLO accounting |
 //! | [`experiments`] | regeneration of every paper figure/table |
 
 #![forbid(unsafe_code)]

@@ -1,0 +1,102 @@
+//! Property-based quorum acceptance tests: with any `f` liars among a
+//! `2f + 1` panel whose `f + 1` honest attestations mutually overlap, the
+//! accepted estimate can never be dragged outside the honest envelope.
+//!
+//! The argument the property checks end-to-end: any Marzullo agreement
+//! with support `f + 1` must count at least one honest interval among its
+//! supporters (there are only `f` liars), and the agreement region is
+//! contained in every supporting interval — so the accepted center lies
+//! inside some honest interval no matter what the liars claim.
+
+use proptest::prelude::*;
+use triad_tt::service::{decide, AttestSample};
+use triad_tt::sim::{SimDuration, SimTime};
+use triad_tt::wire::TimeReading;
+
+/// An attestation sample with a zero round-trip at `now`, so projection
+/// is the identity and the property exercises the overlap rule alone.
+fn sample(node: usize, estimate_ns: u64, uncertainty_ns: u64, now: SimTime) -> AttestSample {
+    AttestSample {
+        node,
+        reading: TimeReading { estimate_ns, uncertainty_ns, degraded: false },
+        sent: now,
+        received: now,
+    }
+}
+
+proptest! {
+    /// `f` arbitrary liars among `2f + 1` nodes whose honest majority
+    /// mutually overlaps: the read always accepts, and the accepted
+    /// estimate stays inside the honest envelope.
+    #[test]
+    fn liars_never_shift_the_accepted_estimate_outside_the_honest_envelope(
+        f in 1usize..4,
+        common_ns in 1_000_000_000u64..1_000_000_000_000,
+        // Per-node honest half-widths and in-interval offsets; sliced to
+        // the f+1 honest nodes below. Every honest interval is built to
+        // contain `common_ns`, so the honest majority mutually overlaps.
+        uncertainties in proptest::collection::vec(1_000u64..10_000_000, 7..8),
+        offset_fracs in proptest::collection::vec(-1.0f64..1.0, 7..8),
+        // Liar attestations are unconstrained: any estimate up to twice
+        // the honest timescale, any envelope.
+        liar_estimates in proptest::collection::vec(0u64..2_000_000_000_000, 3..4),
+        liar_uncertainties in proptest::collection::vec(0u64..10_000_000, 3..4),
+    ) {
+        let now = SimTime::from_nanos(common_ns);
+        let honest = f + 1;
+        let mut samples = Vec::new();
+        let mut envelope_lo = u64::MAX;
+        let mut envelope_hi = 0u64;
+        for i in 0..honest {
+            let u = uncertainties[i];
+            // |offset| <= u keeps `common_ns` inside [est - u, est + u].
+            let offset = (offset_fracs[i] * u as f64) as i64;
+            let est = common_ns.saturating_add_signed(offset);
+            envelope_lo = envelope_lo.min(est.saturating_sub(u));
+            envelope_hi = envelope_hi.max(est.saturating_add(u));
+            samples.push(sample(i, est, u, now));
+        }
+        for l in 0..f {
+            samples.push(sample(honest + l, liar_estimates[l], liar_uncertainties[l], now));
+        }
+
+        let verdict = decide(&samples, f, now, SimDuration::ZERO);
+        let accepted = verdict.accepted.expect("an overlapping honest majority must accept");
+        prop_assert!(
+            accepted.estimate_ns >= envelope_lo && accepted.estimate_ns <= envelope_hi,
+            "accepted {} escaped the honest envelope [{envelope_lo}, {envelope_hi}]",
+            accepted.estimate_ns
+        );
+        // The liars can at most be flagged, never adopted as the basis of
+        // an agreement that excludes every honest node.
+        let honest_supporters =
+            verdict.supporters.iter().filter(|&&n| n < honest).count();
+        prop_assert!(honest_supporters >= 1, "agreement without any honest supporter");
+    }
+
+    /// With *all* `2f + 1` nodes honest and mutually overlapping, the read
+    /// accepts with zero suspects — the no-false-positive half of the
+    /// detector's confusion matrix, over arbitrary overlap geometry.
+    #[test]
+    fn honest_overlapping_panels_never_raise_suspects(
+        f in 1usize..4,
+        common_ns in 1_000_000_000u64..1_000_000_000_000,
+        uncertainties in proptest::collection::vec(1_000u64..10_000_000, 7..8),
+        offset_fracs in proptest::collection::vec(-1.0f64..1.0, 7..8),
+    ) {
+        let now = SimTime::from_nanos(common_ns);
+        let n = 2 * f + 1;
+        let samples: Vec<AttestSample> = (0..n)
+            .map(|i| {
+                let u = uncertainties[i];
+                let offset = (offset_fracs[i] * u as f64) as i64;
+                sample(i, common_ns.saturating_add_signed(offset), u, now)
+            })
+            .collect();
+        // The strict zero-margin rule: if even it raises no suspects on
+        // honest geometry, any configured margin can only be safer.
+        let verdict = decide(&samples, f, now, SimDuration::ZERO);
+        prop_assert!(verdict.accepted.is_some());
+        prop_assert!(verdict.suspects.is_empty(), "honest panel flagged {:?}", verdict.suspects);
+    }
+}
