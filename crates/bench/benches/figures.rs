@@ -161,7 +161,7 @@ fn e12_resilience(c: &mut Criterion) {
                     DelayAttackMode::FMinus,
                 )))
                 .node_factory(Box::new(move |me, peers| {
-                    Box::new(ResilientNode::new(me, peers, cfg.clone()))
+                    Box::new(runtime::MachineActor::new(ResilientNode::new(me, peers, cfg.clone())))
                 }));
             black_box(run_cluster(builder, 150))
         });

@@ -1,0 +1,30 @@
+//! Live-runtime benchmark: serve round trips over real loopback UDP.
+//!
+//! `live/serve_round_trips` stands up a pre-calibrated single-node live
+//! cluster (one front-end thread, no TA or protocol actors) and drives a
+//! blocking external client through 400 sealed serve round trips — real
+//! sockets, real syscalls, real thread scheduling. Baseline:
+//! `results/BENCH_live.json`.
+//!
+//! Wall time per iteration is dominated by kernel scheduling on shared
+//! CI hosts, so the sample count is kept low; the regression gate's 15%
+//! tolerance absorbs the remaining run-to-run variance.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use tt_bench::LIVE_LOOPBACK;
+
+fn bench_live_loopback(c: &mut Criterion) {
+    let mut group = c.benchmark_group("live");
+    group.throughput(Throughput::Elements(LIVE_LOOPBACK.events_per_run));
+    group.bench_function("serve_round_trips", |b| {
+        b.iter(|| black_box((LIVE_LOOPBACK.run)()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = live;
+    config = Criterion::default().sample_size(10);
+    targets = bench_live_loopback
+);
+criterion_main!(live);

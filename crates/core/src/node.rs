@@ -1,7 +1,8 @@
 //! The Triad node state machine.
 //!
-//! Implements the protocol of §III-B/C/D as an actor over the composed
-//! runtime:
+//! Implements the protocol of §III-B/C/D as a pure [`proto::Machine`]
+//! over the effect boundary — the same type runs under the deterministic
+//! simulation (`runtime::MachineActor`) and the live UDP runtime:
 //!
 //! - **FullCalib**: regression-based TSC frequency calibration against the
 //!   TA, followed by a time-reference exchange;
@@ -18,12 +19,10 @@
 //! what the F– attack exploits.
 
 use netsim::Addr;
-use rand::rngs::StdRng;
-use sim::{Actor, Ctx, EventId, SimDuration, SimTime};
+use proto::{ClockState, Env, Input, Machine, AEX_RESUME_TOKEN, TA_ADDR};
+use sim::{SimDuration, SimTime};
 use trace::NodeStateTag;
 use wire::Message;
-
-use runtime::{open_delivery, send_message, ClockState, SysEvent, World};
 
 use crate::calib::Calibrator;
 use crate::config::TriadConfig;
@@ -46,7 +45,13 @@ struct PendingProbe {
     /// 0-based retransmission count within the current burst (0 = the
     /// initial transmission); drives the backoff schedule.
     attempt: u32,
-    retry: EventId,
+}
+
+impl PendingProbe {
+    /// The retry timer armed for this probe (nonce-unique).
+    fn retry_token(&self) -> u64 {
+        TOKEN_PROBE_RETRY | self.nonce
+    }
 }
 
 /// An in-flight peer untainting round.
@@ -55,7 +60,13 @@ struct PendingPeerRound {
     nonce: u64,
     responses: Vec<u64>,
     expected: usize,
-    timeout: EventId,
+}
+
+impl PendingPeerRound {
+    /// The round timeout armed for this round (nonce-unique).
+    fn timeout_token(&self) -> u64 {
+        TOKEN_PEER_TIMEOUT | self.nonce
+    }
 }
 
 /// One Triad protocol node (the paper's primary artifact).
@@ -67,7 +78,7 @@ pub struct TriadNode {
     cfg: TriadConfig,
     state: NodeStateTag,
 
-    // Clock: anchor + calibrated frequency (mirrored into `World::clocks`).
+    // Clock: anchor + calibrated frequency (published through the Env).
     anchor_ref_ns: f64,
     anchor_ticks: u64,
     f_calib_hz: Option<f64>,
@@ -145,11 +156,6 @@ impl TriadNode {
         }
     }
 
-    /// The node's network address.
-    pub fn addr(&self) -> Addr {
-        self.me
-    }
-
     /// The node's current protocol state.
     pub fn state(&self) -> NodeStateTag {
         self.state
@@ -184,8 +190,8 @@ impl TriadNode {
         Some(self.anchor_ref_ns + dticks / f * 1e9)
     }
 
-    fn publish_clock(&self, world: &mut World) {
-        world.clocks[self.index] = ClockState {
+    fn publish_clock(&self, env: &mut dyn Env) {
+        env.publish_clock(ClockState {
             valid: self.clock_valid,
             anchor_ref_ns: self.anchor_ref_ns,
             anchor_ticks: self.anchor_ticks,
@@ -193,14 +199,14 @@ impl TriadNode {
             // Base Triad nodes carry no self-assessed error bound; the
             // serving layer substitutes its configured floor.
             uncertainty_ns: 0.0,
-        };
+        });
     }
 
-    fn set_anchor(&mut self, world: &mut World, ticks: u64, ref_ns: f64) {
+    fn set_anchor(&mut self, env: &mut dyn Env, ticks: u64, ref_ns: f64) {
         self.anchor_ref_ns = ref_ns;
         self.anchor_ticks = ticks;
         self.clock_valid = true;
-        self.publish_clock(world);
+        self.publish_clock(env);
     }
 
     /// A monotonic timestamp for serving (peer or client). `None` while
@@ -220,9 +226,9 @@ impl TriadNode {
     // State transitions
     // ------------------------------------------------------------------
 
-    fn enter_state(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, state: NodeStateTag) {
+    fn enter_state(&mut self, env: &mut dyn Env, state: NodeStateTag) {
         self.state = state;
-        let now = ctx.now();
+        let now = env.now();
         // Track degradation staleness: the reading uncertainty widens from
         // the instant the node left OK and collapses when it returns.
         match state {
@@ -233,7 +239,7 @@ impl TriadNode {
                 }
             }
         }
-        ctx.world.recorder.node_mut(self.index).states.enter(now, state);
+        env.recorder().node_mut(self.index).states.enter(now, state);
     }
 
     fn fresh_nonce(&mut self) -> u64 {
@@ -245,29 +251,29 @@ impl TriadNode {
     // Calibration (FullCalib / RefCalib)
     // ------------------------------------------------------------------
 
-    fn begin_full_calibration(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
-        self.enter_state(ctx, NodeStateTag::FullCalib);
+    fn begin_full_calibration(&mut self, env: &mut dyn Env) {
+        self.enter_state(env, NodeStateTag::FullCalib);
         self.calibrator.reset();
-        self.abandon_probe(ctx);
-        self.abandon_peer_round(ctx);
-        self.send_next_speed_probe(ctx);
+        self.abandon_probe(env);
+        self.abandon_peer_round(env);
+        self.send_next_speed_probe(env);
     }
 
-    fn abandon_probe(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+    fn abandon_probe(&mut self, env: &mut dyn Env) {
         if let Some(p) = self.pending_probe.take() {
-            ctx.cancel(p.retry);
+            env.cancel_timer(p.retry_token());
         }
     }
 
-    fn abandon_peer_round(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+    fn abandon_peer_round(&mut self, env: &mut dyn Env) {
         if let Some(p) = self.pending_peer.take() {
-            ctx.cancel(p.timeout);
+            env.cancel_timer(p.timeout_token());
         }
     }
 
-    fn send_next_speed_probe(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+    fn send_next_speed_probe(&mut self, env: &mut dyn Env) {
         match self.calibrator.next_probe() {
-            Some(idx) => self.send_probe(ctx, Some(idx)),
+            Some(idx) => self.send_probe(env, Some(idx)),
             None => {
                 // Speed fit complete → F^calib, then anchor the reference.
                 let fit = self
@@ -275,56 +281,44 @@ impl TriadNode {
                     .fit()
                     .expect("complete calibrator always has two distinct sleeps");
                 self.f_calib_hz = Some(fit.slope);
-                let now = ctx.now();
-                ctx.world.recorder.node_mut(self.index).calibrations_hz.push((now, fit.slope));
-                self.send_probe(ctx, None);
+                let now = env.now();
+                env.recorder().node_mut(self.index).calibrations_hz.push((now, fit.slope));
+                self.send_probe(env, None);
             }
         }
     }
 
-    fn send_probe(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, sleep_idx: Option<usize>) {
-        self.send_probe_attempt(ctx, sleep_idx, 0);
+    fn send_probe(&mut self, env: &mut dyn Env, sleep_idx: Option<usize>) {
+        self.send_probe_attempt(env, sleep_idx, 0);
     }
 
-    fn send_probe_attempt(
-        &mut self,
-        ctx: &mut Ctx<'_, World, SysEvent>,
-        sleep_idx: Option<usize>,
-        attempt: u32,
-    ) {
-        self.abandon_probe(ctx);
+    fn send_probe_attempt(&mut self, env: &mut dyn Env, sleep_idx: Option<usize>, attempt: u32) {
+        self.abandon_probe(env);
         let nonce = self.fresh_nonce();
         let sleep = match sleep_idx {
             Some(idx) => self.calibrator.sleep_at(idx),
             None => SimDuration::ZERO,
         };
         let msg = Message::CalibrationRequest { nonce, sleep_ns: sleep.as_nanos() };
-        send_message(ctx, self.me, World::TA_ADDR, &msg);
-        let backoff = self.cfg.probe_retry.backoff(self.cfg.probe_timeout, attempt, ctx.rng);
-        let retry = ctx.schedule_in(sleep + backoff, SysEvent::timer(TOKEN_PROBE_RETRY | nonce));
-        let now = ctx.now();
+        env.send(TA_ADDR, &msg);
+        let backoff = self.cfg.probe_retry.backoff(self.cfg.probe_timeout, attempt, env.rng());
+        env.set_timer(TOKEN_PROBE_RETRY | nonce, sleep + backoff);
         self.pending_probe = Some(PendingProbe {
             nonce,
             sleep_idx,
-            send_ticks: ctx.world.read_tsc(self.me, now),
+            send_ticks: env.read_tsc(),
             aex_count_at_send: self.aex_count,
             attempt,
-            retry,
         });
     }
 
     /// The retry timer fired and the probe is still outstanding: the TA
     /// did not answer in time. Retransmit under the backoff schedule, or
     /// trip the circuit breaker after too many consecutive failures.
-    fn on_probe_timeout(
-        &mut self,
-        ctx: &mut Ctx<'_, World, SysEvent>,
-        sleep_idx: Option<usize>,
-        attempt: u32,
-    ) {
+    fn on_probe_timeout(&mut self, env: &mut dyn Env, sleep_idx: Option<usize>, attempt: u32) {
         self.probe_failures = self.probe_failures.saturating_add(1);
-        let now = ctx.now();
-        ctx.world.recorder.node_mut(self.index).probe_retries.increment(now);
+        let now = env.now();
+        env.recorder().node_mut(self.index).probe_retries.increment(now);
 
         if let Some(breaker) = self.cfg.ta_breaker {
             if self.probe_failures >= breaker.failure_threshold {
@@ -333,11 +327,8 @@ impl TriadNode {
                 self.pending_probe = None;
                 self.breaker_open = true;
                 self.breaker_stage = Some(sleep_idx);
-                ctx.world.recorder.node_mut(self.index).breaker_opens.increment(now);
-                ctx.schedule_in(
-                    breaker.cooldown,
-                    SysEvent::timer(TOKEN_BREAKER | (self.timer_epoch & TOKEN_MASK)),
-                );
+                env.recorder().node_mut(self.index).breaker_opens.increment(now);
+                env.set_timer(TOKEN_BREAKER | (self.timer_epoch & TOKEN_MASK), breaker.cooldown);
                 return;
             }
         }
@@ -347,49 +338,44 @@ impl TriadNode {
         // job, not the retry schedule's.
         let next = if self.cfg.probe_retry.exhausted(next) { 0 } else { next };
         self.pending_probe = None;
-        self.send_probe_attempt(ctx, sleep_idx, next);
+        self.send_probe_attempt(env, sleep_idx, next);
     }
 
     /// Cooldown elapsed: close the breaker and send one trial probe. A
     /// further timeout re-opens it immediately (`probe_failures` is still
     /// above the threshold).
-    fn on_breaker_timer(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+    fn on_breaker_timer(&mut self, env: &mut dyn Env) {
         if !self.breaker_open {
             return;
         }
         self.breaker_open = false;
         let stage = self.breaker_stage.take().expect("open breaker remembers its probe stage");
-        self.send_probe_attempt(ctx, stage, 0);
+        self.send_probe_attempt(env, stage, 0);
     }
 
-    fn on_calibration_response(
-        &mut self,
-        ctx: &mut Ctx<'_, World, SysEvent>,
-        nonce: u64,
-        ta_time_ns: u64,
-    ) {
+    fn on_calibration_response(&mut self, env: &mut dyn Env, nonce: u64, ta_time_ns: u64) {
         let Some(probe) = self.pending_probe else { return };
         if probe.nonce != nonce {
             return; // stale response from an abandoned probe
         }
         self.pending_probe = None;
-        ctx.cancel(probe.retry);
+        env.cancel_timer(probe.retry_token());
         self.probe_failures = 0; // the TA is reachable again
 
-        let now = ctx.now();
-        let recv_ticks = ctx.world.read_tsc(self.me, now);
+        let now = env.now();
+        let recv_ticks = env.read_tsc();
 
         if probe.aex_count_at_send != self.aex_count {
             // The monitoring thread was interrupted mid-round-trip: the
             // measurement is unbounded and must be discarded (§III-C).
-            self.send_probe(ctx, probe.sleep_idx);
+            self.send_probe(env, probe.sleep_idx);
             return;
         }
 
         match probe.sleep_idx {
             Some(idx) => {
                 self.calibrator.record(idx, recv_ticks.saturating_sub(probe.send_ticks));
-                self.send_next_speed_probe(ctx);
+                self.send_next_speed_probe(env);
             }
             None => {
                 // Time-reference exchange: anchor to the TA timestamp.
@@ -400,10 +386,10 @@ impl TriadNode {
                 } else {
                     0.0
                 };
-                self.set_anchor(ctx.world, recv_ticks, ta_time_ns as f64 + correction_ns);
-                ctx.world.recorder.node_mut(self.index).ta_references.increment(now);
+                self.set_anchor(env, recv_ticks, ta_time_ns as f64 + correction_ns);
+                env.recorder().node_mut(self.index).ta_references.increment(now);
                 self.taint_snapshot_ns = None;
-                self.enter_state(ctx, NodeStateTag::Ok);
+                self.enter_state(env, NodeStateTag::Ok);
             }
         }
     }
@@ -412,10 +398,10 @@ impl TriadNode {
     // AEX handling (taint / resume / peer untainting)
     // ------------------------------------------------------------------
 
-    fn on_aex(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+    fn on_aex(&mut self, env: &mut dyn Env) {
         self.aex_count += 1;
-        let now = ctx.now();
-        ctx.world.recorder.node_mut(self.index).aex_events.increment(now);
+        let now = env.now();
+        env.recorder().node_mut(self.index).aex_events.increment(now);
         // The monitoring window is severed.
         self.monitor_anchor = None;
 
@@ -424,22 +410,22 @@ impl TriadNode {
                 // Probes self-invalidate via the AEX counter; nothing else.
             }
             NodeStateTag::Ok => {
-                let ticks = ctx.world.read_tsc(self.me, now);
+                let ticks = env.read_tsc();
                 self.taint_snapshot_ns = self.clock_ns(ticks);
-                self.enter_state(ctx, NodeStateTag::Tainted);
-                self.schedule_resume(ctx);
+                self.enter_state(env, NodeStateTag::Tainted);
+                self.schedule_resume(env);
             }
             NodeStateTag::RefCalib => {
                 // Abandon the TA exchange; go back through the peer path
                 // once the enclave resumes.
-                self.abandon_probe(ctx);
-                self.enter_state(ctx, NodeStateTag::Tainted);
-                self.schedule_resume(ctx);
+                self.abandon_probe(env);
+                self.enter_state(env, NodeStateTag::Tainted);
+                self.schedule_resume(env);
             }
             NodeStateTag::Tainted => {
                 // Another AEX while already tainted (e.g. machine-wide on
                 // top of core-local): ensure a resume is on its way.
-                self.schedule_resume(ctx);
+                self.schedule_resume(env);
             }
             // A crashed platform takes no interrupts (events are ignored
             // before dispatch); unreachable, but harmless.
@@ -447,45 +433,35 @@ impl TriadNode {
         }
     }
 
-    fn schedule_resume(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+    fn schedule_resume(&mut self, env: &mut dyn Env) {
         if self.resume_pending {
             return;
         }
         self.resume_pending = true;
-        let pause = self.cfg.aex_pause.sample(ctx.rng);
-        ctx.schedule_in(pause, SysEvent::AexResume);
+        let pause = self.cfg.aex_pause.sample(env.rng());
+        env.set_timer(AEX_RESUME_TOKEN, pause);
     }
 
-    fn on_resume(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+    fn on_resume(&mut self, env: &mut dyn Env) {
         self.resume_pending = false;
         if self.state != NodeStateTag::Tainted {
             return;
         }
-        self.abandon_peer_round(ctx);
+        self.abandon_peer_round(env);
         if self.peers.is_empty() {
-            self.fall_back_to_ta(ctx);
+            self.fall_back_to_ta(env);
             return;
         }
         let nonce = self.fresh_nonce();
         for &peer in &self.peers.clone() {
-            send_message(ctx, self.me, peer, &Message::PeerTimeRequest { nonce });
+            env.send(peer, &Message::PeerTimeRequest { nonce });
         }
-        let timeout =
-            ctx.schedule_in(self.cfg.peer_timeout, SysEvent::timer(TOKEN_PEER_TIMEOUT | nonce));
-        self.pending_peer = Some(PendingPeerRound {
-            nonce,
-            responses: Vec::new(),
-            expected: self.peers.len(),
-            timeout,
-        });
+        env.set_timer(TOKEN_PEER_TIMEOUT | nonce, self.cfg.peer_timeout);
+        self.pending_peer =
+            Some(PendingPeerRound { nonce, responses: Vec::new(), expected: self.peers.len() });
     }
 
-    fn on_peer_response(
-        &mut self,
-        ctx: &mut Ctx<'_, World, SysEvent>,
-        nonce: u64,
-        timestamp_ns: u64,
-    ) {
+    fn on_peer_response(&mut self, env: &mut dyn Env, nonce: u64, timestamp_ns: u64) {
         let Some(round) = self.pending_peer.as_mut() else { return };
         if round.nonce != nonce {
             return;
@@ -493,55 +469,55 @@ impl TriadNode {
         round.responses.push(timestamp_ns);
         if round.responses.len() == round.expected {
             let round = self.pending_peer.take().expect("round present");
-            ctx.cancel(round.timeout);
-            self.conclude_peer_round(ctx, round.responses);
+            env.cancel_timer(round.timeout_token());
+            self.conclude_peer_round(env, round.responses);
         }
     }
 
-    fn on_peer_timeout(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, nonce: u64) {
+    fn on_peer_timeout(&mut self, env: &mut dyn Env, nonce: u64) {
         let Some(round) = self.pending_peer.as_ref() else { return };
         if round.nonce != nonce {
             return;
         }
         let round = self.pending_peer.take().expect("round present");
-        self.conclude_peer_round(ctx, round.responses);
+        self.conclude_peer_round(env, round.responses);
     }
 
     /// Applies the §III-D untaint policy to the collected peer timestamps.
-    fn conclude_peer_round(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, responses: Vec<u64>) {
+    fn conclude_peer_round(&mut self, env: &mut dyn Env, responses: Vec<u64>) {
         if self.state != NodeStateTag::Tainted {
             return;
         }
         if responses.is_empty() {
-            self.fall_back_to_ta(ctx);
+            self.fall_back_to_ta(env);
             return;
         }
-        let now = ctx.now();
-        let ticks = ctx.world.read_tsc(self.me, now);
+        let now = env.now();
+        let ticks = env.read_tsc();
         let local_pre_interrupt =
             self.taint_snapshot_ns.expect("tainted state always has a snapshot");
         let best_peer = *responses.iter().max().expect("non-empty");
 
         if (best_peer as f64) > local_pre_interrupt {
             // "the incoming timestamp becomes the new reference"
-            self.set_anchor(ctx.world, ticks, best_peer as f64);
-            ctx.world.recorder.node_mut(self.index).peer_adoptions.increment(now);
+            self.set_anchor(env, ticks, best_peer as f64);
+            env.recorder().node_mut(self.index).peer_adoptions.increment(now);
         } else {
             // "the local timestamp is increased by the smallest possible
             // increment to ensure monotonicity"
             let own_now = self.clock_ns(ticks).expect("clock was valid before the taint");
             if own_now <= local_pre_interrupt {
-                self.set_anchor(ctx.world, ticks, local_pre_interrupt + self.cfg.epsilon_ns as f64);
+                self.set_anchor(env, ticks, local_pre_interrupt + self.cfg.epsilon_ns as f64);
             }
         }
-        ctx.world.recorder.node_mut(self.index).peer_untaints.increment(now);
+        env.recorder().node_mut(self.index).peer_untaints.increment(now);
         self.taint_snapshot_ns = None;
-        self.enter_state(ctx, NodeStateTag::Ok);
+        self.enter_state(env, NodeStateTag::Ok);
     }
 
-    fn fall_back_to_ta(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
-        self.enter_state(ctx, NodeStateTag::RefCalib);
-        self.send_probe(ctx, None);
+    fn fall_back_to_ta(&mut self, env: &mut dyn Env) {
+        self.enter_state(env, NodeStateTag::RefCalib);
+        self.send_probe(env, None);
     }
 
     // ------------------------------------------------------------------
@@ -552,14 +528,14 @@ impl TriadNode {
     /// `last_served_ns` survives — Triad seals the monotonic serving floor
     /// outside the enclave, so a rebooted node can never serve a timestamp
     /// below one it already handed out.
-    fn on_crash(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+    fn on_crash(&mut self, env: &mut dyn Env) {
         if self.crashed {
             return;
         }
         self.crashed = true;
         self.timer_epoch += 1; // orphan every timer chain armed pre-crash
-        self.abandon_probe(ctx);
-        self.abandon_peer_round(ctx);
+        self.abandon_probe(env);
+        self.abandon_peer_round(env);
         self.calibrator.reset();
         self.f_calib_hz = None;
         self.clock_valid = false;
@@ -571,47 +547,44 @@ impl TriadNode {
         self.probe_failures = 0;
         self.breaker_open = false;
         self.breaker_stage = None;
-        self.publish_clock(ctx.world);
-        let now = ctx.now();
-        ctx.world.recorder.node_mut(self.index).crashes.increment(now);
-        self.enter_state(ctx, NodeStateTag::Crashed);
+        self.publish_clock(env);
+        let now = env.now();
+        env.recorder().node_mut(self.index).crashes.increment(now);
+        self.enter_state(env, NodeStateTag::Crashed);
     }
 
     /// The platform boots again: the node must re-earn a clock through a
     /// full calibration before serving anything.
-    fn on_restart(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+    fn on_restart(&mut self, env: &mut dyn Env) {
         if !self.crashed {
             return;
         }
         self.crashed = false;
-        self.begin_full_calibration(ctx);
-        self.schedule_monitor(ctx);
+        self.begin_full_calibration(env);
+        self.schedule_monitor(env);
     }
 
     fn monitor_token(&self) -> u64 {
         TOKEN_MONITOR | (self.timer_epoch & TOKEN_MASK)
     }
 
-    fn schedule_monitor(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
-        ctx.schedule_in(self.cfg.monitor_interval, SysEvent::timer(self.monitor_token()));
+    fn schedule_monitor(&mut self, env: &mut dyn Env) {
+        env.set_timer(self.monitor_token(), self.cfg.monitor_interval);
     }
 
     // ------------------------------------------------------------------
     // INC monitoring (§IV-A.1)
     // ------------------------------------------------------------------
 
-    fn on_monitor_tick(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
-        let now = ctx.now();
-        let ticks_now = ctx.world.read_tsc(self.me, now);
+    fn on_monitor_tick(&mut self, env: &mut dyn Env) {
+        let now = env.now();
+        let ticks_now = env.read_tsc();
         if let Some((t0, ticks0)) = self.monitor_anchor {
             // Only windows with uninterrupted execution count; AEXs clear
             // the anchor.
             let wall = now - t0;
             if !wall.is_zero() {
-                let host = ctx.world.host(self.me);
-                let core_hz = host.core.current_hz();
-                let inc_model = host.inc.clone();
-                let inc = sample_inc(&inc_model, wall, core_hz, ctx.rng);
+                let inc = env.sample_inc(wall);
                 if inc > 0 {
                     let tsc_delta = ticks_now.saturating_sub(ticks0);
                     let ratio = tsc_delta as f64 / inc as f64;
@@ -623,8 +596,8 @@ impl TriadNode {
                                 self.monitor_detections += 1;
                                 self.inc_ticks_per_inc = None;
                                 self.monitor_anchor = Some((now, ticks_now));
-                                self.schedule_monitor(ctx);
-                                self.begin_full_calibration(ctx);
+                                self.schedule_monitor(env);
+                                self.begin_full_calibration(env);
                                 return;
                             }
                         }
@@ -633,7 +606,7 @@ impl TriadNode {
             }
         }
         self.monitor_anchor = Some((now, ticks_now));
-        self.schedule_monitor(ctx);
+        self.schedule_monitor(env);
     }
 
     // ------------------------------------------------------------------
@@ -653,16 +626,12 @@ impl TriadNode {
     /// Serves a degraded-tolerant reading: unlike the all-or-nothing
     /// client API, a Tainted or recalibrating node keeps answering with a
     /// monotonic estimate and an honestly widening uncertainty bound.
-    fn serve_reading(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) -> Option<wire::TimeReading> {
-        let now = ctx.now();
-        let ticks = ctx.world.read_tsc(self.me, now);
+    fn serve_reading(&mut self, env: &mut dyn Env) -> Option<wire::TimeReading> {
+        let now = env.now();
+        let ticks = env.read_tsc();
         let estimate_ns = self.serve_ns(ticks)?;
         let uncertainty_ns = self.reading_uncertainty_ns(now);
-        ctx.world
-            .recorder
-            .node_mut(self.index)
-            .reading_uncertainty_ns
-            .push(now, uncertainty_ns as f64);
+        env.recorder().node_mut(self.index).reading_uncertainty_ns.push(now, uncertainty_ns as f64);
         Some(wire::TimeReading {
             estimate_ns,
             uncertainty_ns,
@@ -674,45 +643,33 @@ impl TriadNode {
     // Message dispatch
     // ------------------------------------------------------------------
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, from: Addr, msg: Message) {
+    fn on_message(&mut self, env: &mut dyn Env, from: Addr, msg: Message) {
         match msg {
-            Message::CalibrationResponse { nonce, ta_time_ns, .. } if from == World::TA_ADDR => {
-                self.on_calibration_response(ctx, nonce, ta_time_ns);
+            Message::CalibrationResponse { nonce, ta_time_ns, .. } if from == TA_ADDR => {
+                self.on_calibration_response(env, nonce, ta_time_ns);
             }
             Message::PeerTimeRequest { nonce } if self.state == NodeStateTag::Ok => {
-                let now = ctx.now();
-                let ticks = ctx.world.read_tsc(self.me, now);
+                let ticks = env.read_tsc();
                 if let Some(ts) = self.serve_ns(ticks) {
-                    send_message(
-                        ctx,
-                        self.me,
-                        from,
-                        &Message::PeerTimeResponse { nonce, timestamp_ns: ts },
-                    );
+                    env.send(from, &Message::PeerTimeResponse { nonce, timestamp_ns: ts });
                 }
             }
             // Tainted/calibrating nodes stay silent (§III-D).
             Message::PeerTimeResponse { nonce, timestamp_ns } => {
-                self.on_peer_response(ctx, nonce, timestamp_ns);
+                self.on_peer_response(env, nonce, timestamp_ns);
             }
             Message::ClientTimeRequest { nonce } => {
                 let timestamp_ns = if self.state == NodeStateTag::Ok {
-                    let now = ctx.now();
-                    let ticks = ctx.world.read_tsc(self.me, now);
+                    let ticks = env.read_tsc();
                     self.serve_ns(ticks)
                 } else {
                     None
                 };
-                send_message(
-                    ctx,
-                    self.me,
-                    from,
-                    &Message::ClientTimeResponse { nonce, timestamp_ns },
-                );
+                env.send(from, &Message::ClientTimeResponse { nonce, timestamp_ns });
             }
             Message::TimeReadingRequest { nonce } => {
-                let reading = self.serve_reading(ctx);
-                send_message(ctx, self.me, from, &Message::TimeReadingResponse { nonce, reading });
+                let reading = self.serve_reading(env);
+                env.send(from, &Message::TimeReadingResponse { nonce, reading });
             }
             // Hardened-protocol messages are ignored by the base node.
             _ => {}
@@ -720,64 +677,56 @@ impl TriadNode {
     }
 }
 
-/// Simulates the monitoring thread's INC count over an uninterrupted wall
-/// window (the enclave counts for real; the simulation evaluates the
-/// model).
-fn sample_inc(model: &tsc::IncModel, wall: SimDuration, core_hz: f64, rng: &mut StdRng) -> u64 {
-    model.measure(wall, core_hz, rng)
-}
-
-impl Actor<World, SysEvent> for TriadNode {
-    fn on_start(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
-        let now = ctx.now();
-        ctx.world.recorder.node_mut(self.index).states.enter(now, NodeStateTag::FullCalib);
-        self.begin_full_calibration(ctx);
-        self.schedule_monitor(ctx);
+impl Machine for TriadNode {
+    fn addr(&self) -> Addr {
+        self.me
     }
 
-    fn on_event(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, ev: SysEvent) {
-        if self.crashed {
-            // A downed platform processes nothing; only a restart fault
-            // event brings it back.
-            if ev == SysEvent::Restart {
-                self.on_restart(ctx);
-            }
-            return;
-        }
-        match ev {
-            SysEvent::Aex { .. } => self.on_aex(ctx),
-            SysEvent::AexResume => self.on_resume(ctx),
-            SysEvent::Crash => self.on_crash(ctx),
-            SysEvent::Restart => {} // not crashed: spurious restart
-            SysEvent::Deliver(d) => {
-                if let Some(msg) = open_delivery(ctx.world, self.me, &d) {
-                    self.on_message(ctx, d.src, msg);
-                }
-            }
-            SysEvent::Timer { token } => {
+    fn node_index(&self) -> Option<usize> {
+        Some(self.index)
+    }
+
+    fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    fn on_start(&mut self, env: &mut dyn Env) {
+        let now = env.now();
+        env.recorder().node_mut(self.index).states.enter(now, NodeStateTag::FullCalib);
+        self.begin_full_calibration(env);
+        self.schedule_monitor(env);
+    }
+
+    fn on_input(&mut self, env: &mut dyn Env, input: Input) {
+        match input {
+            Input::Aex { .. } => self.on_aex(env),
+            Input::AexResume => self.on_resume(env),
+            Input::Crash => self.on_crash(env),
+            Input::Restart => self.on_restart(env),
+            Input::Message { src, msg } => self.on_message(env, src, msg),
+            Input::Timer { token } => {
                 if token & TOKEN_MONITOR != 0 {
                     if token & TOKEN_MASK == self.timer_epoch & TOKEN_MASK {
-                        self.on_monitor_tick(ctx);
+                        self.on_monitor_tick(env);
                     }
                     // Stale chains from before a crash die out silently.
                 } else if token & TOKEN_BREAKER != 0 {
                     if token & TOKEN_MASK == self.timer_epoch & TOKEN_MASK {
-                        self.on_breaker_timer(ctx);
+                        self.on_breaker_timer(env);
                     }
                 } else if token & TOKEN_PEER_TIMEOUT != 0 {
-                    self.on_peer_timeout(ctx, token & TOKEN_MASK);
+                    self.on_peer_timeout(env, token & TOKEN_MASK);
                 } else if token & TOKEN_PROBE_RETRY != 0 {
                     let nonce = token & TOKEN_MASK;
                     if let Some(probe) = self.pending_probe {
                         if probe.nonce == nonce {
                             // Response lost (attacker-dropped, or the TA is
                             // down): retry under the backoff schedule.
-                            self.on_probe_timeout(ctx, probe.sleep_idx, probe.attempt);
+                            self.on_probe_timeout(env, probe.sleep_idx, probe.attempt);
                         }
                     }
                 }
             }
-            SysEvent::Sample => {}
         }
     }
 }

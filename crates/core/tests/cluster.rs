@@ -4,7 +4,7 @@
 
 use authority::TimeAuthority;
 use netsim::{Addr, DelayModel, Network};
-use runtime::{EnvDriver, Host, Sampler, SysEvent, World};
+use runtime::{EnvDriver, Host, MachineActor, Sampler, SysEvent, World};
 use sim::{SimDuration, SimTime, Simulation};
 use trace::NodeStateTag;
 use triad_core::{TriadConfig, TriadNode};
@@ -29,7 +29,7 @@ fn build_cluster(
     for i in 0..n {
         let me = World::node_addr(i);
         let peers: Vec<Addr> = (0..n).filter(|&j| j != i).map(World::node_addr).collect();
-        let node = TriadNode::new(me, peers, TriadConfig::default());
+        let node = MachineActor::new(TriadNode::new(me, peers, TriadConfig::default()));
         node_ids.push(s.add_actor(Box::new(node)));
     }
     s.add_actor(Box::new(EnvDriver::new(node_ids.clone(), per_node_aex, machine_aex)));

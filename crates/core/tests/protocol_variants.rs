@@ -4,7 +4,7 @@
 use authority::TimeAuthority;
 use harness::ClusterBuilder;
 use netsim::{Addr, DelayModel, Network};
-use runtime::{EnvDriver, Host, Sampler, World};
+use runtime::{EnvDriver, Host, MachineActor, Sampler, World};
 use sim::{SimDuration, SimTime, Simulation};
 use triad_core::{TriadConfig, TriadNode};
 use tsc::{TriadLike, PAPER_TSC_HZ};
@@ -193,8 +193,16 @@ fn manual_wiring_without_the_harness_works() {
     world.provision_all_keys(57);
     let mut s = Simulation::new(world, 57);
     let ta = s.add_actor(Box::new(TimeAuthority::new()));
-    let n1 = s.add_actor(Box::new(TriadNode::new(Addr(1), vec![Addr(2)], TriadConfig::default())));
-    let n2 = s.add_actor(Box::new(TriadNode::new(Addr(2), vec![Addr(1)], TriadConfig::default())));
+    let n1 = s.add_actor(Box::new(MachineActor::new(TriadNode::new(
+        Addr(1),
+        vec![Addr(2)],
+        TriadConfig::default(),
+    ))));
+    let n2 = s.add_actor(Box::new(MachineActor::new(TriadNode::new(
+        Addr(2),
+        vec![Addr(1)],
+        TriadConfig::default(),
+    ))));
     s.add_actor(Box::new(EnvDriver::new(
         vec![n1, n2],
         vec![Some(Box::new(TriadLike::default())), Some(Box::new(TriadLike::default()))],

@@ -17,7 +17,9 @@
 use authority::TimeAuthority;
 use faults::{FaultDriver, FaultPlan};
 use netsim::{Addr, DelayModel, Interceptor, Network};
-use runtime::{ClientMode, ClientWorkload, EnvDriver, Host, Sampler, SysEvent, World};
+use runtime::{
+    ClientMode, ClientWorkload, EnvDriver, Host, MachineActor, Sampler, SysEvent, World,
+};
 use sim::{Actor, SimDuration, Simulation};
 use triad_core::{TriadConfig, TriadNode};
 use tsc::AexModel;
@@ -247,7 +249,7 @@ impl ClusterBuilder {
             let peers: Vec<Addr> = (0..n).filter(|&j| j != i).map(World::node_addr).collect();
             let actor: Box<dyn Actor<World, SysEvent>> = match node_factory.as_mut() {
                 Some(f) => f(me, peers),
-                None => Box::new(TriadNode::new(me, peers, config.clone())),
+                None => Box::new(MachineActor::new(TriadNode::new(me, peers, config.clone()))),
             };
             node_ids.push(simulation.add_actor(actor));
         }

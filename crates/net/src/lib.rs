@@ -1,0 +1,46 @@
+//! # net — the live UDP runtime
+//!
+//! The second driver of the dual-runtime architecture: the *same*
+//! [`proto::Machine`] state machines the discrete-event simulation runs
+//! (`triad_core::TriadNode`, the serving front-ends, the load and quorum
+//! generators) execute here against real loopback sockets, OS monotonic
+//! clocks, and per-machine threads — no simulated time anywhere.
+//!
+//! Layer map:
+//!
+//! - [`clock`] — the shared monotonic epoch plus synthetic TSC/INC
+//!   counters (real tick sources with node-specific true frequencies for
+//!   calibration to discover).
+//! - [`timers`] — a monotonic-deadline timer queue with the same
+//!   tombstone-cancellation semantics as the simulation's timer wheel.
+//! - [`frame`] — the datagram format: cleartext `src` routing prefix,
+//!   AEAD-sealed payload bound to the (src, dst) link.
+//! - [`board`] — cross-thread observables (published clocks, node
+//!   states, shutdown), the live stand-in for the simulation `World`.
+//! - [`driver`] — the per-machine socket/timer loop interpreting
+//!   [`proto::Env`] effects inline.
+//! - [`authority`] — the live Time Authority service.
+//! - [`cluster`] — orchestration: sockets, key derivation, scoped
+//!   threads, and the joined [`LiveReport`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod authority;
+pub mod board;
+pub mod clock;
+pub mod cluster;
+pub mod driver;
+pub mod frame;
+pub mod timers;
+
+pub use authority::{run_authority, AuthorityReport};
+pub use board::Boards;
+pub use clock::{MonoClock, SyntheticInc, SyntheticTsc};
+pub use cluster::{
+    client_addr, frontend_addr, generator_addr, run_cluster, LiveClient, LiveHandle, LiveReport,
+    LiveSpec,
+};
+pub use driver::{run_machine, DriverConfig};
+pub use frame::{frame_into, parse_frame};
+pub use timers::TimerQueue;

@@ -15,7 +15,7 @@ use std::collections::VecDeque;
 /// # Examples
 ///
 /// ```
-/// use runtime::NonceWindow;
+/// use proto::NonceWindow;
 ///
 /// let mut w = NonceWindow::new(2);
 /// w.insert(1);

@@ -3,12 +3,12 @@
 use std::collections::VecDeque;
 
 use netsim::Addr;
-use sim::{Actor, Ctx, EventId, SimDuration};
+use proto::{ClockState, Env, Input, Machine, AEX_RESUME_TOKEN, TA_ADDR};
+use sim::SimDuration;
 use stats::{marzullo, Interval, Regression};
 use trace::NodeStateTag;
 use wire::Message;
 
-use runtime::{open_delivery, send_message, ClockState, SysEvent, World};
 use triad_core::Calibrator;
 
 use crate::config::ResilientConfig;
@@ -39,7 +39,12 @@ struct PendingProbe {
     aex_count_at_send: u64,
     /// 0-based retransmission count within the current burst.
     attempt: u32,
-    retry: EventId,
+}
+
+impl PendingProbe {
+    fn retry_token(&self) -> u64 {
+        TOKEN_PROBE_RETRY | self.nonce
+    }
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -48,7 +53,12 @@ struct IntervalRound {
     proactive: bool,
     responses: Vec<(Addr, u64, u64)>, // (peer, timestamp_ns, error_bound_ns)
     expected: usize,
-    timeout: EventId,
+}
+
+impl IntervalRound {
+    fn timeout_token(&self) -> u64 {
+        TOKEN_PEER_TIMEOUT | self.nonce
+    }
 }
 
 /// A Triad node hardened with the countermeasures of §V.
@@ -66,6 +76,9 @@ struct IntervalRound {
 ///   (NTP-style), erasing a poisoned initial calibration;
 /// - TA anchors with implausible round-trips are retried, bounding
 ///   message-delay offsets.
+///
+/// Like the base node, it is a pure [`proto::Machine`]: the same type runs
+/// under the simulation driver and the live UDP runtime.
 #[derive(Debug)]
 pub struct ResilientNode {
     me: Addr,
@@ -181,8 +194,8 @@ impl ResilientNode {
         Some(self.anchor_ref_ns + (ticks as f64 - self.anchor_ticks as f64) / f * 1e9)
     }
 
-    fn publish_clock(&self, world: &mut World) {
-        world.clocks[self.index] = ClockState {
+    fn publish_clock(&self, env: &mut dyn Env) {
+        env.publish_clock(ClockState {
             valid: self.clock_valid,
             anchor_ref_ns: self.anchor_ref_ns,
             anchor_ticks: self.anchor_ticks,
@@ -190,14 +203,14 @@ impl ResilientNode {
             // Publish the §V self-assessed bound evaluated at the anchor;
             // readers widen it for staleness (ticks since the anchor).
             uncertainty_ns: self.error_bound_ns(self.anchor_ticks),
-        };
+        });
     }
 
-    fn set_anchor(&mut self, world: &mut World, ticks: u64, ref_ns: f64) {
+    fn set_anchor(&mut self, env: &mut dyn Env, ticks: u64, ref_ns: f64) {
         self.anchor_ref_ns = ref_ns;
         self.anchor_ticks = ticks;
         self.clock_valid = true;
-        self.publish_clock(world);
+        self.publish_clock(env);
     }
 
     fn serve_ns(&mut self, ticks: u64) -> Option<u64> {
@@ -222,9 +235,9 @@ impl ResilientNode {
             + self.extra_bound_ns
     }
 
-    fn enter_state(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, state: NodeStateTag) {
+    fn enter_state(&mut self, env: &mut dyn Env, state: NodeStateTag) {
         self.state = state;
-        let now = ctx.now();
+        let now = env.now();
         match state {
             NodeStateTag::Ok => self.degraded_since = None,
             _ => {
@@ -233,7 +246,7 @@ impl ResilientNode {
                 }
             }
         }
-        ctx.world.recorder.node_mut(self.index).states.enter(now, state);
+        env.recorder().node_mut(self.index).states.enter(now, state);
     }
 
     fn fresh_nonce(&mut self) -> u64 {
@@ -245,59 +258,42 @@ impl ResilientNode {
     // TA exchanges
     // ------------------------------------------------------------------
 
-    fn abandon_probe(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+    fn abandon_probe(&mut self, env: &mut dyn Env) {
         if let Some(p) = self.pending_probe.take() {
-            ctx.cancel(p.retry);
+            env.cancel_timer(p.retry_token());
         }
     }
 
-    fn send_probe(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, kind: ProbeKind) {
-        self.send_probe_attempt(ctx, kind, 0);
+    fn send_probe(&mut self, env: &mut dyn Env, kind: ProbeKind) {
+        self.send_probe_attempt(env, kind, 0);
     }
 
-    fn send_probe_attempt(
-        &mut self,
-        ctx: &mut Ctx<'_, World, SysEvent>,
-        kind: ProbeKind,
-        attempt: u32,
-    ) {
-        self.abandon_probe(ctx);
+    fn send_probe_attempt(&mut self, env: &mut dyn Env, kind: ProbeKind, attempt: u32) {
+        self.abandon_probe(env);
         let nonce = self.fresh_nonce();
         let sleep = match kind {
             ProbeKind::Speed(idx) => self.calibrator.sleep_at(idx),
             _ => SimDuration::ZERO,
         };
-        send_message(
-            ctx,
-            self.me,
-            World::TA_ADDR,
-            &Message::CalibrationRequest { nonce, sleep_ns: sleep.as_nanos() },
-        );
+        env.send(TA_ADDR, &Message::CalibrationRequest { nonce, sleep_ns: sleep.as_nanos() });
         let backoff =
-            self.cfg.base.probe_retry.backoff(self.cfg.base.probe_timeout, attempt, ctx.rng);
-        let retry = ctx.schedule_in(sleep + backoff, SysEvent::timer(TOKEN_PROBE_RETRY | nonce));
-        let now = ctx.now();
+            self.cfg.base.probe_retry.backoff(self.cfg.base.probe_timeout, attempt, env.rng());
+        env.set_timer(TOKEN_PROBE_RETRY | nonce, sleep + backoff);
         self.pending_probe = Some(PendingProbe {
             nonce,
             kind,
-            send_ticks: ctx.world.read_tsc(self.me, now),
+            send_ticks: env.read_tsc(),
             aex_count_at_send: self.aex_count,
             attempt,
-            retry,
         });
     }
 
     /// The retry timer fired with the probe still outstanding: retransmit
     /// under the backoff schedule, or trip the circuit breaker.
-    fn on_probe_timeout(
-        &mut self,
-        ctx: &mut Ctx<'_, World, SysEvent>,
-        kind: ProbeKind,
-        attempt: u32,
-    ) {
+    fn on_probe_timeout(&mut self, env: &mut dyn Env, kind: ProbeKind, attempt: u32) {
         self.probe_failures = self.probe_failures.saturating_add(1);
-        let now = ctx.now();
-        ctx.world.recorder.node_mut(self.index).probe_retries.increment(now);
+        let now = env.now();
+        env.recorder().node_mut(self.index).probe_retries.increment(now);
 
         if let Some(breaker) = self.cfg.base.ta_breaker {
             if self.probe_failures >= breaker.failure_threshold {
@@ -306,65 +302,56 @@ impl ResilientNode {
                 // the breaker only queues stages the protocol depends on.
                 self.breaker_open = true;
                 self.breaker_kind = Some(kind);
-                ctx.world.recorder.node_mut(self.index).breaker_opens.increment(now);
-                ctx.schedule_in(
-                    breaker.cooldown,
-                    SysEvent::timer(TOKEN_BREAKER | (self.timer_epoch & TOKEN_MASK)),
-                );
+                env.recorder().node_mut(self.index).breaker_opens.increment(now);
+                env.set_timer(TOKEN_BREAKER | (self.timer_epoch & TOKEN_MASK), breaker.cooldown);
                 return;
             }
         }
         let next = attempt + 1;
         let next = if self.cfg.base.probe_retry.exhausted(next) { 0 } else { next };
         self.pending_probe = None;
-        self.send_probe_attempt(ctx, kind, next);
+        self.send_probe_attempt(env, kind, next);
     }
 
     /// Cooldown elapsed: half-open trial probe for the stalled stage.
-    fn on_breaker_timer(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+    fn on_breaker_timer(&mut self, env: &mut dyn Env) {
         if !self.breaker_open {
             return;
         }
         self.breaker_open = false;
         let kind = self.breaker_kind.take().expect("open breaker remembers its probe kind");
-        self.send_probe_attempt(ctx, kind, 0);
+        self.send_probe_attempt(env, kind, 0);
     }
 
-    fn send_next_speed_probe(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+    fn send_next_speed_probe(&mut self, env: &mut dyn Env) {
         match self.calibrator.next_probe() {
-            Some(idx) => self.send_probe(ctx, ProbeKind::Speed(idx)),
+            Some(idx) => self.send_probe(env, ProbeKind::Speed(idx)),
             None => {
                 let fit = self.calibrator.fit().expect("two distinct sleeps configured");
                 self.f_calib_hz = Some(fit.slope);
-                let now = ctx.now();
-                ctx.world.recorder.node_mut(self.index).calibrations_hz.push((now, fit.slope));
-                self.send_probe(ctx, ProbeKind::Anchor);
+                let now = env.now();
+                env.recorder().node_mut(self.index).calibrations_hz.push((now, fit.slope));
+                self.send_probe(env, ProbeKind::Anchor);
             }
         }
     }
 
-    fn on_calibration_response(
-        &mut self,
-        ctx: &mut Ctx<'_, World, SysEvent>,
-        nonce: u64,
-        ta_time_ns: u64,
-    ) {
+    fn on_calibration_response(&mut self, env: &mut dyn Env, nonce: u64, ta_time_ns: u64) {
         let Some(probe) = self.pending_probe else { return };
         if probe.nonce != nonce {
             return;
         }
         self.pending_probe = None;
-        ctx.cancel(probe.retry);
+        env.cancel_timer(probe.retry_token());
         self.probe_failures = 0; // the TA is reachable again
 
-        let now = ctx.now();
-        let recv_ticks = ctx.world.read_tsc(self.me, now);
+        let recv_ticks = env.read_tsc();
 
         if probe.aex_count_at_send != self.aex_count {
             // Interrupted round-trip: unusable measurement.
             match probe.kind {
-                ProbeKind::Speed(idx) => self.send_probe(ctx, ProbeKind::Speed(idx)),
-                ProbeKind::Anchor => self.send_probe(ctx, ProbeKind::Anchor),
+                ProbeKind::Speed(idx) => self.send_probe(env, ProbeKind::Speed(idx)),
+                ProbeKind::Anchor => self.send_probe(env, ProbeKind::Anchor),
                 ProbeKind::CrossCheck => {} // next periodic check will retry
             }
             return;
@@ -373,17 +360,17 @@ impl ResilientNode {
         match probe.kind {
             ProbeKind::Speed(idx) => {
                 self.calibrator.record(idx, recv_ticks.saturating_sub(probe.send_ticks));
-                self.send_next_speed_probe(ctx);
+                self.send_next_speed_probe(env);
             }
             ProbeKind::Anchor | ProbeKind::CrossCheck => {
-                self.accept_ta_sample(ctx, probe.kind, probe.send_ticks, recv_ticks, ta_time_ns);
+                self.accept_ta_sample(env, probe.kind, probe.send_ticks, recv_ticks, ta_time_ns);
             }
         }
     }
 
     fn accept_ta_sample(
         &mut self,
-        ctx: &mut Ctx<'_, World, SysEvent>,
+        env: &mut dyn Env,
         kind: ProbeKind,
         send_ticks: u64,
         recv_ticks: u64,
@@ -398,8 +385,8 @@ impl ResilientNode {
             // exchange: retry rather than anchor to a skewed estimate.
             self.rtt_rejects += 1;
             match kind {
-                ProbeKind::Anchor => self.send_probe(ctx, ProbeKind::Anchor),
-                ProbeKind::CrossCheck => self.send_probe(ctx, ProbeKind::CrossCheck),
+                ProbeKind::Anchor => self.send_probe(env, ProbeKind::Anchor),
+                ProbeKind::CrossCheck => self.send_probe(env, ProbeKind::CrossCheck),
                 ProbeKind::Speed(_) => unreachable!("speed probes skip the RTT filter"),
             }
             return;
@@ -414,16 +401,16 @@ impl ResilientNode {
         while self.ta_samples.len() > self.cfg.ntp_max_samples {
             self.ta_samples.pop_front();
         }
-        self.maybe_refit(ctx);
+        self.maybe_refit(env);
 
-        let now = ctx.now();
+        let now = env.now();
         match kind {
             ProbeKind::Anchor => {
-                self.set_anchor(ctx.world, recv_ticks, est_ns);
+                self.set_anchor(env, recv_ticks, est_ns);
                 self.extra_bound_ns = sample_extra_bound;
-                ctx.world.recorder.node_mut(self.index).ta_references.increment(now);
+                env.recorder().node_mut(self.index).ta_references.increment(now);
                 self.taint_snapshot_ns = None;
-                self.enter_state(ctx, NodeStateTag::Ok);
+                self.enter_state(env, NodeStateTag::Ok);
             }
             ProbeKind::CrossCheck => {
                 let own = self.clock_ns(recv_ticks).expect("checked only while serving");
@@ -432,10 +419,10 @@ impl ResilientNode {
                     // The clock fell outside its own confidence interval
                     // against the root of trust: correct it.
                     let target = est_ns.max(self.last_served_ns + self.cfg.base.epsilon_ns as f64);
-                    self.set_anchor(ctx.world, recv_ticks, target);
+                    self.set_anchor(env, recv_ticks, target);
                     self.extra_bound_ns = sample_extra_bound;
-                    ctx.world.recorder.node_mut(self.index).corrections.increment(now);
-                    ctx.world.recorder.node_mut(self.index).ta_references.increment(now);
+                    env.recorder().node_mut(self.index).corrections.increment(now);
+                    env.recorder().node_mut(self.index).ta_references.increment(now);
                 }
             }
             ProbeKind::Speed(_) => unreachable!("handled by caller"),
@@ -447,7 +434,7 @@ impl ResilientNode {
     /// ticks replaces the short-window bootstrap estimate (§V: "calibration
     /// phases with short-duration measurements ... can be replaced by more
     /// mature synchronization protocols like NTPsec").
-    fn maybe_refit(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+    fn maybe_refit(&mut self, env: &mut dyn Env) {
         if !self.cfg.enable_long_window || self.ta_samples.len() < 8 {
             return;
         }
@@ -475,18 +462,17 @@ impl ResilientNode {
         if first_refit || changed_ppm > 1.0 {
             // Re-anchor at the current instant so the slope change does not
             // retroactively move the clock.
-            let now = ctx.now();
-            let ticks = ctx.world.read_tsc(self.me, now);
+            let ticks = env.read_tsc();
             if let Some(own) = self.clock_ns(ticks) {
                 self.f_calib_hz = Some(f_new);
-                self.set_anchor(ctx.world, ticks, own);
+                self.set_anchor(env, ticks, own);
             } else {
                 self.f_calib_hz = Some(f_new);
             }
             self.drift_bound_ppm = self.cfg.drift_bound_ppm_refined;
             self.refined = true;
-            let refit_at = ctx.now();
-            ctx.world.recorder.node_mut(self.index).calibrations_hz.push((refit_at, f_new));
+            let refit_at = env.now();
+            env.recorder().node_mut(self.index).calibrations_hz.push((refit_at, f_new));
         }
     }
 
@@ -494,84 +480,81 @@ impl ResilientNode {
     // AEX / taint
     // ------------------------------------------------------------------
 
-    fn on_aex(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+    fn on_aex(&mut self, env: &mut dyn Env) {
         self.aex_count += 1;
-        let now = ctx.now();
-        ctx.world.recorder.node_mut(self.index).aex_events.increment(now);
+        let now = env.now();
+        env.recorder().node_mut(self.index).aex_events.increment(now);
         match self.state {
             NodeStateTag::FullCalib => {}
             NodeStateTag::Ok => {
-                let ticks = ctx.world.read_tsc(self.me, now);
+                let ticks = env.read_tsc();
                 self.taint_snapshot_ns = self.clock_ns(ticks);
-                self.enter_state(ctx, NodeStateTag::Tainted);
-                self.schedule_resume(ctx);
+                self.enter_state(env, NodeStateTag::Tainted);
+                self.schedule_resume(env);
             }
             NodeStateTag::RefCalib => {
-                self.abandon_probe(ctx);
-                self.enter_state(ctx, NodeStateTag::Tainted);
-                self.schedule_resume(ctx);
+                self.abandon_probe(env);
+                self.enter_state(env, NodeStateTag::Tainted);
+                self.schedule_resume(env);
             }
-            NodeStateTag::Tainted => self.schedule_resume(ctx),
+            NodeStateTag::Tainted => self.schedule_resume(env),
             // Crashed platforms take no interrupts (events are dropped
             // before dispatch); unreachable, but harmless.
             NodeStateTag::Crashed => {}
         }
     }
 
-    fn schedule_resume(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+    fn schedule_resume(&mut self, env: &mut dyn Env) {
         if self.resume_pending {
             return;
         }
         self.resume_pending = true;
-        let pause = self.cfg.base.aex_pause.sample(ctx.rng);
-        ctx.schedule_in(pause, SysEvent::AexResume);
+        let pause = self.cfg.base.aex_pause.sample(env.rng());
+        env.set_timer(AEX_RESUME_TOKEN, pause);
     }
 
-    fn on_resume(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+    fn on_resume(&mut self, env: &mut dyn Env) {
         self.resume_pending = false;
         if self.state != NodeStateTag::Tainted {
             return;
         }
-        self.start_round(ctx, false);
+        self.start_round(env, false);
     }
 
     // ------------------------------------------------------------------
     // Interval rounds (peer consistency)
     // ------------------------------------------------------------------
 
-    fn abandon_round(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+    fn abandon_round(&mut self, env: &mut dyn Env) {
         if let Some(r) = self.pending_round.take() {
-            ctx.cancel(r.timeout);
+            env.cancel_timer(r.timeout_token());
         }
     }
 
-    fn start_round(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, proactive: bool) {
-        self.abandon_round(ctx);
+    fn start_round(&mut self, env: &mut dyn Env, proactive: bool) {
+        self.abandon_round(env);
         if self.peers.is_empty() {
             if !proactive {
-                self.fall_back_to_ta(ctx);
+                self.fall_back_to_ta(env);
             }
             return;
         }
         let nonce = self.fresh_nonce();
         for &peer in &self.peers {
-            send_message(ctx, self.me, peer, &Message::IntervalRequest { nonce });
+            env.send(peer, &Message::IntervalRequest { nonce });
         }
-        let timeout = ctx
-            .schedule_in(self.cfg.base.peer_timeout, SysEvent::timer(TOKEN_PEER_TIMEOUT | nonce));
+        env.set_timer(TOKEN_PEER_TIMEOUT | nonce, self.cfg.base.peer_timeout);
         self.pending_round = Some(IntervalRound {
             nonce,
             proactive,
             responses: Vec::new(),
             expected: self.peers.len(),
-            timeout,
         });
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn on_interval_response(
         &mut self,
-        ctx: &mut Ctx<'_, World, SysEvent>,
+        env: &mut dyn Env,
         from: Addr,
         nonce: u64,
         timestamp_ns: u64,
@@ -587,24 +570,24 @@ impl ResilientNode {
         }
         if round.responses.len() == round.expected {
             let round = self.pending_round.take().expect("present");
-            ctx.cancel(round.timeout);
-            self.conclude_round(ctx, round);
+            env.cancel_timer(round.timeout_token());
+            self.conclude_round(env, round);
         }
     }
 
-    fn on_round_timeout(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, nonce: u64) {
+    fn on_round_timeout(&mut self, env: &mut dyn Env, nonce: u64) {
         let Some(round) = self.pending_round.as_ref() else { return };
         if round.nonce != nonce {
             return;
         }
         let round = self.pending_round.take().expect("present");
-        self.conclude_round(ctx, round);
+        self.conclude_round(env, round);
     }
 
-    fn conclude_round(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, round: IntervalRound) {
+    fn conclude_round(&mut self, env: &mut dyn Env, round: IntervalRound) {
         if round.proactive {
             if self.state == NodeStateTag::Ok {
-                self.apply_consistency(ctx, &round.responses, true);
+                self.apply_consistency(env, &round.responses, true);
             }
             return;
         }
@@ -612,34 +595,34 @@ impl ResilientNode {
             return;
         }
         if round.responses.is_empty() {
-            self.fall_back_to_ta(ctx);
+            self.fall_back_to_ta(env);
             return;
         }
         if self.cfg.enable_chimer_filter {
-            let resolved = self.apply_consistency(ctx, &round.responses, false);
+            let resolved = self.apply_consistency(env, &round.responses, false);
             if resolved {
-                let now = ctx.now();
-                ctx.world.recorder.node_mut(self.index).peer_untaints.increment(now);
+                let now = env.now();
+                env.recorder().node_mut(self.index).peer_untaints.increment(now);
                 self.taint_snapshot_ns = None;
-                self.enter_state(ctx, NodeStateTag::Ok);
+                self.enter_state(env, NodeStateTag::Ok);
             } else {
-                self.fall_back_to_ta(ctx);
+                self.fall_back_to_ta(env);
             }
         } else {
             // Base Triad policy (ablation baseline).
-            let now = ctx.now();
-            let ticks = ctx.world.read_tsc(self.me, now);
+            let now = env.now();
+            let ticks = env.read_tsc();
             let local = self.taint_snapshot_ns.expect("tainted has a snapshot");
             let best = round.responses.iter().map(|&(_, ts, _)| ts).max().expect("non-empty");
             if (best as f64) > local {
-                self.set_anchor(ctx.world, ticks, best as f64);
-                ctx.world.recorder.node_mut(self.index).peer_adoptions.increment(now);
+                self.set_anchor(env, ticks, best as f64);
+                env.recorder().node_mut(self.index).peer_adoptions.increment(now);
             } else if self.clock_ns(ticks).expect("valid before taint") <= local {
-                self.set_anchor(ctx.world, ticks, local + self.cfg.base.epsilon_ns as f64);
+                self.set_anchor(env, ticks, local + self.cfg.base.epsilon_ns as f64);
             }
-            ctx.world.recorder.node_mut(self.index).peer_untaints.increment(now);
+            env.recorder().node_mut(self.index).peer_untaints.increment(now);
             self.taint_snapshot_ns = None;
-            self.enter_state(ctx, NodeStateTag::Ok);
+            self.enter_state(env, NodeStateTag::Ok);
         }
     }
 
@@ -648,12 +631,12 @@ impl ResilientNode {
     /// not our clock needed correcting).
     fn apply_consistency(
         &mut self,
-        ctx: &mut Ctx<'_, World, SysEvent>,
+        env: &mut dyn Env,
         responses: &[(Addr, u64, u64)],
         proactive: bool,
     ) -> bool {
-        let now = ctx.now();
-        let ticks = ctx.world.read_tsc(self.me, now);
+        let now = env.now();
+        let ticks = env.read_tsc();
         // A small allowance for the network delay on peer responses.
         let net_margin_ns = self.cfg.base.peer_timeout.as_nanos() as f64;
 
@@ -678,7 +661,7 @@ impl ResilientNode {
         // them here.
         let rejected = total - agreement.support;
         for _ in 0..rejected {
-            ctx.world.recorder.node_mut(self.index).chimer_rejections.increment(now);
+            env.recorder().node_mut(self.index).chimer_rejections.increment(now);
         }
         // §V: publish the true-chimer set ("Nodes may publish ... their
         // list of true-chimers"). Peers excluded by all of their peers
@@ -699,7 +682,7 @@ impl ResilientNode {
             let announcement =
                 Message::ChimerAnnouncement { epoch: self.epoch, chimers: chimer_ids };
             for &peer in &self.peers {
-                send_message(ctx, self.me, peer, &announcement);
+                env.send(peer, &announcement);
             }
         }
         if agreement.chimers.contains(&own_idx) {
@@ -709,15 +692,15 @@ impl ResilientNode {
         // Outvoted: correct toward the agreement midpoint, monotonic.
         let target =
             agreement.interval.center().max(self.last_served_ns + self.cfg.base.epsilon_ns as f64);
-        self.set_anchor(ctx.world, ticks, target);
-        ctx.world.recorder.node_mut(self.index).corrections.increment(now);
+        self.set_anchor(env, ticks, target);
+        env.recorder().node_mut(self.index).corrections.increment(now);
         let _ = proactive;
         true
     }
 
-    fn fall_back_to_ta(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
-        self.enter_state(ctx, NodeStateTag::RefCalib);
-        self.send_probe(ctx, ProbeKind::Anchor);
+    fn fall_back_to_ta(&mut self, env: &mut dyn Env) {
+        self.enter_state(env, NodeStateTag::RefCalib);
+        self.send_probe(env, ProbeKind::Anchor);
     }
 
     // ------------------------------------------------------------------
@@ -726,14 +709,14 @@ impl ResilientNode {
 
     /// The platform goes down: every piece of enclave state is lost except
     /// the sealed monotonic serving floor (`last_served_ns`).
-    fn on_crash(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+    fn on_crash(&mut self, env: &mut dyn Env) {
         if self.crashed {
             return;
         }
         self.crashed = true;
         self.timer_epoch += 1;
-        self.abandon_probe(ctx);
-        self.abandon_round(ctx);
+        self.abandon_probe(env);
+        self.abandon_round(env);
         self.calibrator.reset();
         self.f_calib_hz = None;
         self.clock_valid = false;
@@ -749,29 +732,26 @@ impl ResilientNode {
         self.probe_failures = 0;
         self.breaker_open = false;
         self.breaker_kind = None;
-        self.publish_clock(ctx.world);
-        let now = ctx.now();
-        ctx.world.recorder.node_mut(self.index).crashes.increment(now);
-        self.enter_state(ctx, NodeStateTag::Crashed);
+        self.publish_clock(env);
+        let now = env.now();
+        env.recorder().node_mut(self.index).crashes.increment(now);
+        self.enter_state(env, NodeStateTag::Crashed);
     }
 
     /// The platform boots again: full recalibration before serving, fresh
     /// periodic timer chains.
-    fn on_restart(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+    fn on_restart(&mut self, env: &mut dyn Env) {
         if !self.crashed {
             return;
         }
         self.crashed = false;
-        self.enter_state(ctx, NodeStateTag::FullCalib);
-        self.send_next_speed_probe(ctx);
+        self.enter_state(env, NodeStateTag::FullCalib);
+        self.send_next_speed_probe(env);
         if self.cfg.enable_deadline {
-            ctx.schedule_in(self.cfg.deadline, SysEvent::timer(self.epoch_token(TOKEN_DEADLINE)));
+            env.set_timer(self.epoch_token(TOKEN_DEADLINE), self.cfg.deadline);
         }
         if self.cfg.enable_ta_cross_check {
-            ctx.schedule_in(
-                self.cfg.ta_check_interval,
-                SysEvent::timer(self.epoch_token(TOKEN_TA_CHECK)),
-            );
+            env.set_timer(self.epoch_token(TOKEN_TA_CHECK), self.cfg.ta_check_interval);
         }
     }
 
@@ -791,20 +771,16 @@ impl ResilientNode {
     /// standing self-assessed error bound plus a widening term while
     /// degraded, so clients watch the bound grow under faults and snap
     /// back after recalibration.
-    fn serve_reading(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) -> Option<wire::TimeReading> {
-        let now = ctx.now();
-        let ticks = ctx.world.read_tsc(self.me, now);
+    fn serve_reading(&mut self, env: &mut dyn Env) -> Option<wire::TimeReading> {
+        let now = env.now();
+        let ticks = env.read_tsc();
         let mut uncertainty = self.error_bound_ns(ticks);
         if let Some(t0) = self.degraded_since {
             uncertainty += self.cfg.base.reading_drift_ppm * 1e-6 * (now - t0).as_nanos() as f64;
         }
         let estimate_ns = self.serve_ns(ticks)?;
         let uncertainty_ns = uncertainty as u64;
-        ctx.world
-            .recorder
-            .node_mut(self.index)
-            .reading_uncertainty_ns
-            .push(now, uncertainty_ns as f64);
+        env.recorder().node_mut(self.index).reading_uncertainty_ns.push(now, uncertainty_ns as f64);
         Some(wire::TimeReading {
             estimate_ns,
             uncertainty_ns,
@@ -816,169 +792,138 @@ impl ResilientNode {
     // Messages
     // ------------------------------------------------------------------
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, from: Addr, msg: Message) {
+    fn on_message(&mut self, env: &mut dyn Env, from: Addr, msg: Message) {
         match msg {
-            Message::CalibrationResponse { nonce, ta_time_ns, .. }
-                if from == World::TA_ADDR => {
-                    self.on_calibration_response(ctx, nonce, ta_time_ns);
-                }
-            Message::IntervalRequest { nonce }
-                if self.state == NodeStateTag::Ok => {
-                    let now = ctx.now();
-                    let ticks = ctx.world.read_tsc(self.me, now);
-                    let bound = self.error_bound_ns(ticks) as u64;
-                    if let Some(ts) = self.serve_ns(ticks) {
-                        send_message(
-                            ctx,
-                            self.me,
-                            from,
-                            &Message::IntervalResponse {
-                                nonce,
-                                timestamp_ns: ts,
-                                error_bound_ns: bound,
-                                tainted: false,
-                            },
-                        );
-                    }
-                }
-            Message::IntervalResponse { nonce, timestamp_ns, error_bound_ns, tainted } => {
-                self.on_interval_response(
-                    ctx,
-                    from,
-                    nonce,
-                    timestamp_ns,
-                    error_bound_ns,
-                    tainted,
-                );
+            Message::CalibrationResponse { nonce, ta_time_ns, .. } if from == TA_ADDR => {
+                self.on_calibration_response(env, nonce, ta_time_ns);
             }
-            Message::ChimerAnnouncement { chimers, .. }
-                if self.cfg.enable_gossip => {
-                    let me_id = wire::NodeId(self.me.0);
-                    if !chimers.contains(&me_id) {
-                        let now = ctx.now();
-                        ctx.world.recorder.node_mut(self.index).gossip_alerts.increment(now);
-                        self.gossip_suspicion += 1;
-                        if self.gossip_suspicion as usize >= self.peers.len().max(1) {
-                            self.gossip_suspicion = 0;
-                            // Every peer thinks our clock is off: verify
-                            // against the root of trust right away.
-                            if self.state == NodeStateTag::Ok && self.pending_probe.is_none() {
-                                self.send_probe(ctx, ProbeKind::CrossCheck);
-                            }
-                        }
-                    } else {
+            Message::IntervalRequest { nonce } if self.state == NodeStateTag::Ok => {
+                let ticks = env.read_tsc();
+                let bound = self.error_bound_ns(ticks) as u64;
+                if let Some(ts) = self.serve_ns(ticks) {
+                    env.send(
+                        from,
+                        &Message::IntervalResponse {
+                            nonce,
+                            timestamp_ns: ts,
+                            error_bound_ns: bound,
+                            tainted: false,
+                        },
+                    );
+                }
+            }
+            Message::IntervalResponse { nonce, timestamp_ns, error_bound_ns, tainted } => {
+                self.on_interval_response(env, from, nonce, timestamp_ns, error_bound_ns, tainted);
+            }
+            Message::ChimerAnnouncement { chimers, .. } if self.cfg.enable_gossip => {
+                let me_id = wire::NodeId(self.me.0);
+                if !chimers.contains(&me_id) {
+                    let now = env.now();
+                    env.recorder().node_mut(self.index).gossip_alerts.increment(now);
+                    self.gossip_suspicion += 1;
+                    if self.gossip_suspicion as usize >= self.peers.len().max(1) {
                         self.gossip_suspicion = 0;
+                        // Every peer thinks our clock is off: verify
+                        // against the root of trust right away.
+                        if self.state == NodeStateTag::Ok && self.pending_probe.is_none() {
+                            self.send_probe(env, ProbeKind::CrossCheck);
+                        }
                     }
+                } else {
+                    self.gossip_suspicion = 0;
                 }
-            Message::PeerTimeRequest { nonce }
-                // Base-protocol peers may coexist in mixed clusters.
-                if self.state == NodeStateTag::Ok => {
-                    let now = ctx.now();
-                    let ticks = ctx.world.read_tsc(self.me, now);
-                    if let Some(ts) = self.serve_ns(ticks) {
-                        send_message(
-                            ctx,
-                            self.me,
-                            from,
-                            &Message::PeerTimeResponse { nonce, timestamp_ns: ts },
-                        );
-                    }
+            }
+            // Base-protocol peers may coexist in mixed clusters.
+            Message::PeerTimeRequest { nonce } if self.state == NodeStateTag::Ok => {
+                let ticks = env.read_tsc();
+                if let Some(ts) = self.serve_ns(ticks) {
+                    env.send(from, &Message::PeerTimeResponse { nonce, timestamp_ns: ts });
                 }
+            }
             Message::ClientTimeRequest { nonce } => {
                 let timestamp_ns = if self.state == NodeStateTag::Ok {
-                    let now = ctx.now();
-                    let ticks = ctx.world.read_tsc(self.me, now);
+                    let ticks = env.read_tsc();
                     self.serve_ns(ticks)
                 } else {
                     None
                 };
-                send_message(
-                    ctx,
-                    self.me,
-                    from,
-                    &Message::ClientTimeResponse { nonce, timestamp_ns },
-                );
+                env.send(from, &Message::ClientTimeResponse { nonce, timestamp_ns });
             }
             Message::TimeReadingRequest { nonce } => {
-                let reading = self.serve_reading(ctx);
-                send_message(ctx, self.me, from, &Message::TimeReadingResponse { nonce, reading });
+                let reading = self.serve_reading(env);
+                env.send(from, &Message::TimeReadingResponse { nonce, reading });
             }
             _ => {}
         }
     }
 }
 
-impl Actor<World, SysEvent> for ResilientNode {
-    fn on_start(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
-        let now = ctx.now();
-        ctx.world.recorder.node_mut(self.index).states.enter(now, NodeStateTag::FullCalib);
-        self.send_next_speed_probe(ctx);
+impl Machine for ResilientNode {
+    fn addr(&self) -> Addr {
+        self.me
+    }
+
+    fn node_index(&self) -> Option<usize> {
+        Some(self.index)
+    }
+
+    fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    fn on_start(&mut self, env: &mut dyn Env) {
+        let now = env.now();
+        env.recorder().node_mut(self.index).states.enter(now, NodeStateTag::FullCalib);
+        self.send_next_speed_probe(env);
         if self.cfg.enable_deadline {
-            ctx.schedule_in(self.cfg.deadline, SysEvent::timer(TOKEN_DEADLINE));
+            env.set_timer(TOKEN_DEADLINE, self.cfg.deadline);
         }
         if self.cfg.enable_ta_cross_check {
-            ctx.schedule_in(self.cfg.ta_check_interval, SysEvent::timer(TOKEN_TA_CHECK));
+            env.set_timer(TOKEN_TA_CHECK, self.cfg.ta_check_interval);
         }
     }
 
-    fn on_event(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, ev: SysEvent) {
-        if self.crashed {
-            if ev == SysEvent::Restart {
-                self.on_restart(ctx);
-            }
-            return;
-        }
-        match ev {
-            SysEvent::Aex { .. } => self.on_aex(ctx),
-            SysEvent::AexResume => self.on_resume(ctx),
-            SysEvent::Crash => self.on_crash(ctx),
-            SysEvent::Restart => {} // not crashed: spurious restart
-            SysEvent::Deliver(d) => {
-                if let Some(msg) = open_delivery(ctx.world, self.me, &d) {
-                    self.on_message(ctx, d.src, msg);
-                }
-            }
-            SysEvent::Timer { token } => {
+    fn on_input(&mut self, env: &mut dyn Env, input: Input) {
+        match input {
+            Input::Aex { .. } => self.on_aex(env),
+            Input::AexResume => self.on_resume(env),
+            Input::Crash => self.on_crash(env),
+            Input::Restart => self.on_restart(env),
+            Input::Message { src, msg } => self.on_message(env, src, msg),
+            Input::Timer { token } => {
                 if token & TOKEN_DEADLINE != 0 {
                     if !self.epoch_matches(token) {
                         return; // stale chain from before a crash
                     }
                     if self.state == NodeStateTag::Ok && self.pending_round.is_none() {
-                        let now = ctx.now();
-                        ctx.world.recorder.node_mut(self.index).deadline_checks.increment(now);
-                        self.start_round(ctx, true);
+                        let now = env.now();
+                        env.recorder().node_mut(self.index).deadline_checks.increment(now);
+                        self.start_round(env, true);
                     }
-                    ctx.schedule_in(
-                        self.cfg.deadline,
-                        SysEvent::timer(self.epoch_token(TOKEN_DEADLINE)),
-                    );
+                    env.set_timer(self.epoch_token(TOKEN_DEADLINE), self.cfg.deadline);
                 } else if token & TOKEN_TA_CHECK != 0 {
                     if !self.epoch_matches(token) {
                         return;
                     }
                     if self.state == NodeStateTag::Ok && self.pending_probe.is_none() {
-                        self.send_probe(ctx, ProbeKind::CrossCheck);
+                        self.send_probe(env, ProbeKind::CrossCheck);
                     }
-                    ctx.schedule_in(
-                        self.cfg.ta_check_interval,
-                        SysEvent::timer(self.epoch_token(TOKEN_TA_CHECK)),
-                    );
+                    env.set_timer(self.epoch_token(TOKEN_TA_CHECK), self.cfg.ta_check_interval);
                 } else if token & TOKEN_BREAKER != 0 {
                     if self.epoch_matches(token) {
-                        self.on_breaker_timer(ctx);
+                        self.on_breaker_timer(env);
                     }
                 } else if token & TOKEN_PEER_TIMEOUT != 0 {
-                    self.on_round_timeout(ctx, token & TOKEN_MASK);
+                    self.on_round_timeout(env, token & TOKEN_MASK);
                 } else if token & TOKEN_PROBE_RETRY != 0 {
                     let nonce = token & TOKEN_MASK;
                     if let Some(probe) = self.pending_probe {
                         if probe.nonce == nonce {
-                            self.on_probe_timeout(ctx, probe.kind, probe.attempt);
+                            self.on_probe_timeout(env, probe.kind, probe.attempt);
                         }
                     }
                 }
             }
-            SysEvent::Sample => {}
         }
     }
 }

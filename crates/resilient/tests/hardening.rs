@@ -12,7 +12,7 @@ const NODE3: Addr = Addr(3);
 
 fn resilient_cluster(seed: u64, cfg: ResilientConfig) -> ClusterBuilder {
     ClusterBuilder::new(3, seed).node_factory(Box::new(move |me, peers| {
-        Box::new(ResilientNode::new(me, peers, cfg.clone()))
+        Box::new(runtime::MachineActor::new(ResilientNode::new(me, peers, cfg.clone())))
     }))
 }
 

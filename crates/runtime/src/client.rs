@@ -12,8 +12,8 @@ use wire::Message;
 
 use crate::event::SysEvent;
 use crate::messaging::{open_delivery, send_message};
-use crate::nonce::NonceWindow;
 use crate::world::World;
+use proto::NonceWindow;
 
 /// Which client-facing API the workload exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -23,8 +23,8 @@ mod client;
 mod env;
 mod event;
 mod keys;
+mod machine;
 mod messaging;
-mod nonce;
 mod sampler;
 mod world;
 
@@ -32,7 +32,8 @@ pub use client::{ClientMode, ClientWorkload};
 pub use env::EnvDriver;
 pub use event::SysEvent;
 pub use keys::{link_aad, KeyTable};
+pub use machine::MachineActor;
 pub use messaging::{open_delivery, send_message};
-pub use nonce::NonceWindow;
+pub use proto::NonceWindow;
 pub use sampler::Sampler;
 pub use world::{ClockState, Host, Lie, World};

@@ -10,6 +10,8 @@ use tsc::{CoreFrequency, IncModel, TscClock};
 
 use crate::keys::KeyTable;
 
+pub use proto::{ClockState, Lie};
+
 /// Reusable buffers for the messaging hot path, owned by the world so the
 /// steady state of encode → seal → dispatch → open never allocates.
 #[derive(Debug, Default)]
@@ -42,82 +44,6 @@ impl Host {
             tsc: TscClock::paper_default(),
             core: CoreFrequency::paper_default(),
             inc: IncModel::default(),
-        }
-    }
-}
-
-/// A node's published clock parameters — enough for anyone holding the TSC
-/// value to evaluate the node's current timestamp.
-///
-/// Node actors update this blackboard whenever they re-anchor; the
-/// [`crate::Sampler`] reads it to record drift without poking the actors.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct ClockState {
-    /// Whether the node has completed its first calibration.
-    pub valid: bool,
-    /// Node's reference timestamp (ns) at the anchor instant.
-    pub anchor_ref_ns: f64,
-    /// TSC value at the anchor instant.
-    pub anchor_ticks: u64,
-    /// Calibrated TSC frequency `F^calib` (ticks per second).
-    pub f_calib_hz: f64,
-    /// Self-assessed error half-width (ns) at the anchor instant.
-    ///
-    /// Hardened (§V) nodes publish their interval bound here so the serving
-    /// layer can attest intervals the quorum reader can cross-check; base
-    /// Triad nodes publish 0 ("no self-assessment") and the serving layer
-    /// falls back to its configured floor.
-    pub uncertainty_ns: f64,
-}
-
-impl Default for ClockState {
-    fn default() -> Self {
-        ClockState {
-            valid: false,
-            anchor_ref_ns: 0.0,
-            anchor_ticks: 0,
-            f_calib_hz: 1.0,
-            uncertainty_ns: 0.0,
-        }
-    }
-}
-
-impl ClockState {
-    /// The node's timestamp (ns) when its TSC reads `ticks_now`, or `None`
-    /// before first calibration.
-    pub fn now_ns(&self, ticks_now: u64) -> Option<f64> {
-        if !self.valid {
-            return None;
-        }
-        let dticks = ticks_now as f64 - self.anchor_ticks as f64;
-        Some(self.anchor_ref_ns + dticks / self.f_calib_hz * 1e9)
-    }
-}
-
-/// An active lying-node fault: the node's serving front-end misreports
-/// timestamps by a planned offset while its protocol stack runs honestly.
-///
-/// This models a compromised serving path (the paper's single-node-trust
-/// failure): calibration, peer untainting and the published clock are all
-/// correct, but everything the node *tells clients* is skewed. Installed
-/// and cleared by the fault driver; `None` means the node is honest.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Lie {
-    /// Planned skew applied to served/attested timestamps (ns, signed).
-    pub offset_ns: i64,
-    /// When true the node equivocates: successive answers alternate
-    /// between `+offset_ns` and `-offset_ns` instead of skewing steadily,
-    /// so different clients observe mutually inconsistent clocks.
-    pub equivocate: bool,
-}
-
-impl Lie {
-    /// The skew for the `seq`-th answer this node has served while lying.
-    pub fn skew_ns(&self, seq: u64) -> i64 {
-        if self.equivocate && seq % 2 == 1 {
-            -self.offset_ns
-        } else {
-            self.offset_ns
         }
     }
 }

@@ -76,4 +76,64 @@ proptest! {
         let invalid = ClockState { valid: false, ..c };
         prop_assert!(invalid.now_ns(anchor_ticks).is_none());
     }
+
+    /// A sealed frame truncated anywhere — including below the AEAD tag
+    /// length — is rejected with a clean error, never a panic. Both the
+    /// simulated fabric and the live UDP runtime feed attacker-controlled
+    /// datagram lengths straight into `open`.
+    #[test]
+    fn truncated_sealed_frames_fail_cleanly(
+        key in proptest::array::uniform32(any::<u8>()),
+        payload in proptest::collection::vec(any::<u8>(), 0..128),
+        cut_fraction in 0.0..1.0f64,
+    ) {
+        let mut table = KeyTable::new();
+        table.provision_pair(Addr(1), Addr(2), key);
+        let wire = table.seal(Addr(1), Addr(2), &payload);
+        let cut = ((wire.len() as f64) * cut_fraction) as usize;
+        if cut < wire.len() {
+            prop_assert!(table.open(Addr(2), Addr(1), &wire[..cut]).is_err());
+        }
+    }
+
+    /// Flipping any single bit of a sealed frame — header, ciphertext, or
+    /// tag — breaks authentication: `open` errors cleanly and never
+    /// returns corrupted plaintext.
+    #[test]
+    fn corrupted_sealed_frames_fail_authentication(
+        key in proptest::array::uniform32(any::<u8>()),
+        payload in proptest::collection::vec(any::<u8>(), 1..128),
+        flip_pos in any::<usize>(),
+        flip_bit in 0u8..8,
+    ) {
+        let mut table = KeyTable::new();
+        table.provision_pair(Addr(1), Addr(2), key);
+        let mut wire = table.seal(Addr(1), Addr(2), &payload);
+        let pos = flip_pos % wire.len();
+        wire[pos] ^= 1 << flip_bit;
+        prop_assert!(table.open(Addr(2), Addr(1), &wire).is_err());
+    }
+
+    /// `open_into` writes no partial plaintext on any failure path: a
+    /// rejected frame leaves the caller's scratch buffer untouched, so
+    /// the runtimes never see half-decrypted bytes.
+    #[test]
+    fn open_into_writes_nothing_on_failure(
+        key in proptest::array::uniform32(any::<u8>()),
+        payload in proptest::collection::vec(any::<u8>(), 1..64),
+        garbage in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut table = KeyTable::new();
+        table.provision_pair(Addr(1), Addr(2), key);
+        let wire = table.seal(Addr(1), Addr(2), &payload);
+        let mut out = Vec::new();
+        // Authentic frame round-trips.
+        prop_assert!(table.open_into(Addr(2), Addr(1), &wire, &mut out).is_ok());
+        prop_assert_eq!(&out, &payload);
+        // A rejected frame must not append stale or partial bytes.
+        out.clear();
+        if garbage != wire && table.open_into(Addr(2), Addr(1), &garbage, &mut out).is_err() {
+            prop_assert!(out.is_empty(), "failed open left {} bytes", out.len());
+        }
+    }
 }

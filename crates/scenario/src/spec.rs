@@ -364,7 +364,7 @@ impl ScenarioSpec {
         if let NodeImplSpec::Resilient(cfg) = &self.node_impl {
             let cfg = (**cfg).clone();
             builder = builder.node_factory(Box::new(move |me, peers| {
-                Box::new(ResilientNode::new(me, peers, cfg.clone()))
+                Box::new(runtime::MachineActor::new(ResilientNode::new(me, peers, cfg.clone())))
             }));
         }
         if let Some(attack) = &self.attack {

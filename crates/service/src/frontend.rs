@@ -4,14 +4,14 @@
 use std::collections::VecDeque;
 
 use netsim::Addr;
-use runtime::{open_delivery, send_message, Lie, SysEvent, World};
-use sim::{Actor, Ctx, EventId, SimTime};
+use proto::{Env, Input, Lie, Machine};
+use sim::SimTime;
 use trace::NodeStateTag;
 use wire::{AttestOutcome, Message, ServeOutcome, TimeReading};
 
 use crate::spec::FrontendSpec;
 
-/// Timer token for the batch-window flush (actor-private).
+/// Timer token for the batch-window flush (machine-private).
 const TOKEN_FLUSH: u64 = 1 << 63;
 
 /// What a queued request is asking for.
@@ -53,14 +53,18 @@ struct Queued {
 /// uncertainty widens with time spent degraded, mirroring the hardened
 /// node's staleness-aware readings; all other requests get
 /// [`ServeOutcome::Unavailable`].
+///
+/// Implemented as a pure [`proto::Machine`]: the co-located node's TSC,
+/// published clock, protocol state, and any active lying-node fault all
+/// arrive through the [`Env`] capabilities, so the same front-end serves
+/// under the simulation and the live UDP runtime.
 #[derive(Debug)]
 pub struct Frontend {
     me: Addr,
-    node: Addr,
     node_index: usize,
     spec: FrontendSpec,
     queue: VecDeque<Queued>,
-    window_timer: Option<EventId>,
+    flush_armed: bool,
     /// Earliest instant the next batch may run (pacing: one enclave read
     /// per `batch_window`).
     next_allowed: SimTime,
@@ -83,11 +87,10 @@ impl Frontend {
         assert!(spec.batch_max >= 1, "batches need at least one request");
         Frontend {
             me,
-            node: World::node_addr(node_index),
             node_index,
             spec,
             queue: VecDeque::with_capacity(spec.queue_cap),
-            window_timer: None,
+            flush_armed: false,
             next_allowed: SimTime::ZERO,
             floor_ns: 0,
             degraded_since: None,
@@ -95,25 +98,15 @@ impl Frontend {
         }
     }
 
-    fn node_state(&self, ctx: &Ctx<'_, World, SysEvent>) -> Option<NodeStateTag> {
-        ctx.world.recorder.node(self.node_index).states.state_at(ctx.now())
-    }
-
-    fn on_request(
-        &mut self,
-        ctx: &mut Ctx<'_, World, SysEvent>,
-        client: Addr,
-        nonce: u64,
-        kind: ReqKind,
-    ) {
-        if self.node_state(ctx) == Some(NodeStateTag::Crashed) {
+    fn on_request(&mut self, env: &mut dyn Env, client: Addr, nonce: u64, kind: ReqKind) {
+        if env.node_state(self.node_index) == Some(NodeStateTag::Crashed) {
             // The machine is down: nothing answers. Clients find out the
             // honest way — by timing out and failing over.
             return;
         }
         if self.queue.len() >= self.spec.queue_cap {
-            let now = ctx.now();
-            ctx.world.recorder.node_mut(self.node_index).frontend_shed.increment(now);
+            let now = env.now();
+            env.recorder().node_mut(self.node_index).frontend_shed.increment(now);
             let shed = match kind {
                 ReqKind::Serve { .. } => {
                     Message::ServeResponse { nonce, outcome: ServeOutcome::Overloaded }
@@ -122,28 +115,29 @@ impl Frontend {
                     Message::AttestResponse { nonce, outcome: AttestOutcome::Overloaded }
                 }
             };
-            send_message(ctx, self.me, client, &shed);
+            env.send(client, &shed);
             return;
         }
         self.queue.push_back(Queued { client, nonce, kind });
-        if self.window_timer.is_none() {
+        if !self.flush_armed {
             // An under-full batch waits for the window boundary; after an
             // idle stretch `next_allowed` is in the past and the flush
             // fires immediately.
-            let delay = self.next_allowed.saturating_duration_since(ctx.now());
-            self.window_timer = Some(ctx.schedule_in(delay, SysEvent::timer(TOKEN_FLUSH)));
+            let delay = self.next_allowed.saturating_duration_since(env.now());
+            env.set_timer(TOKEN_FLUSH, delay);
+            self.flush_armed = true;
         }
     }
 
     /// Answers up to `batch_max` queued requests from a single enclave
     /// timestamp read.
-    fn flush(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+    fn flush(&mut self, env: &mut dyn Env) {
         if self.queue.is_empty() {
             return;
         }
-        let now = ctx.now();
+        let now = env.now();
         self.next_allowed = now + self.spec.batch_window;
-        let state = self.node_state(ctx);
+        let state = env.node_state(self.node_index);
         if state == Some(NodeStateTag::Crashed) {
             // Crashed between admission and flush: the queue dies with
             // the machine.
@@ -157,9 +151,10 @@ impl Frontend {
         }
 
         // The whole batch shares one enclave read.
-        let ticks = ctx.world.read_tsc(self.node, now);
-        let clock_ns = ctx.world.clocks[self.node_index].now_ns(ticks);
-        ctx.world.recorder.node_mut(self.node_index).frontend_batches.increment(now);
+        let ticks = env.read_tsc();
+        let clock = env.clock(self.node_index);
+        let clock_ns = clock.now_ns(ticks);
+        env.recorder().node_mut(self.node_index).frontend_batches.increment(now);
 
         let degraded_uncertainty_ns = {
             let base = self.spec.degraded_base_uncertainty.as_nanos() as f64;
@@ -171,7 +166,6 @@ impl Frontend {
         // anchor-instant figure) and for any degraded stretch, floored so
         // it always covers honest inter-node divergence.
         let attest_uncertainty_ns = {
-            let clock = &ctx.world.clocks[self.node_index];
             let published = if clock.valid && clock.f_calib_hz > 0.0 {
                 let age_ns =
                     ticks.saturating_sub(clock.anchor_ticks) as f64 / clock.f_calib_hz * 1e9;
@@ -188,7 +182,7 @@ impl Frontend {
         };
         // An active lying-node fault skews everything this front-end tells
         // clients; the protocol stack underneath stays honest.
-        let lie = ctx.world.lies[self.node_index];
+        let lie = env.lie(self.node_index);
 
         let drained = self.queue.len().min(self.spec.batch_max);
         for _ in 0..drained {
@@ -212,7 +206,7 @@ impl Frontend {
                         _ => ServeOutcome::Unavailable,
                     };
                     if matches!(outcome, ServeOutcome::Time(_) | ServeOutcome::Reading(_)) {
-                        ctx.world.recorder.node_mut(self.node_index).frontend_served.increment(now);
+                        env.recorder().node_mut(self.node_index).frontend_served.increment(now);
                     }
                     Message::ServeResponse { nonce, outcome }
                 }
@@ -220,8 +214,7 @@ impl Frontend {
                     let outcome = match (state, clock_ns) {
                         (Some(s), Some(ns)) if s != NodeStateTag::Crashed => {
                             let ts = self.bump_floor(ns);
-                            ctx.world
-                                .recorder
+                            env.recorder()
                                 .node_mut(self.node_index)
                                 .frontend_attests
                                 .increment(now);
@@ -236,14 +229,14 @@ impl Frontend {
                     Message::AttestResponse { nonce, outcome }
                 }
             };
-            send_message(ctx, self.me, client, &answer);
+            env.send(client, &answer);
         }
         if !self.queue.is_empty() {
             // Backlog remains: drain it at the paced batch rate rather
             // than instantly, so a saturated node sheds instead of
             // pretending to be infinitely fast.
-            self.window_timer =
-                Some(ctx.schedule_in(self.spec.batch_window, SysEvent::timer(TOKEN_FLUSH)));
+            env.set_timer(TOKEN_FLUSH, self.spec.batch_window);
+            self.flush_armed = true;
         }
     }
 
@@ -270,21 +263,29 @@ impl Frontend {
     }
 }
 
-impl Actor<World, SysEvent> for Frontend {
-    fn on_event(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, ev: SysEvent) {
-        match ev {
-            SysEvent::Deliver(d) => match open_delivery(ctx.world, self.me, &d) {
-                Some(Message::ServeRequest { nonce, accept_degraded }) => {
-                    self.on_request(ctx, d.src, nonce, ReqKind::Serve { accept_degraded });
+impl Machine for Frontend {
+    fn addr(&self) -> Addr {
+        self.me
+    }
+
+    fn node_index(&self) -> Option<usize> {
+        Some(self.node_index)
+    }
+
+    fn on_input(&mut self, env: &mut dyn Env, input: Input) {
+        match input {
+            Input::Message { src, msg } => match msg {
+                Message::ServeRequest { nonce, accept_degraded } => {
+                    self.on_request(env, src, nonce, ReqKind::Serve { accept_degraded });
                 }
-                Some(Message::AttestRequest { nonce }) => {
-                    self.on_request(ctx, d.src, nonce, ReqKind::Attest);
+                Message::AttestRequest { nonce } => {
+                    self.on_request(env, src, nonce, ReqKind::Attest);
                 }
                 _ => {}
             },
-            SysEvent::Timer { token } if token == TOKEN_FLUSH => {
-                self.window_timer = None;
-                self.flush(ctx);
+            Input::Timer { token } if token == TOKEN_FLUSH => {
+                self.flush_armed = false;
+                self.flush(env);
             }
             _ => {}
         }

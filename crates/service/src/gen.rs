@@ -5,10 +5,10 @@
 use std::collections::HashMap;
 
 use netsim::Addr;
+use proto::{Env, Input, Machine};
 use rand::rngs::StdRng;
 use rand::Rng;
-use runtime::{open_delivery, send_message, SysEvent, World};
-use sim::{Actor, Ctx, EventId, SimDuration, SimTime};
+use sim::{SimDuration, SimTime};
 use wire::{Message, ServeOutcome};
 
 use crate::router::Router;
@@ -34,7 +34,6 @@ struct Pending {
     first_sent: SimTime,
     attempts: u32,
     target: usize,
-    timeout: EventId,
 }
 
 /// The request/retry engine behind both generators: picks targets via
@@ -60,10 +59,10 @@ impl Dispatcher {
     /// `true` when the request settled immediately (every node hard-down:
     /// the distinct fail-fast outcome) — closed-loop users must still get
     /// their think timer in that case.
-    fn issue(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, nonce: u64) -> bool {
-        let now = ctx.now();
-        ctx.world.recorder.service.offered.increment(now);
-        self.attempt(ctx, nonce, now, 1, None)
+    fn issue(&mut self, env: &mut dyn Env, nonce: u64) -> bool {
+        let now = env.now();
+        env.recorder().service.offered.increment(now);
+        self.attempt(env, nonce, now, 1, None)
     }
 
     /// One routed attempt. Returns `true` when the request settled right
@@ -71,48 +70,41 @@ impl Dispatcher {
     /// is held hard-down, so retrying would only burn the budget).
     fn attempt(
         &mut self,
-        ctx: &mut Ctx<'_, World, SysEvent>,
+        env: &mut dyn Env,
         nonce: u64,
         first_sent: SimTime,
         attempts: u32,
         avoid: Option<usize>,
     ) -> bool {
-        let now = ctx.now();
+        let now = env.now();
         let Some(target) = self.router.pick(now, avoid) else {
-            ctx.world.recorder.service.all_down.increment(now);
+            env.recorder().service.all_down.increment(now);
             return true;
         };
         if let Some(prev) = avoid {
             if target != prev {
-                ctx.world.recorder.service.failovers.increment(now);
+                env.recorder().service.failovers.increment(now);
             }
         }
-        send_message(
-            ctx,
-            self.me,
+        env.send(
             self.frontends[target],
             &Message::ServeRequest { nonce, accept_degraded: self.accept_degraded },
         );
-        let timeout = ctx.schedule_in(self.spec.timeout, SysEvent::timer(TOKEN_TIMEOUT | nonce));
-        self.in_flight.insert(nonce, Pending { first_sent, attempts, target, timeout });
+        env.set_timer(TOKEN_TIMEOUT | nonce, self.spec.timeout);
+        self.in_flight.insert(nonce, Pending { first_sent, attempts, target });
         false
     }
 
     /// Settles or retries after an answer. Returns `true` when the
     /// request left the in-flight set (for closed-loop pacing); unknown
     /// or stale nonces return `false`.
-    fn on_response(
-        &mut self,
-        ctx: &mut Ctx<'_, World, SysEvent>,
-        nonce: u64,
-        outcome: ServeOutcome,
-    ) -> bool {
+    fn on_response(&mut self, env: &mut dyn Env, nonce: u64, outcome: ServeOutcome) -> bool {
         let Some(pending) = self.in_flight.remove(&nonce) else {
             return false; // Duplicate or post-timeout straggler.
         };
-        ctx.cancel(pending.timeout);
-        let now = ctx.now();
-        let service = &mut ctx.world.recorder.service;
+        env.cancel_timer(TOKEN_TIMEOUT | nonce);
+        let now = env.now();
+        let service = &mut env.recorder().service;
         match outcome {
             ServeOutcome::Time(_) => {
                 service.served_ok.increment(now);
@@ -128,27 +120,27 @@ impl Dispatcher {
                 self.router.overloaded(pending.target, now);
                 if pending.attempts < self.spec.max_attempts {
                     return self.attempt(
-                        ctx,
+                        env,
                         nonce,
                         pending.first_sent,
                         pending.attempts + 1,
                         Some(pending.target),
                     );
                 }
-                service.shed.increment(now);
+                env.recorder().service.shed.increment(now);
             }
             ServeOutcome::Unavailable => {
                 self.router.overloaded(pending.target, now);
                 if pending.attempts < self.spec.max_attempts {
                     return self.attempt(
-                        ctx,
+                        env,
                         nonce,
                         pending.first_sent,
                         pending.attempts + 1,
                         Some(pending.target),
                     );
                 }
-                service.unavailable.increment(now);
+                env.recorder().service.unavailable.increment(now);
             }
         }
         true
@@ -156,22 +148,22 @@ impl Dispatcher {
 
     /// Settles or retries after a timeout. Returns `true` when the
     /// request left the in-flight set.
-    fn on_timeout(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, nonce: u64) -> bool {
+    fn on_timeout(&mut self, env: &mut dyn Env, nonce: u64) -> bool {
         let Some(pending) = self.in_flight.remove(&nonce) else {
             return false; // Already answered.
         };
-        let now = ctx.now();
-        self.router.timed_out(pending.target, now, ctx.rng);
+        let now = env.now();
+        self.router.timed_out(pending.target, now, env.rng());
         if pending.attempts < self.spec.max_attempts {
             return self.attempt(
-                ctx,
+                env,
                 nonce,
                 pending.first_sent,
                 pending.attempts + 1,
                 Some(pending.target),
             );
         }
-        ctx.world.recorder.service.timeouts.increment(now);
+        env.recorder().service.timeouts.increment(now);
         true
     }
 }
@@ -204,12 +196,12 @@ impl OpenLoopGen {
         }
     }
 
-    fn next_gap(&self, ctx: &mut Ctx<'_, World, SysEvent>) -> SimDuration {
-        let mean_ns = 1e9 / (self.spec.rate_per_s * self.spec.profile.factor_at(ctx.now()));
+    fn next_gap(&self, env: &mut dyn Env) -> SimDuration {
+        let mean_ns = 1e9 / (self.spec.rate_per_s * self.spec.profile.factor_at(env.now()));
         let gap_ns = match self.spec.arrival {
-            ArrivalSpec::Exponential => exp_draw(ctx.rng, mean_ns),
+            ArrivalSpec::Exponential => exp_draw(env.rng(), mean_ns),
             ArrivalSpec::Uniform { spread } => {
-                let u: f64 = ctx.rng.gen();
+                let u: f64 = env.rng().gen();
                 ((mean_ns * (1.0 - spread + 2.0 * spread * u)).max(1.0)) as u64
             }
         };
@@ -217,29 +209,29 @@ impl OpenLoopGen {
     }
 }
 
-impl Actor<World, SysEvent> for OpenLoopGen {
-    fn on_start(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
-        let gap = self.next_gap(ctx);
-        ctx.schedule_in(gap, SysEvent::timer(TOKEN_ARRIVAL));
+impl Machine for OpenLoopGen {
+    fn addr(&self) -> Addr {
+        self.dispatcher.me
     }
 
-    fn on_event(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, ev: SysEvent) {
-        match ev {
-            SysEvent::Timer { token } if token == TOKEN_ARRIVAL => {
+    fn on_start(&mut self, env: &mut dyn Env) {
+        let gap = self.next_gap(env);
+        env.set_timer(TOKEN_ARRIVAL, gap);
+    }
+
+    fn on_input(&mut self, env: &mut dyn Env, input: Input) {
+        match input {
+            Input::Timer { token } if token == TOKEN_ARRIVAL => {
                 self.next_nonce += 1;
-                self.dispatcher.issue(ctx, self.next_nonce);
-                let gap = self.next_gap(ctx);
-                ctx.schedule_in(gap, SysEvent::timer(TOKEN_ARRIVAL));
+                self.dispatcher.issue(env, self.next_nonce);
+                let gap = self.next_gap(env);
+                env.set_timer(TOKEN_ARRIVAL, gap);
             }
-            SysEvent::Timer { token } if token & TOKEN_THINK == TOKEN_TIMEOUT => {
-                self.dispatcher.on_timeout(ctx, token & TOKEN_PAYLOAD);
+            Input::Timer { token } if token & TOKEN_THINK == TOKEN_TIMEOUT => {
+                self.dispatcher.on_timeout(env, token & TOKEN_PAYLOAD);
             }
-            SysEvent::Deliver(d) => {
-                if let Some(Message::ServeResponse { nonce, outcome }) =
-                    open_delivery(ctx.world, self.dispatcher.me, &d)
-                {
-                    self.dispatcher.on_response(ctx, nonce, outcome);
-                }
+            Input::Message { msg: Message::ServeResponse { nonce, outcome }, .. } => {
+                self.dispatcher.on_response(env, nonce, outcome);
             }
             _ => {}
         }
@@ -277,48 +269,48 @@ impl ClosedLoopGen {
         }
     }
 
-    fn schedule_think(&self, ctx: &mut Ctx<'_, World, SysEvent>, user: usize) {
-        let think = SimDuration::from_nanos(exp_draw(ctx.rng, self.spec.think.as_nanos() as f64));
-        ctx.schedule_in(think, SysEvent::timer(TOKEN_THINK | user as u64));
+    fn schedule_think(&self, env: &mut dyn Env, user: usize) {
+        let think = SimDuration::from_nanos(exp_draw(env.rng(), self.spec.think.as_nanos() as f64));
+        env.set_timer(TOKEN_THINK | user as u64, think);
     }
 
-    fn issue_for(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, user: usize) {
+    fn issue_for(&mut self, env: &mut dyn Env, user: usize) {
         self.next_seq[user] += 1;
         let nonce = ((user as u64) << 32) | u64::from(self.next_seq[user]);
-        if self.dispatcher.issue(ctx, nonce) {
+        if self.dispatcher.issue(env, nonce) {
             // Settled immediately (all nodes hard-down): the user still
             // thinks and tries again later.
-            self.schedule_think(ctx, user);
+            self.schedule_think(env, user);
         }
     }
 }
 
-impl Actor<World, SysEvent> for ClosedLoopGen {
-    fn on_start(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
+impl Machine for ClosedLoopGen {
+    fn addr(&self) -> Addr {
+        self.dispatcher.me
+    }
+
+    fn on_start(&mut self, env: &mut dyn Env) {
         for user in 0..self.spec.clients {
-            self.schedule_think(ctx, user);
+            self.schedule_think(env, user);
         }
     }
 
-    fn on_event(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, ev: SysEvent) {
-        match ev {
-            SysEvent::Timer { token } if token & TOKEN_THINK == TOKEN_THINK => {
-                self.issue_for(ctx, (token & TOKEN_PAYLOAD) as usize);
+    fn on_input(&mut self, env: &mut dyn Env, input: Input) {
+        match input {
+            Input::Timer { token } if token & TOKEN_THINK == TOKEN_THINK => {
+                self.issue_for(env, (token & TOKEN_PAYLOAD) as usize);
             }
-            SysEvent::Timer { token } if token & TOKEN_THINK == TOKEN_TIMEOUT => {
+            Input::Timer { token } if token & TOKEN_THINK == TOKEN_TIMEOUT => {
                 let nonce = token & TOKEN_PAYLOAD;
-                if self.dispatcher.on_timeout(ctx, nonce) {
-                    self.schedule_think(ctx, (nonce >> 32) as usize);
+                if self.dispatcher.on_timeout(env, nonce) {
+                    self.schedule_think(env, (nonce >> 32) as usize);
                 }
             }
-            SysEvent::Deliver(d) => {
-                if let Some(Message::ServeResponse { nonce, outcome }) =
-                    open_delivery(ctx.world, self.dispatcher.me, &d)
-                {
-                    if self.dispatcher.on_response(ctx, nonce, outcome) {
-                        self.schedule_think(ctx, (nonce >> 32) as usize);
-                    }
-                }
+            Input::Message { msg: Message::ServeResponse { nonce, outcome }, .. }
+                if self.dispatcher.on_response(env, nonce, outcome) =>
+            {
+                self.schedule_think(env, (nonce >> 32) as usize);
             }
             _ => {}
         }

@@ -44,7 +44,7 @@ mod router;
 mod spec;
 
 use netsim::Addr;
-use runtime::{SysEvent, World};
+use runtime::{MachineActor, SysEvent, World};
 use sim::Simulation;
 
 pub use frontend::Frontend;
@@ -86,7 +86,11 @@ pub fn install(simulation: &mut Simulation<World, SysEvent>, spec: &ServiceSpec,
     let mut frontends = Vec::with_capacity(n);
     for i in 0..n {
         let addr = frontend_addr(i);
-        let id = simulation.add_actor(Box::new(Frontend::new(addr, i, spec.frontend)));
+        let id = simulation.add_actor(Box::new(MachineActor::new(Frontend::new(
+            addr,
+            i,
+            spec.frontend,
+        ))));
         simulation.world_mut().register_actor(addr, id);
         frontends.push(addr);
     }
@@ -104,31 +108,31 @@ pub fn install(simulation: &mut Simulation<World, SysEvent>, spec: &ServiceSpec,
 
     let mut g = 0;
     for open in &spec.open_loop {
-        let id = simulation.add_actor(Box::new(OpenLoopGen::new(
+        let id = simulation.add_actor(Box::new(MachineActor::new(OpenLoopGen::new(
             generator_addr(g),
             frontends.clone(),
             *open,
             spec.router,
-        )));
+        ))));
         register(simulation, g, id);
         g += 1;
     }
     for closed in &spec.closed_loop {
-        let id = simulation.add_actor(Box::new(ClosedLoopGen::new(
+        let id = simulation.add_actor(Box::new(MachineActor::new(ClosedLoopGen::new(
             generator_addr(g),
             frontends.clone(),
             *closed,
             spec.router,
-        )));
+        ))));
         register(simulation, g, id);
         g += 1;
     }
     for quorum in &spec.quorum_loop {
-        let id = simulation.add_actor(Box::new(QuorumGen::new(
+        let id = simulation.add_actor(Box::new(MachineActor::new(QuorumGen::new(
             generator_addr(g),
             frontends.clone(),
             *quorum,
-        )));
+        ))));
         register(simulation, g, id);
         g += 1;
     }

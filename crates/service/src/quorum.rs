@@ -18,10 +18,10 @@
 use std::collections::HashMap;
 
 use netsim::Addr;
+use proto::{Env, Input, Machine};
 use rand::rngs::StdRng;
 use rand::Rng;
-use runtime::{open_delivery, send_message, SysEvent, World};
-use sim::{Actor, Ctx, EventId, SimDuration, SimTime};
+use sim::{SimDuration, SimTime};
 use stats::{marzullo, Interval};
 use wire::{AttestOutcome, Message, TimeReading};
 
@@ -237,7 +237,6 @@ impl QuorumHealth {
 #[derive(Debug)]
 struct PendingRead {
     first_sent: SimTime,
-    deadline: EventId,
     /// Panel node indices this read fanned out to.
     panel: Vec<usize>,
     /// Bitmask over `panel` positions that have answered (any outcome).
@@ -280,15 +279,15 @@ impl QuorumGen {
         QuorumGen { spec, me, frontends, health, cursor: 0, pending: HashMap::new(), next_nonce: 0 }
     }
 
-    fn next_gap(&self, ctx: &mut Ctx<'_, World, SysEvent>) -> SimDuration {
-        let mean_ns = 1e9 / (self.spec.rate_per_s * self.spec.profile.factor_at(ctx.now()));
+    fn next_gap(&self, env: &mut dyn Env) -> SimDuration {
+        let mean_ns = 1e9 / (self.spec.rate_per_s * self.spec.profile.factor_at(env.now()));
         let gap_ns = match self.spec.arrival {
             ArrivalSpec::Exponential => {
-                let u: f64 = ctx.rng.gen();
+                let u: f64 = env.rng().gen();
                 ((-mean_ns * (1.0 - u).ln()).max(1.0)) as u64
             }
             ArrivalSpec::Uniform { spread } => {
-                let u: f64 = ctx.rng.gen();
+                let u: f64 = env.rng().gen();
                 ((mean_ns * (1.0 - spread + 2.0 * spread * u)).max(1.0)) as u64
             }
         };
@@ -313,36 +312,29 @@ impl QuorumGen {
         panel
     }
 
-    fn issue(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
-        let now = ctx.now();
-        ctx.world.recorder.service.quorum_offered.increment(now);
+    fn issue(&mut self, env: &mut dyn Env) {
+        let now = env.now();
+        env.recorder().service.quorum_offered.increment(now);
         let panel = self.pick_panel(now);
         if panel.len() < self.spec.quorum.accept_threshold() {
             // Not even f+1 nodes worth asking: the read cannot possibly
             // accept, so fail it fast.
-            ctx.world.recorder.service.quorum_unavailable.increment(now);
+            env.recorder().service.quorum_unavailable.increment(now);
             return;
         }
         self.next_nonce += 1;
         let nonce = self.next_nonce & TOKEN_PAYLOAD;
         for &i in &panel {
-            send_message(ctx, self.me, self.frontends[i], &Message::AttestRequest { nonce });
+            env.send(self.frontends[i], &Message::AttestRequest { nonce });
         }
-        let deadline = ctx
-            .schedule_in(self.spec.quorum.collect_timeout, SysEvent::timer(TOKEN_DEADLINE | nonce));
+        env.set_timer(TOKEN_DEADLINE | nonce, self.spec.quorum.collect_timeout);
         self.pending.insert(
             nonce,
-            PendingRead { first_sent: now, deadline, panel, answered: 0, samples: Vec::new() },
+            PendingRead { first_sent: now, panel, answered: 0, samples: Vec::new() },
         );
     }
 
-    fn on_attest(
-        &mut self,
-        ctx: &mut Ctx<'_, World, SysEvent>,
-        src: Addr,
-        nonce: u64,
-        outcome: AttestOutcome,
-    ) {
+    fn on_attest(&mut self, env: &mut dyn Env, src: Addr, nonce: u64, outcome: AttestOutcome) {
         let Some(read) = self.pending.get_mut(&nonce) else {
             return; // Post-deadline straggler or duplicate.
         };
@@ -362,29 +354,29 @@ impl QuorumGen {
                 node,
                 reading,
                 sent: read.first_sent,
-                received: ctx.now(),
+                received: env.now(),
             });
         }
         // Overloaded/Unavailable answers count only as missing samples —
         // refusing to attest is a liveness problem, not evidence of lying.
         if read.answered.count_ones() as usize == read.panel.len() {
             let read = self.pending.remove(&nonce).expect("present");
-            ctx.cancel(read.deadline);
-            self.settle(ctx, read);
+            env.cancel_timer(TOKEN_DEADLINE | nonce);
+            self.settle(env, read);
         }
     }
 
-    fn on_deadline(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, nonce: u64) {
+    fn on_deadline(&mut self, env: &mut dyn Env, nonce: u64) {
         if let Some(read) = self.pending.remove(&nonce) {
-            self.settle(ctx, read);
+            self.settle(env, read);
         }
     }
 
-    fn settle(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, read: PendingRead) {
-        let now = ctx.now();
+    fn settle(&mut self, env: &mut dyn Env, read: PendingRead) {
+        let now = env.now();
         let verdict =
             decide(&read.samples, self.spec.quorum.f, now, self.spec.quorum.suspect_margin);
-        let service = &mut ctx.world.recorder.service;
+        let service = &mut env.recorder().service;
         match &verdict.accepted {
             Some(_) => {
                 service.quorum_accepted.increment(now);
@@ -401,45 +393,43 @@ impl QuorumGen {
             }
         }
         for &i in &verdict.suspects {
-            ctx.world.recorder.service.byzantine_suspects.increment(now);
-            ctx.world.recorder.node_mut(i).byzantine_suspected.increment(now);
-            if self.health.on_suspect(i, now, ctx.rng) {
-                ctx.world.recorder.service.quarantines.increment(now);
-                ctx.world.recorder.node_mut(i).quarantined.increment(now);
+            env.recorder().service.byzantine_suspects.increment(now);
+            env.recorder().node_mut(i).byzantine_suspected.increment(now);
+            if self.health.on_suspect(i, now, env.rng()) {
+                env.recorder().service.quarantines.increment(now);
+                env.recorder().node_mut(i).quarantined.increment(now);
             }
         }
         for &i in &verdict.supporters {
             if self.health.on_clean(i) {
-                ctx.world.recorder.service.rejoins.increment(now);
+                env.recorder().service.rejoins.increment(now);
             }
         }
     }
 }
 
-impl Actor<World, SysEvent> for QuorumGen {
-    fn on_start(&mut self, ctx: &mut Ctx<'_, World, SysEvent>) {
-        let gap = self.next_gap(ctx);
-        ctx.schedule_in(gap, SysEvent::timer(TOKEN_ARRIVAL));
+impl Machine for QuorumGen {
+    fn addr(&self) -> Addr {
+        self.me
     }
 
-    fn on_event(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, ev: SysEvent) {
-        match ev {
-            SysEvent::Timer { token } if token == TOKEN_ARRIVAL => {
-                self.issue(ctx);
-                let gap = self.next_gap(ctx);
-                ctx.schedule_in(gap, SysEvent::timer(TOKEN_ARRIVAL));
+    fn on_start(&mut self, env: &mut dyn Env) {
+        let gap = self.next_gap(env);
+        env.set_timer(TOKEN_ARRIVAL, gap);
+    }
+
+    fn on_input(&mut self, env: &mut dyn Env, input: Input) {
+        match input {
+            Input::Timer { token } if token == TOKEN_ARRIVAL => {
+                self.issue(env);
+                let gap = self.next_gap(env);
+                env.set_timer(TOKEN_ARRIVAL, gap);
             }
-            SysEvent::Timer { token }
-                if token & TOKEN_DEADLINE != 0 && token & TOKEN_ARRIVAL == 0 =>
-            {
-                self.on_deadline(ctx, token & TOKEN_PAYLOAD);
+            Input::Timer { token } if token & TOKEN_DEADLINE != 0 && token & TOKEN_ARRIVAL == 0 => {
+                self.on_deadline(env, token & TOKEN_PAYLOAD);
             }
-            SysEvent::Deliver(d) => {
-                if let Some(Message::AttestResponse { nonce, outcome }) =
-                    open_delivery(ctx.world, self.me, &d)
-                {
-                    self.on_attest(ctx, d.src, nonce, outcome);
-                }
+            Input::Message { src, msg: Message::AttestResponse { nonce, outcome } } => {
+                self.on_attest(env, src, nonce, outcome);
             }
             _ => {}
         }

@@ -1,7 +1,34 @@
 //! Property-based round-trip tests for the wire codec.
 
 use proptest::prelude::*;
-use wire::{Message, NodeId};
+use wire::{AttestOutcome, Message, NodeId, ServeOutcome, TimeReading};
+
+fn arb_reading() -> impl Strategy<Value = TimeReading> {
+    (any::<u64>(), any::<u64>(), any::<bool>()).prop_map(
+        |(estimate_ns, uncertainty_ns, degraded)| TimeReading {
+            estimate_ns,
+            uncertainty_ns,
+            degraded,
+        },
+    )
+}
+
+fn arb_serve_outcome() -> impl Strategy<Value = ServeOutcome> {
+    prop_oneof![
+        any::<u64>().prop_map(ServeOutcome::Time),
+        arb_reading().prop_map(ServeOutcome::Reading),
+        Just(ServeOutcome::Overloaded),
+        Just(ServeOutcome::Unavailable),
+    ]
+}
+
+fn arb_attest_outcome() -> impl Strategy<Value = AttestOutcome> {
+    prop_oneof![
+        arb_reading().prop_map(AttestOutcome::Attestation),
+        Just(AttestOutcome::Overloaded),
+        Just(AttestOutcome::Unavailable),
+    ]
+}
 
 fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
@@ -28,6 +55,17 @@ fn arb_message() -> impl Strategy<Value = Message> {
         (any::<u64>(), proptest::collection::vec(any::<u16>(), 0..20)).prop_map(|(epoch, ids)| {
             Message::ChimerAnnouncement { epoch, chimers: ids.into_iter().map(NodeId).collect() }
         }),
+        any::<u64>().prop_map(|nonce| Message::TimeReadingRequest { nonce }),
+        (any::<u64>(), proptest::option::of(arb_reading()))
+            .prop_map(|(nonce, reading)| Message::TimeReadingResponse { nonce, reading }),
+        (any::<u64>(), any::<bool>()).prop_map(|(nonce, accept_degraded)| {
+            Message::ServeRequest { nonce, accept_degraded }
+        }),
+        (any::<u64>(), arb_serve_outcome())
+            .prop_map(|(nonce, outcome)| Message::ServeResponse { nonce, outcome }),
+        any::<u64>().prop_map(|nonce| Message::AttestRequest { nonce }),
+        (any::<u64>(), arb_attest_outcome())
+            .prop_map(|(nonce, outcome)| Message::AttestResponse { nonce, outcome }),
     ]
 }
 

@@ -36,7 +36,7 @@ fn run(hardened: bool) -> (f64, f64, u64) {
     if hardened {
         let cfg = ResilientConfig::default();
         builder = builder.node_factory(Box::new(move |me, peers| {
-            Box::new(ResilientNode::new(me, peers, cfg.clone()))
+            Box::new(runtime::MachineActor::new(ResilientNode::new(me, peers, cfg.clone())))
         }));
     }
     let mut simulation = builder.build();

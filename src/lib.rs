@@ -46,6 +46,8 @@
 //! | [`faults`] | cross-layer fault injection (chaos plans + driver) |
 //! | [`harness`] | scenario builder tying everything together |
 //! | [`service`] | trusted-timestamp serving layer: load generation, batching front-ends, failover routing, quorum-attested reads with Byzantine detection, SLO accounting |
+//! | [`proto`] | runtime-agnostic protocol boundary: the `Env`/`Machine` effect surface both drivers interpret |
+//! | [`net`] | live UDP runtime: the same machines on real loopback sockets, OS clocks, and threads |
 //! | [`experiments`] | regeneration of every paper figure/table |
 
 #![forbid(unsafe_code)]
@@ -56,7 +58,9 @@ pub use authority;
 pub use experiments;
 pub use faults;
 pub use harness;
+pub use net;
 pub use netsim;
+pub use proto;
 pub use resilient;
 pub use service;
 pub use sim;

@@ -99,7 +99,7 @@ proptest! {
         let mut s = ClusterBuilder::new(3, seed)
             .all_nodes_aex(|| Box::new(TriadLike::default()))
             .node_factory(Box::new(move |me, peers| {
-                Box::new(ResilientNode::new(me, peers, node_cfg.clone()))
+                Box::new(runtime::MachineActor::new(ResilientNode::new(me, peers, node_cfg.clone())))
             }))
             .client(0, SimDuration::from_millis(50))
             .reading_client(0, SimDuration::from_millis(50))
