@@ -14,7 +14,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use netsim::Addr;
 use runtime::{open_delivery, send_message, SysEvent, World};
@@ -45,10 +45,10 @@ struct Hold {
 /// drift band (§IV-A.2), an order of magnitude above NTP's 15 ppm bound.
 #[derive(Debug)]
 pub struct TimeAuthority {
-    holds: HashMap<u64, Hold>,
+    holds: BTreeMap<u64, Hold>,
     next_token: u64,
-    requests_seen: HashMap<Addr, u64>,
-    responses_sent: HashMap<Addr, u64>,
+    requests_seen: BTreeMap<Addr, u64>,
+    responses_sent: BTreeMap<Addr, u64>,
     outage_dropped: u64,
     hold_jitter: netsim::DelayModel,
 }
@@ -73,10 +73,10 @@ impl TimeAuthority {
     /// `DelayModel::Constant(SimDuration::ZERO)` for an ideal TA).
     pub fn with_hold_jitter(hold_jitter: netsim::DelayModel) -> Self {
         TimeAuthority {
-            holds: HashMap::new(),
+            holds: BTreeMap::new(),
             next_token: 0,
-            requests_seen: HashMap::new(),
-            responses_sent: HashMap::new(),
+            requests_seen: BTreeMap::new(),
+            responses_sent: BTreeMap::new(),
             outage_dropped: 0,
             hold_jitter,
         }
@@ -124,8 +124,9 @@ impl Actor<World, SysEvent> for TimeAuthority {
                     self.outage_dropped += 1;
                     return;
                 }
-                let Some(msg) = open_delivery(ctx.world, World::TA_ADDR, &d) else {
-                    return; // forged or corrupted datagram
+                let now = ctx.now();
+                let Ok(msg) = open_delivery(ctx.world, World::TA_ADDR, now, &d) else {
+                    return; // forged or corrupted datagram (counted)
                 };
                 if let Message::CalibrationRequest { nonce, sleep_ns } = msg {
                     *self.requests_seen.entry(d.src).or_insert(0) += 1;
@@ -194,8 +195,9 @@ mod tests {
                     );
                 }
                 SysEvent::Deliver(d) => {
-                    if let Some(Message::CalibrationResponse { nonce, ta_time_ns, .. }) =
-                        open_delivery(ctx.world, self.me, &d)
+                    let now = ctx.now();
+                    if let Ok(Message::CalibrationResponse { nonce, ta_time_ns, .. }) =
+                        open_delivery(ctx.world, self.me, now, &d)
                     {
                         self.responses.push((nonce, ta_time_ns, ctx.now()));
                     }
@@ -284,6 +286,7 @@ mod jitter_tests {
             ctx.schedule_in(SimDuration::from_millis(1), SysEvent::timer(0));
         }
         fn on_event(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, ev: SysEvent) {
+            let now = ctx.now();
             match ev {
                 SysEvent::Timer { .. } => {
                     self.sent_at = ctx.now();
@@ -294,7 +297,7 @@ mod jitter_tests {
                         &Message::CalibrationRequest { nonce: 0, sleep_ns: 0 },
                     );
                 }
-                SysEvent::Deliver(d) if open_delivery(ctx.world, self.me, &d).is_some() => {
+                SysEvent::Deliver(d) if open_delivery(ctx.world, self.me, now, &d).is_ok() => {
                     {
                         let rtt = (ctx.now() - self.sent_at).as_secs_f64();
                         // Record the TA-side hold: RTT minus both one-way

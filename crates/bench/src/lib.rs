@@ -224,7 +224,9 @@ struct EchoResponder {
 impl Actor<World, SysEvent> for EchoResponder {
     fn on_event(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, ev: SysEvent) {
         if let SysEvent::Deliver(d) = ev {
-            if let Some(Message::PeerTimeRequest { nonce }) = open_delivery(ctx.world, self.me, &d)
+            let now = ctx.now();
+            if let Ok(Message::PeerTimeRequest { nonce }) =
+                open_delivery(ctx.world, self.me, now, &d)
             {
                 send_message(
                     ctx,
@@ -260,8 +262,9 @@ impl Actor<World, SysEvent> for EchoRequester {
         match ev {
             SysEvent::Timer { .. } => self.request(ctx),
             SysEvent::Deliver(d) => {
-                if let Some(Message::PeerTimeResponse { .. }) =
-                    open_delivery(ctx.world, self.me, &d)
+                let now = ctx.now();
+                if let Ok(Message::PeerTimeResponse { .. }) =
+                    open_delivery(ctx.world, self.me, now, &d)
                 {
                     self.remaining -= 1;
                     if self.remaining > 0 {

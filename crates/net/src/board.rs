@@ -6,8 +6,8 @@
 //! published clock, a co-located node's protocol state, its TSC — lives
 //! on these boards; everything else is thread-private.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::Mutex;
 
 use proto::ClockState;
 use trace::NodeStateTag;

@@ -114,18 +114,30 @@ pub fn run_machine(
             .map(|d| d.saturating_sub(clock.now_ns()))
             .unwrap_or(MAX_IDLE_NS)
             .clamp(MIN_WAIT_NS, MAX_IDLE_NS);
+        // tt-lint: allow(panic-surface) — not the decode path: `wait` is
+        // clamped to MIN_WAIT_NS above, so the only failure is a dead fd,
+        // which no amount of network input can cause.
         socket.set_read_timeout(Some(Duration::from_nanos(wait))).expect("nonzero read timeout");
         match socket.recv_from(&mut buf) {
             Ok((n, _)) => {
                 if machine.crashed() {
                     continue; // a downed platform does not even open seals
                 }
-                let Some((src, sealed)) = parse_frame(&buf[..n]) else { continue };
+                // Every pre-machine drop is typed and counted, mirroring
+                // the simulation's open_delivery accounting.
+                let Some((src, sealed)) = parse_frame(&buf[..n]) else {
+                    recorder.service.drops_frame.increment(clock.now());
+                    continue;
+                };
                 open_buf.clear();
                 if keys.open_into(me, src, sealed, &mut open_buf).is_err() {
+                    recorder.service.drops_auth.increment(clock.now());
                     continue; // forged, tampered, or misrouted datagram
                 }
-                let Ok(msg) = Message::decode(&open_buf) else { continue };
+                let Ok(msg) = Message::decode(&open_buf) else {
+                    recorder.service.drops_decode.increment(clock.now());
+                    continue;
+                };
                 step(
                     machine.as_mut(),
                     Input::Message { src, msg },
@@ -220,6 +232,9 @@ struct LiveEnv<'a> {
 
 impl LiveEnv<'_> {
     fn index(&self) -> usize {
+        // tt-lint: allow(panic-surface) — a node-only capability invoked by
+        // a machine wired without a node index is a local construction
+        // error, never reachable from network input (mirrors SimEnv).
         self.node_index.expect("machine has no co-located node for this capability")
     }
 }

@@ -32,6 +32,7 @@ pub mod clock;
 pub mod cluster;
 pub mod driver;
 pub mod frame;
+pub mod sync;
 pub mod timers;
 
 pub use authority::{run_authority, AuthorityReport};

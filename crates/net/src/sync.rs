@@ -1,0 +1,13 @@
+//! Sync primitives, switched to the loom model checker under
+//! `RUSTFLAGS="--cfg loom"`.
+//!
+//! Everything cross-thread in this crate (the [`crate::board`]
+//! blackboards) imports mutexes and atomics from here so the loom lane
+//! (`tests/loom.rs`) can exhaustively explore their interleavings while
+//! the normal build pays nothing.
+
+#[cfg(loom)]
+pub use loom::sync::{atomic, Mutex};
+
+#[cfg(not(loom))]
+pub use std::sync::{atomic, Mutex};

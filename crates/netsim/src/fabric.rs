@@ -1,7 +1,7 @@
 //! The datagram fabric: delay, loss, partitions, duplication, reordering,
 //! interception, per-link statistics.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -67,15 +67,15 @@ pub struct LinkStats {
 #[derive(Debug)]
 pub struct Network {
     default_delay: DelayModel,
-    link_delay: HashMap<(Addr, Addr), DelayModel>,
+    link_delay: BTreeMap<(Addr, Addr), DelayModel>,
     loss_probability: f64,
-    link_loss: HashMap<(Addr, Addr), f64>,
-    blocked: HashSet<(Addr, Addr)>,
+    link_loss: BTreeMap<(Addr, Addr), f64>,
+    blocked: BTreeSet<(Addr, Addr)>,
     duplicate_probability: f64,
     reorder_probability: f64,
     reorder_window: SimDuration,
     interceptors: Vec<Box<dyn Interceptor>>,
-    stats: HashMap<(Addr, Addr), LinkStats>,
+    stats: BTreeMap<(Addr, Addr), LinkStats>,
 }
 
 fn assert_probability(p: f64, what: &str) {
@@ -94,15 +94,15 @@ impl Network {
         assert_probability(loss_probability, "loss probability");
         Network {
             default_delay,
-            link_delay: HashMap::new(),
+            link_delay: BTreeMap::new(),
             loss_probability,
-            link_loss: HashMap::new(),
-            blocked: HashSet::new(),
+            link_loss: BTreeMap::new(),
+            blocked: BTreeSet::new(),
             duplicate_probability: 0.0,
             reorder_probability: 0.0,
             reorder_window: SimDuration::ZERO,
             interceptors: Vec::new(),
-            stats: HashMap::new(),
+            stats: BTreeMap::new(),
         }
     }
 

@@ -151,27 +151,30 @@ impl Actor<World, SysEvent> for ClientWorkload {
                 send_message(ctx, self.me, self.target, &req);
                 ctx.schedule_in(self.period, SysEvent::timer(0));
             }
-            SysEvent::Deliver(d) => match open_delivery(ctx.world, self.me, &d) {
-                Some(Message::ClientTimeResponse { nonce, timestamp_ns }) => {
-                    if !self.pending.take(nonce) {
-                        return;
+            SysEvent::Deliver(d) => {
+                let now = ctx.now();
+                match open_delivery(ctx.world, self.me, now, &d) {
+                    Ok(Message::ClientTimeResponse { nonce, timestamp_ns }) => {
+                        if !self.pending.take(nonce) {
+                            return;
+                        }
+                        match timestamp_ns {
+                            Some(ts) => self.record_serve(ctx, ts),
+                            None => self.record_denial(ctx),
+                        }
                     }
-                    match timestamp_ns {
-                        Some(ts) => self.record_serve(ctx, ts),
-                        None => self.record_denial(ctx),
+                    Ok(Message::TimeReadingResponse { nonce, reading }) => {
+                        if !self.pending.take(nonce) {
+                            return;
+                        }
+                        match reading {
+                            Some(r) => self.record_serve(ctx, r.estimate_ns),
+                            None => self.record_denial(ctx),
+                        }
                     }
+                    _ => {}
                 }
-                Some(Message::TimeReadingResponse { nonce, reading }) => {
-                    if !self.pending.take(nonce) {
-                        return;
-                    }
-                    match reading {
-                        Some(r) => self.record_serve(ctx, r.estimate_ns),
-                        None => self.record_denial(ctx),
-                    }
-                }
-                _ => {}
-            },
+            }
             _ => {}
         }
     }

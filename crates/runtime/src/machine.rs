@@ -8,7 +8,7 @@
 //! call sites the pre-refactor actors used, which is what keeps seeded
 //! artifacts byte-identical across the effect-boundary refactor.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use netsim::Addr;
 use proto::{ClockState, Env, Input, Lie, Machine, AEX_RESUME_TOKEN};
@@ -32,13 +32,13 @@ use crate::world::World;
 #[derive(Debug)]
 pub struct MachineActor<M: Machine> {
     machine: M,
-    timers: HashMap<u64, EventId>,
+    timers: BTreeMap<u64, EventId>,
 }
 
 impl<M: Machine> MachineActor<M> {
     /// Wraps `machine` for the simulation driver.
     pub fn new(machine: M) -> Self {
-        MachineActor { machine, timers: HashMap::new() }
+        MachineActor { machine, timers: BTreeMap::new() }
     }
 
     /// The wrapped machine.
@@ -84,8 +84,9 @@ impl<M: Machine> Actor<World, SysEvent> for MachineActor<M> {
         }
         let input = match ev {
             SysEvent::Deliver(d) => {
-                let Some(msg) = open_delivery(ctx.world, self.machine.addr(), &d) else {
-                    return; // forged, tampered, or corrupted datagram
+                let now = ctx.now();
+                let Ok(msg) = open_delivery(ctx.world, self.machine.addr(), now, &d) else {
+                    return; // forged, tampered, or corrupted datagram (counted)
                 };
                 Input::Message { src: d.src, msg }
             }
@@ -114,11 +115,14 @@ struct SimEnv<'e, 'w> {
     me: Addr,
     node_index: Option<usize>,
     ctx: &'e mut Ctx<'w, World, SysEvent>,
-    timers: &'e mut HashMap<u64, EventId>,
+    timers: &'e mut BTreeMap<u64, EventId>,
 }
 
 impl SimEnv<'_, '_> {
     fn index(&self) -> usize {
+        // tt-lint: allow(panic-surface) — a node-only capability (TSC, INC,
+        // clock publishing) invoked by a machine wired without a node index
+        // is a local construction error, never reachable from network input.
         self.node_index.expect("machine has no co-located node for this capability")
     }
 }

@@ -1,8 +1,8 @@
 //! Sealed protocol messaging over the simulated fabric.
 
 use netsim::{Addr, Delivery};
-use sim::Ctx;
-use wire::Message;
+use sim::{Ctx, SimTime};
+use wire::{DecodeError, Message};
 
 use crate::event::SysEvent;
 use crate::world::World;
@@ -49,17 +49,51 @@ pub fn send_message(
     true
 }
 
-/// Opens and decodes a delivery addressed to `me`.
+/// Why an inbound datagram was dropped before reaching a machine.
 ///
-/// Returns `None` when authentication or decoding fails (a tampered,
-/// replayed, or corrupted datagram) — the node silently ignores it, as a
-/// UDP service would.
-pub fn open_delivery(world: &mut World, me: Addr, delivery: &Delivery) -> Option<Message> {
+/// The decode → machine-input hot path never panics on network input;
+/// every failure is one of these, counted into the world recorder's
+/// [`trace::ServiceTrace`] drop counters so runs can distinguish "the
+/// fabric ate it" from "someone is sending garbage".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// The AEAD seal failed to authenticate: forged, tampered,
+    /// replayed, or misrouted.
+    Auth,
+    /// The seal opened but the plaintext is not a valid protocol
+    /// message.
+    Decode(DecodeError),
+}
+
+/// Opens and decodes a delivery addressed to `me` at simulation time
+/// `now`.
+///
+/// # Errors
+///
+/// Returns the [`DropReason`] when authentication or decoding fails (a
+/// tampered, replayed, or corrupted datagram); the failure is already
+/// counted into the world recorder's drop counters — callers ignore the
+/// datagram, as a UDP service would.
+pub fn open_delivery(
+    world: &mut World,
+    me: Addr,
+    now: SimTime,
+    delivery: &Delivery,
+) -> Result<Message, DropReason> {
     debug_assert_eq!(delivery.dst, me, "delivery routed to the wrong actor");
     let World { ref keys, ref mut scratch, .. } = *world;
     scratch.plain.clear();
-    keys.open_into(me, delivery.src, &delivery.payload, &mut scratch.plain).ok()?;
-    Message::decode(&scratch.plain).ok()
+    if keys.open_into(me, delivery.src, &delivery.payload, &mut scratch.plain).is_err() {
+        world.recorder.service.drops_auth.increment(now);
+        return Err(DropReason::Auth);
+    }
+    match Message::decode(&world.scratch.plain) {
+        Ok(msg) => Ok(msg),
+        Err(e) => {
+            world.recorder.service.drops_decode.increment(now);
+            Err(DropReason::Decode(e))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -79,7 +113,8 @@ mod tests {
     impl Actor<World, SysEvent> for Responder {
         fn on_event(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, ev: SysEvent) {
             if let SysEvent::Deliver(d) = ev {
-                if let Some(msg) = open_delivery(ctx.world, self.me, &d) {
+                let now = ctx.now();
+                if let Ok(msg) = open_delivery(ctx.world, self.me, now, &d) {
                     self.log.push(msg.kind());
                     if matches!(msg, Message::PeerTimeRequest { .. }) {
                         send_message(
@@ -113,8 +148,9 @@ mod tests {
                     send_message(ctx, self.me, self.peer, &Message::PeerTimeRequest { nonce: 1 });
                 }
                 SysEvent::Deliver(d) => {
-                    if let Some(Message::PeerTimeResponse { timestamp_ns, .. }) =
-                        open_delivery(ctx.world, self.me, &d)
+                    let now = ctx.now();
+                    if let Ok(Message::PeerTimeResponse { timestamp_ns, .. }) =
+                        open_delivery(ctx.world, self.me, now, &d)
                     {
                         assert_eq!(timestamp_ns, 42);
                         self.got_response = true;
@@ -155,6 +191,27 @@ mod tests {
             payload: vec![0u8; 64],
             send_time: SimTime::ZERO,
         };
-        assert!(open_delivery(&mut world, Addr(1), &forged).is_none());
+        assert_eq!(
+            open_delivery(&mut world, Addr(1), SimTime::ZERO, &forged),
+            Err(DropReason::Auth)
+        );
+        assert_eq!(world.recorder.service.drops_auth.count(), 1);
+    }
+
+    #[test]
+    fn authenticated_garbage_counts_a_decode_drop() {
+        // Seal valid ciphertext over an invalid plaintext: authentication
+        // passes, decoding must fail with a typed reason, not a panic.
+        let net = Network::new(DelayModel::Constant(SimDuration::ZERO), 0.0);
+        let mut world = World::new(net, vec![Host::paper_default(), Host::paper_default()]);
+        world.provision_all_keys(3);
+        let mut sealed = Vec::new();
+        world.keys.seal_into(Addr(2), Addr(1), &[0xFF; 8], &mut sealed);
+        let garbled =
+            Delivery { src: Addr(2), dst: Addr(1), payload: sealed, send_time: SimTime::ZERO };
+        let got = open_delivery(&mut world, Addr(1), SimTime::ZERO, &garbled);
+        assert!(matches!(got, Err(DropReason::Decode(_))), "got {got:?}");
+        assert_eq!(world.recorder.service.drops_decode.count(), 1);
+        assert_eq!(world.recorder.service.drops(), 1);
     }
 }

@@ -1,7 +1,7 @@
 //! The shared simulation world: hosts, network, keys, clock blackboard,
 //! measurement recorder.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use netsim::{Addr, Network};
 use sim::{ActorId, SimTime};
@@ -68,7 +68,7 @@ pub struct World {
     /// Per-node active lying-node fault (same indexing as `hosts`).
     /// `None` everywhere unless a fault plan injects a [`Lie`].
     pub lies: Vec<Option<Lie>>,
-    actors: HashMap<Addr, ActorId>,
+    actors: BTreeMap<Addr, ActorId>,
     /// Messaging hot-path scratch buffers (see [`Scratch`]).
     pub(crate) scratch: Scratch,
 }
@@ -85,7 +85,7 @@ impl World {
             keys: KeyTable::new(),
             ta_online: true,
             lies: vec![None; n],
-            actors: HashMap::new(),
+            actors: BTreeMap::new(),
             scratch: Scratch::default(),
         }
     }

@@ -2,7 +2,7 @@
 //! closed-loop think-time populations, with failover routing and
 //! client-side SLO accounting.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use netsim::Addr;
 use proto::{Env, Input, Machine};
@@ -46,13 +46,13 @@ struct Dispatcher {
     router: Router,
     spec: RouterSpec,
     accept_degraded: bool,
-    in_flight: HashMap<u64, Pending>,
+    in_flight: BTreeMap<u64, Pending>,
 }
 
 impl Dispatcher {
     fn new(me: Addr, frontends: Vec<Addr>, spec: RouterSpec, accept_degraded: bool) -> Self {
         let router = Router::new(spec, frontends.len());
-        Dispatcher { me, frontends, router, spec, accept_degraded, in_flight: HashMap::new() }
+        Dispatcher { me, frontends, router, spec, accept_degraded, in_flight: BTreeMap::new() }
     }
 
     /// Issues a brand-new request (attempt 1 of `max_attempts`). Returns

@@ -15,7 +15,7 @@
 //! probation/half-open rejoin policy shaped like `triad_core`'s TA
 //! circuit breaker.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use netsim::Addr;
 use proto::{Env, Input, Machine};
@@ -257,7 +257,7 @@ pub struct QuorumGen {
     frontends: Vec<Addr>,
     health: QuorumHealth,
     cursor: usize,
-    pending: HashMap<u64, PendingRead>,
+    pending: BTreeMap<u64, PendingRead>,
     next_nonce: u64,
 }
 
@@ -276,7 +276,15 @@ impl QuorumGen {
         assert!(frontends.len() <= 64, "answer bitmask caps the cluster at 64 nodes");
         assert!(spec.quorum.f >= 1, "f = 0 would accept single-node answers unchecked");
         let health = QuorumHealth::new(spec.quorum, frontends.len());
-        QuorumGen { spec, me, frontends, health, cursor: 0, pending: HashMap::new(), next_nonce: 0 }
+        QuorumGen {
+            spec,
+            me,
+            frontends,
+            health,
+            cursor: 0,
+            pending: BTreeMap::new(),
+            next_nonce: 0,
+        }
     }
 
     fn next_gap(&self, env: &mut dyn Env) -> SimDuration {

@@ -72,7 +72,9 @@ impl Tpm {
 impl Actor<World, SysEvent> for Tpm {
     fn on_event(&mut self, ctx: &mut Ctx<'_, World, SysEvent>, ev: SysEvent) {
         let SysEvent::Deliver(d) = ev else { return };
-        let Some(Message::CalibrationRequest { nonce, .. }) = open_delivery(ctx.world, self.me, &d)
+        let now = ctx.now();
+        let Ok(Message::CalibrationRequest { nonce, .. }) =
+            open_delivery(ctx.world, self.me, now, &d)
         else {
             return;
         };
@@ -210,8 +212,9 @@ impl Actor<World, SysEvent> for T3eNode {
                 self.request_reading(ctx);
             }
             SysEvent::Deliver(d) => {
-                match open_delivery(ctx.world, self.me, &d) {
-                    Some(Message::CalibrationResponse { ta_time_ns, .. }) => {
+                let now = ctx.now();
+                match open_delivery(ctx.world, self.me, now, &d) {
+                    Ok(Message::CalibrationResponse { ta_time_ns, .. }) => {
                         if let Some(retry) = self.pending_retry.take() {
                             ctx.cancel(retry);
                         }
@@ -239,7 +242,7 @@ impl Actor<World, SysEvent> for T3eNode {
                             };
                         }
                     }
-                    Some(Message::ClientTimeRequest { nonce }) => {
+                    Ok(Message::ClientTimeRequest { nonce }) => {
                         let timestamp_ns = self.serve();
                         let depleted = self.uses_left == 0 && self.state == NodeStateTag::Ok;
                         send_message(

@@ -52,6 +52,15 @@ pub struct ServiceTrace {
     pub quarantines: StepCounter,
     /// Quarantined nodes readmitted after a clean half-open probe.
     pub rejoins: StepCounter,
+    /// Inbound datagrams whose frame failed to parse (live runtime only:
+    /// the simulation fabric routes sealed payloads without a frame).
+    pub drops_frame: StepCounter,
+    /// Inbound datagrams whose AEAD seal failed to authenticate
+    /// (forged, tampered, replayed, or misrouted).
+    pub drops_auth: StepCounter,
+    /// Authenticated datagrams whose plaintext failed to decode as a
+    /// protocol message (a peer speaking another version, or a bug).
+    pub drops_decode: StepCounter,
 }
 
 impl Default for ServiceTrace {
@@ -74,6 +83,9 @@ impl Default for ServiceTrace {
             byzantine_suspects: StepCounter::default(),
             quarantines: StepCounter::default(),
             rejoins: StepCounter::default(),
+            drops_frame: StepCounter::default(),
+            drops_auth: StepCounter::default(),
+            drops_decode: StepCounter::default(),
         }
     }
 }
@@ -92,6 +104,12 @@ impl ServiceTrace {
     /// Quorum reads that ended without an accepted interval.
     pub fn quorum_badput(&self) -> u64 {
         self.quorum_no_quorum.count() + self.quorum_unavailable.count()
+    }
+
+    /// Inbound datagrams dropped before reaching any machine, by any
+    /// cause (frame, authentication, decode).
+    pub fn drops(&self) -> u64 {
+        self.drops_frame.count() + self.drops_auth.count() + self.drops_decode.count()
     }
 }
 

@@ -1,0 +1,121 @@
+//! The workspace allowlist: file-granular, justified exceptions.
+//!
+//! Format (one entry per line, `#` comments allowed):
+//!
+//! ```text
+//! <lint-name> <workspace-relative-path> — <justification>
+//! ```
+//!
+//! Every entry must carry a justification, and every entry must match at
+//! least one finding — an entry with zero matches is *stale* (the code it
+//! excused was fixed or moved) and fails the check, so the allowlist can
+//! only shrink or stay honest.
+
+use std::path::Path;
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Lint name the entry suppresses.
+    pub lint: String,
+    /// Workspace-relative file the entry covers.
+    pub path: String,
+    /// Why the exception is sound.
+    pub justification: String,
+    /// 1-based line in the allowlist file (for diagnostics).
+    pub line: usize,
+}
+
+/// A parse problem in the allowlist file itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending entry.
+    pub line: usize,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+/// Parses allowlist text into entries plus any malformed lines.
+pub fn parse(text: &str) -> (Vec<Entry>, Vec<ParseError>) {
+    let mut entries = Vec::new();
+    let mut errors = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.splitn(3, char::is_whitespace);
+        let (Some(lint), Some(path)) = (parts.next(), parts.next()) else {
+            errors.push(ParseError {
+                line,
+                message: "expected `<lint> <path> — <justification>`".to_string(),
+            });
+            continue;
+        };
+        let justification = parts
+            .next()
+            .unwrap_or("")
+            .trim()
+            .trim_start_matches(['—', '-', ':'])
+            .trim()
+            .to_string();
+        if justification.is_empty() {
+            errors.push(ParseError {
+                line,
+                message: format!("allowlist entry for `{lint}` in {path} has no justification"),
+            });
+            continue;
+        }
+        entries.push(Entry { lint: lint.to_string(), path: normalize(path), justification, line });
+    }
+    (entries, errors)
+}
+
+/// Canonical workspace-relative form used for matching (forward slashes,
+/// no leading `./`).
+pub fn normalize(path: &str) -> String {
+    path.trim_start_matches("./").replace('\\', "/")
+}
+
+/// Canonicalizes a filesystem path relative to the workspace root.
+pub fn normalize_rel(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    normalize(&rel.to_string_lossy())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_skips_comments() {
+        let (entries, errors) = parse(
+            "# header\n\
+             hash-collections crates/runtime/src/keys.rs — lookup table, never iterated\n\
+             \n\
+             # trailing comment\n",
+        );
+        assert!(errors.is_empty());
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].lint, "hash-collections");
+        assert_eq!(entries[0].path, "crates/runtime/src/keys.rs");
+        assert_eq!(entries[0].justification, "lookup table, never iterated");
+        assert_eq!(entries[0].line, 2);
+    }
+
+    #[test]
+    fn missing_justification_is_an_error() {
+        let (entries, errors) = parse("wall-clock crates/foo/src/lib.rs\n");
+        assert!(entries.is_empty());
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].message.contains("no justification"));
+    }
+
+    #[test]
+    fn malformed_line_is_an_error() {
+        let (entries, errors) = parse("just-one-token\n");
+        assert!(entries.is_empty());
+        assert_eq!(errors.len(), 1);
+    }
+}

@@ -1,0 +1,26 @@
+//! Self-check: the committed workspace passes its own analyzer, and the
+//! committed allowlist carries no stale entries. This is the same gate
+//! CI runs via `cargo run -p tt-lint -- check`, kept in-tree so plain
+//! `cargo test` catches a regression before CI does.
+
+use std::path::Path;
+
+#[test]
+fn committed_workspace_is_clean_and_allowlist_is_live() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report =
+        tt_lint::check_workspace(&root, &root.join("tt-lint.allow")).expect("workspace readable");
+    assert!(
+        report.findings.is_empty(),
+        "unsuppressed findings in the committed tree:\n{:#?}",
+        report.findings
+    );
+    assert!(
+        report.policy_errors.is_empty(),
+        "stale or malformed exceptions (every allowlist entry and inline \
+         allow must still match a finding):\n{:#?}",
+        report.policy_errors
+    );
+    assert!(report.files_scanned > 50, "walker found the crates: {}", report.files_scanned);
+    assert!(report.suppressed > 0, "the committed exceptions are exercised");
+}

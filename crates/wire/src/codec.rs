@@ -139,10 +139,11 @@ impl Message {
             Message::ChimerAnnouncement { epoch, chimers } => {
                 put_u8(buf, TAG_CHIMER_ANNOUNCE);
                 put_u64(buf, *epoch);
-                put_u16(
-                    buf,
-                    u16::try_from(chimers.len()).expect("chimer set exceeds u16::MAX entries"),
-                );
+                // tt-lint: allow(panic-surface) — encode side, not decode: the chimer
+                // set is bounded by the cluster size (u16 addresses), so overflow is a
+                // local programming error, never reachable from network input.
+                let n = u16::try_from(chimers.len()).expect("chimer set exceeds u16::MAX");
+                put_u16(buf, n);
                 for c in chimers {
                     put_u16(buf, c.0);
                 }

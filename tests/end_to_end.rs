@@ -53,8 +53,9 @@ impl Actor<World, SysEvent> for ClientProbe {
                 ctx.schedule_in(self.period, SysEvent::timer(0));
             }
             SysEvent::Deliver(d) => {
-                if let Some(Message::ClientTimeResponse { timestamp_ns, .. }) =
-                    open_delivery(ctx.world, self.me, &d)
+                let now = ctx.now();
+                if let Ok(Message::ClientTimeResponse { timestamp_ns, .. }) =
+                    open_delivery(ctx.world, self.me, now, &d)
                 {
                     match timestamp_ns {
                         Some(ts) => {

@@ -1,0 +1,40 @@
+//! An offline, API-compatible subset of the `loom` model checker.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! reimplements the slice of loom the workspace's concurrency tests use:
+//! [`model`] exhaustively explores every interleaving of the threads a
+//! test spawns, at the granularity of the instrumented operations in
+//! [`sync`] (mutex acquire/release, sequentially consistent atomics) and
+//! [`thread`] (spawn, join, yield).
+//!
+//! ## How it explores
+//!
+//! Real loom serializes executions onto one coroutine per model thread.
+//! This subset instead runs **real OS threads under a baton**: exactly
+//! one model thread executes at any moment, and every instrumented
+//! operation is a *scheduling point* where the engine consults a
+//! depth-first path through the tree of scheduling choices. After each
+//! execution the path advances to the next unexplored branch
+//! (backtracking like an odometer); the model is done when the tree is
+//! exhausted. Atomics are modeled as sequentially consistent regardless
+//! of the ordering the caller names — the subset checks interleavings,
+//! not weak-memory reorderings, which matches how the workspace uses it
+//! (every live-runtime atomic is already `SeqCst`).
+//!
+//! ## What it checks
+//!
+//! - assertion failures in any thread, reported with the failing
+//!   iteration count;
+//! - deadlocks (every live thread blocked on a mutex or a join);
+//! - lost wakeups by construction: unlocks mark every waiter runnable.
+//!
+//! Exploration is bounded by `LOOM_MAX_ITERATIONS` (default 100 000);
+//! exceeding the bound fails the test rather than silently passing.
+
+#![warn(missing_docs)]
+
+mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use rt::model;

@@ -1,0 +1,344 @@
+//! The execution engine: baton scheduling over real OS threads plus
+//! depth-first exploration of the scheduling-choice tree.
+
+use std::cell::RefCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdGuard};
+
+const DEFAULT_MAX_ITERATIONS: usize = 100_000;
+
+/// Panic payload used to unwind model threads when an execution aborts
+/// (failure elsewhere, deadlock). Swallowed by the thread wrappers.
+pub(crate) struct Abort;
+
+pub(crate) fn abort_panic() -> ! {
+    panic::panic_any(Abort)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Status {
+    /// Can be scheduled.
+    Runnable,
+    /// Waiting for the mutex with this resource id to be released.
+    BlockedOn(usize),
+    /// Waiting for the thread with this id to finish.
+    Joining(usize),
+    /// Done; never scheduled again.
+    Finished,
+}
+
+/// One branch point: which of `options` (runnable thread ids) ran.
+struct Step {
+    options: Vec<usize>,
+    idx: usize,
+}
+
+/// The DFS path through the scheduling tree, reused across executions.
+#[derive(Default)]
+pub(crate) struct Path {
+    steps: Vec<Step>,
+    pos: usize,
+}
+
+impl Path {
+    /// The choice at the current depth: replayed from a previous
+    /// execution up to the backtrack frontier, first-option beyond it.
+    fn decide(&mut self, options: &[usize]) -> usize {
+        let chosen = if self.pos < self.steps.len() {
+            let step = &self.steps[self.pos];
+            debug_assert_eq!(
+                step.options, options,
+                "nondeterministic replay: the model must make the same choices given \
+                 the same schedule"
+            );
+            step.options[step.idx]
+        } else {
+            self.steps.push(Step { options: options.to_vec(), idx: 0 });
+            options[0]
+        };
+        self.pos += 1;
+        chosen
+    }
+
+    /// Advances to the next unexplored branch. False when exhausted.
+    fn advance(&mut self) -> bool {
+        while let Some(last) = self.steps.last_mut() {
+            if last.idx + 1 < last.options.len() {
+                last.idx += 1;
+                self.pos = 0;
+                return true;
+            }
+            self.steps.pop();
+        }
+        false
+    }
+}
+
+pub(crate) struct State {
+    statuses: Vec<Status>,
+    active: Option<usize>,
+    abort: bool,
+    failure: Option<String>,
+    path: Path,
+    next_resource: usize,
+    handles: Vec<Option<std::thread::JoinHandle<()>>>,
+}
+
+/// One execution (one interleaving) of the model closure.
+pub(crate) struct Execution {
+    state: StdMutex<State>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The execution and model-thread id of the calling OS thread.
+pub(crate) fn current() -> (Arc<Execution>, usize) {
+    CURRENT
+        .with(|c| c.borrow().clone())
+        .expect("loom primitives may only be used inside loom::model")
+}
+
+/// Binds the calling OS thread to a model thread id (spawn wrappers and
+/// the controller itself).
+pub(crate) fn adopt(exec: Arc<Execution>, id: usize) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((exec, id)));
+}
+
+fn clear_current() {
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+impl Execution {
+    fn lock(&self) -> StdGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Picks the next active thread. Returns false when the execution
+    /// must abort (deadlock detected here; failure recorded).
+    fn pick(&self, st: &mut State) -> bool {
+        let runnable: Vec<usize> = st
+            .statuses
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if st.statuses.iter().all(|s| *s == Status::Finished) {
+                st.active = None;
+                return true;
+            }
+            let blocked: Vec<usize> = st
+                .statuses
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !matches!(s, Status::Finished))
+                .map(|(i, _)| i)
+                .collect();
+            st.failure
+                .get_or_insert_with(|| format!("deadlock: threads {blocked:?} are all blocked"));
+            st.abort = true;
+            self.cv.notify_all();
+            return false;
+        }
+        let chosen = if runnable.len() == 1 { runnable[0] } else { st.path.decide(&runnable) };
+        st.active = Some(chosen);
+        self.cv.notify_all();
+        true
+    }
+
+    fn wait_for_turn(&self, mut st: StdGuard<'_, State>, me: usize) {
+        while !st.abort && st.active != Some(me) {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        if st.abort {
+            drop(st);
+            abort_panic();
+        }
+    }
+
+    /// A scheduling point: offer the baton to every runnable thread
+    /// (including the caller) and run whoever the path picks.
+    pub(crate) fn switch(&self, me: usize) {
+        let mut st = self.lock();
+        if st.abort {
+            drop(st);
+            abort_panic();
+        }
+        if !self.pick(&mut st) {
+            drop(st);
+            abort_panic();
+        }
+        self.wait_for_turn(st, me);
+    }
+
+    /// Blocks the caller with `status` until another thread marks it
+    /// runnable again (mutex release, thread finish) and it is picked.
+    pub(crate) fn block(&self, me: usize, status: Status) {
+        let mut st = self.lock();
+        if st.abort {
+            drop(st);
+            abort_panic();
+        }
+        st.statuses[me] = status;
+        if !self.pick(&mut st) {
+            drop(st);
+            abort_panic();
+        }
+        self.wait_for_turn(st, me);
+    }
+
+    /// Marks every thread waiting with `status` runnable again.
+    pub(crate) fn wake(&self, status: Status) {
+        let mut st = self.lock();
+        for s in st.statuses.iter_mut() {
+            if *s == status {
+                *s = Status::Runnable;
+            }
+        }
+    }
+
+    /// Whether the thread `id` has finished (used by join loops).
+    pub(crate) fn is_finished(&self, id: usize) -> bool {
+        let st = self.lock();
+        if st.abort {
+            drop(st);
+            abort_panic();
+        }
+        st.statuses[id] == Status::Finished
+    }
+
+    /// Retires the calling thread and hands the baton onward.
+    pub(crate) fn finish(&self, me: usize) {
+        let mut st = self.lock();
+        st.statuses[me] = Status::Finished;
+        for s in st.statuses.iter_mut() {
+            if *s == Status::Joining(me) {
+                *s = Status::Runnable;
+            }
+        }
+        if st.abort {
+            self.cv.notify_all();
+            return;
+        }
+        // A finishing thread has nothing left to unwind: deadlocks found
+        // here are recorded by pick() and reported by the controller.
+        let _ = self.pick(&mut st);
+    }
+
+    /// Registers a fresh model thread; returns its id.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.lock();
+        st.statuses.push(Status::Runnable);
+        st.handles.push(None);
+        st.statuses.len() - 1
+    }
+
+    pub(crate) fn store_handle(&self, id: usize, handle: std::thread::JoinHandle<()>) {
+        self.lock().handles[id] = Some(handle);
+    }
+
+    /// Allocates a model-resource id (one per mutex).
+    pub(crate) fn new_resource(&self) -> usize {
+        let mut st = self.lock();
+        let id = st.next_resource;
+        st.next_resource += 1;
+        id
+    }
+
+    /// First wait of a freshly spawned thread, before any user code.
+    pub(crate) fn wait_first(&self, me: usize) {
+        let st = self.lock();
+        self.wait_for_turn(st, me);
+    }
+
+    /// Records a user-code failure and aborts the execution.
+    pub(crate) fn fail(&self, message: String) {
+        let mut st = self.lock();
+        st.failure.get_or_insert(message);
+        st.abort = true;
+        self.cv.notify_all();
+    }
+}
+
+pub(crate) fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "thread panicked with a non-string payload".to_string()
+    }
+}
+
+/// Runs `f` under every interleaving of the instrumented operations it
+/// performs, panicking with the first failure found.
+///
+/// # Panics
+///
+/// Panics when any execution fails an assertion, deadlocks, or when the
+/// scheduling tree exceeds `LOOM_MAX_ITERATIONS` executions.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let max_iterations = std::env::var("LOOM_MAX_ITERATIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_MAX_ITERATIONS);
+    let mut path = Path::default();
+    let mut iterations = 0usize;
+
+    loop {
+        iterations += 1;
+        assert!(
+            iterations <= max_iterations,
+            "loom: exceeded {max_iterations} executions without exhausting the \
+             schedule tree; shrink the model or raise LOOM_MAX_ITERATIONS"
+        );
+
+        let exec = Arc::new(Execution {
+            state: StdMutex::new(State {
+                statuses: vec![Status::Runnable],
+                active: Some(0),
+                abort: false,
+                failure: None,
+                path,
+                next_resource: 0,
+                handles: vec![None],
+            }),
+            cv: Condvar::new(),
+        });
+        adopt(exec.clone(), 0);
+
+        let result = panic::catch_unwind(AssertUnwindSafe(&f));
+        if let Err(payload) = result {
+            if !payload.is::<Abort>() {
+                exec.fail(payload_message(payload.as_ref()));
+            }
+        }
+        exec.finish(0);
+
+        // Let every spawned OS thread run out (or unwind via Abort).
+        let handles: Vec<_> = exec.lock().handles.iter_mut().map(|h| h.take()).collect();
+        for handle in handles.into_iter().flatten() {
+            let _ = handle.join();
+        }
+        clear_current();
+
+        let mut st = exec.lock();
+        if let Some(message) = st.failure.take() {
+            drop(st);
+            panic!("loom: model failed on execution {iterations}: {message}");
+        }
+        path = std::mem::take(&mut st.path);
+        drop(st);
+
+        if !path.advance() {
+            break;
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Model-checked synchronization primitives.
+//!
+//! Only one model thread runs at a time (see [`crate::rt`]), and every
+//! baton handoff goes through a host mutex/condvar pair, so consecutive
+//! critical sections are ordered by real happens-before edges — the
+//! `UnsafeCell` accesses below are data-race-free on the host while the
+//! *model* still explores every acquisition order.
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::AtomicBool as HostBool;
+use std::sync::atomic::Ordering::SeqCst;
+pub use std::sync::{Arc, LockResult};
+
+use crate::rt::{self, Status};
+
+/// A mutex whose acquisition order is explored by the model.
+#[derive(Debug)]
+pub struct Mutex<T> {
+    id: usize,
+    held: HostBool,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: `value` is only ever accessed by the thread that observed
+// `held == false` and set it true, and the scheduler runs exactly one
+// model thread at a time with a happens-before edge at every handoff.
+unsafe impl<T: Send> Send for Mutex<T> {}
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// Creates a model mutex. Must be called inside [`crate::model`].
+    pub fn new(value: T) -> Self {
+        let (exec, _) = rt::current();
+        Mutex { id: exec.new_resource(), held: HostBool::new(false), value: UnsafeCell::new(value) }
+    }
+
+    /// Acquires the mutex; a scheduling point. Never poisoned.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let (exec, me) = rt::current();
+        exec.switch(me);
+        while self.held.swap(true, SeqCst) {
+            exec.block(me, Status::BlockedOn(self.id));
+        }
+        Ok(MutexGuard { lock: self })
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self.value.into_inner())
+    }
+}
+
+/// RAII guard; releasing is a scheduling point.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: exclusive by the `held` protocol (see Mutex).
+        unsafe { &*self.lock.value.get() }
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: exclusive by the `held` protocol (see Mutex).
+        unsafe { &mut *self.lock.value.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let (exec, me) = rt::current();
+        self.lock.held.store(false, SeqCst);
+        exec.wake(Status::BlockedOn(self.lock.id));
+        // Unwinding threads keep the baton: the controller aborts the
+        // execution as soon as the panic reaches its catch frame, and a
+        // scheduling point here would panic inside a panic.
+        if !std::thread::panicking() {
+            exec.switch(me);
+        }
+    }
+}
+
+/// Model-checked atomics: every access is a scheduling point, modeled
+/// as sequentially consistent regardless of the ordering named.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+    use std::sync::atomic::Ordering::SeqCst;
+
+    use crate::rt;
+
+    fn point() {
+        let (exec, me) = rt::current();
+        exec.switch(me);
+    }
+
+    macro_rules! model_atomic {
+        ($name:ident, $host:ty, $prim:ty) => {
+            /// Model-checked atomic; see the module docs.
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: $host,
+            }
+
+            impl $name {
+                /// Creates the atomic (not a scheduling point).
+                pub fn new(value: $prim) -> Self {
+                    Self { inner: <$host>::new(value) }
+                }
+
+                /// Atomic load; a scheduling point.
+                pub fn load(&self, _order: Ordering) -> $prim {
+                    point();
+                    self.inner.load(SeqCst)
+                }
+
+                /// Atomic store; a scheduling point.
+                pub fn store(&self, value: $prim, _order: Ordering) {
+                    point();
+                    self.inner.store(value, SeqCst)
+                }
+
+                /// Atomic swap; a scheduling point.
+                pub fn swap(&self, value: $prim, _order: Ordering) -> $prim {
+                    point();
+                    self.inner.swap(value, SeqCst)
+                }
+
+                /// Atomic compare-exchange; a scheduling point.
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    point();
+                    self.inner.compare_exchange(current, new, SeqCst, SeqCst)
+                }
+            }
+        };
+    }
+
+    model_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+    model_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    model_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+
+    macro_rules! model_fetch {
+        ($name:ident, $prim:ty) => {
+            impl $name {
+                /// Atomic add; a scheduling point.
+                pub fn fetch_add(&self, value: $prim, _order: Ordering) -> $prim {
+                    point();
+                    self.inner.fetch_add(value, SeqCst)
+                }
+
+                /// Atomic subtract; a scheduling point.
+                pub fn fetch_sub(&self, value: $prim, _order: Ordering) -> $prim {
+                    point();
+                    self.inner.fetch_sub(value, SeqCst)
+                }
+            }
+        };
+    }
+
+    model_fetch!(AtomicUsize, usize);
+    model_fetch!(AtomicU64, u64);
+
+    impl AtomicBool {
+        /// Atomic OR; a scheduling point.
+        pub fn fetch_or(&self, value: bool, _order: Ordering) -> bool {
+            point();
+            self.inner.fetch_or(value, SeqCst)
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Model-checked threads: every spawn, join, and yield is a scheduling
+//! point explored by [`crate::model`].
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as StdMutex};
+
+use crate::rt::{self, Status};
+
+/// Handle to a model thread, mirroring [`std::thread::JoinHandle`].
+pub struct JoinHandle<T> {
+    id: usize,
+    result: Arc<StdMutex<Option<std::thread::Result<T>>>>,
+}
+
+/// Spawns a model thread running `f` under the scheduler.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (exec, me) = rt::current();
+    let id = exec.register_thread();
+    let result = Arc::new(StdMutex::new(None));
+
+    let thread_exec = exec.clone();
+    let thread_result = Arc::clone(&result);
+    let real = std::thread::Builder::new()
+        .name(format!("loom-{id}"))
+        .spawn(move || {
+            crate::rt::adopt(thread_exec.clone(), id);
+            let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+                thread_exec.wait_first(id);
+                f()
+            }));
+            match outcome {
+                Ok(value) => {
+                    *thread_result.lock().unwrap_or_else(|e| e.into_inner()) = Some(Ok(value));
+                }
+                Err(payload) => {
+                    if !payload.is::<crate::rt::Abort>() {
+                        thread_exec.fail(crate::rt::payload_message(payload.as_ref()));
+                        *thread_result.lock().unwrap_or_else(|e| e.into_inner()) =
+                            Some(Err(payload));
+                    }
+                }
+            }
+            thread_exec.finish(id);
+        })
+        .expect("spawn loom model thread");
+    exec.store_handle(id, real);
+
+    // The new thread is now a scheduling option.
+    exec.switch(me);
+    JoinHandle { id, result }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish, returning its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the joined thread left no result (it panicked; the
+    /// model is already aborting when that happens).
+    pub fn join(self) -> std::thread::Result<T> {
+        let (exec, me) = rt::current();
+        while !exec.is_finished(self.id) {
+            exec.block(me, Status::Joining(self.id));
+        }
+        self.result
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("joined loom thread left no result")
+    }
+}
+
+/// A scheduling point with no other effect.
+pub fn yield_now() {
+    let (exec, me) = rt::current();
+    exec.switch(me);
+}

@@ -1,0 +1,132 @@
+//! The vendored checker must (a) accept race-free models, (b) find the
+//! bad interleaving in racy ones, and (c) report deadlocks — otherwise a
+//! green loom lane means nothing.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::{Arc, Mutex};
+use loom::thread;
+
+/// Runs `f` under the model and returns the failure message it found.
+fn model_failure<F: Fn() + Send + Sync + 'static>(f: F) -> String {
+    let err = catch_unwind(AssertUnwindSafe(|| loom::model(f)))
+        .expect_err("the model should have found a failing interleaving");
+    *err.downcast::<String>().expect("loom reports failures as strings")
+}
+
+#[test]
+fn mutex_guarded_increments_never_lose_updates() {
+    loom::model(|| {
+        let counter = Arc::new(Mutex::new(0u32));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                thread::spawn(move || {
+                    *counter.lock().expect("model mutex") += 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("model thread");
+        }
+        assert_eq!(*counter.lock().expect("model mutex"), 2);
+    });
+}
+
+#[test]
+fn atomic_check_then_act_race_is_found() {
+    // Classic lost update: load, then store load+1 non-atomically. The
+    // checker must reach the interleaving where both threads load 0.
+    let msg = model_failure(|| {
+        let v = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let v = Arc::clone(&v);
+                thread::spawn(move || {
+                    let seen = v.load(Ordering::SeqCst);
+                    v.store(seen + 1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("model thread");
+        }
+        assert_eq!(v.load(Ordering::SeqCst), 2, "lost update");
+    });
+    assert!(msg.contains("lost update"), "unexpected failure: {msg}");
+}
+
+#[test]
+fn compare_exchange_fixes_the_same_race() {
+    loom::model(|| {
+        let v = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let v = Arc::clone(&v);
+                thread::spawn(move || loop {
+                    let seen = v.load(Ordering::SeqCst);
+                    if v.compare_exchange(seen, seen + 1, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                    {
+                        break;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("model thread");
+        }
+        assert_eq!(v.load(Ordering::SeqCst), 2);
+    });
+}
+
+#[test]
+fn ab_ba_lock_order_deadlocks() {
+    let msg = model_failure(|| {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = thread::spawn(move || {
+            let _b = b2.lock().expect("model mutex");
+            let _a = a2.lock().expect("model mutex");
+        });
+        let _a = a.lock().expect("model mutex");
+        let _b = b.lock().expect("model mutex");
+        drop((_a, _b));
+        let _ = t.join();
+    });
+    assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+}
+
+#[test]
+fn seqcst_store_then_flag_is_visible_after_flag() {
+    // Message passing through SeqCst atomics: if the flag is observed,
+    // the payload written before it must be too.
+    loom::model(|| {
+        let data = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::new(loom::sync::atomic::AtomicBool::new(false));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = thread::spawn(move || {
+            d2.store(7, Ordering::SeqCst);
+            f2.store(true, Ordering::SeqCst);
+        });
+        if flag.load(Ordering::SeqCst) {
+            assert_eq!(data.load(Ordering::SeqCst), 7);
+        }
+        t.join().expect("model thread");
+    });
+}
+
+#[test]
+fn yield_now_is_just_a_scheduling_point() {
+    loom::model(|| {
+        let v = Arc::new(AtomicUsize::new(0));
+        let v2 = Arc::clone(&v);
+        let t = thread::spawn(move || v2.store(1, Ordering::SeqCst));
+        thread::yield_now();
+        let seen = v.load(Ordering::SeqCst);
+        assert!(seen == 0 || seen == 1);
+        t.join().expect("model thread");
+    });
+}
