@@ -1,15 +1,18 @@
 //! `bench-gate` — benchmark regression gate over committed baselines.
 //!
 //! ```text
-//! bench-gate check  <baseline.json> [--tolerance 0.15] [--samples 10]
-//! bench-gate update <baseline.json> [--samples 10]
+//! bench-gate check  <baseline.json> [--tolerance 0.15] [--samples N]
+//! bench-gate update <baseline.json> [--samples N]
 //! ```
 //!
 //! `check` re-measures the workload named by the baseline's `"benchmark"`
 //! field and exits non-zero when the fresh median events/s falls more than
 //! `tolerance` below the committed median (default 15%, matching the CI
 //! gate). `update` re-measures and rewrites the baseline in place; commit
-//! the result together with the change that moved it.
+//! the result together with the change that moved it. `--samples`
+//! overrides the workload's declared sample count (crypto-bound workloads
+//! declare deeper pools); every capture runs the workload's unmeasured
+//! warm-up first.
 
 use std::process::ExitCode;
 
@@ -17,8 +20,8 @@ use tt_bench::{baseline, find_workload};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: bench-gate check  <baseline.json> [--tolerance 0.15] [--samples 10]\n       \
-         bench-gate update <baseline.json> [--samples 10]"
+        "usage: bench-gate check  <baseline.json> [--tolerance 0.15] [--samples N]\n       \
+         bench-gate update <baseline.json> [--samples N]"
     );
     ExitCode::from(2)
 }
@@ -26,17 +29,18 @@ fn usage() -> ExitCode {
 struct Opts {
     path: String,
     tolerance: f64,
-    samples: usize,
+    /// `--samples` override; `None` uses the workload's declared count.
+    samples: Option<usize>,
 }
 
 fn parse_opts(args: &[String]) -> Option<Opts> {
-    let mut opts = Opts { path: args.first()?.clone(), tolerance: 0.15, samples: 10 };
+    let mut opts = Opts { path: args.first()?.clone(), tolerance: 0.15, samples: None };
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
         let value = it.next()?;
         match flag.as_str() {
             "--tolerance" => opts.tolerance = value.parse().ok().filter(|t| *t >= 0.0)?,
-            "--samples" => opts.samples = value.parse().ok().filter(|s| *s > 0)?,
+            "--samples" => opts.samples = Some(value.parse().ok().filter(|s| *s > 0)?),
             _ => return None,
         }
     }
@@ -75,7 +79,7 @@ fn check(opts: &Opts) -> ExitCode {
         eprintln!("bench-gate: unknown workload {name:?} in {}", opts.path);
         return ExitCode::from(2);
     };
-    let fresh = baseline::measure(workload, opts.samples);
+    let fresh = baseline::measure(workload, opts.samples.unwrap_or(workload.samples));
     let floor = committed * (1.0 - opts.tolerance);
     let ratio = fresh.median_events_per_sec / committed;
     println!(
@@ -116,7 +120,7 @@ fn update(opts: &Opts) -> ExitCode {
         eprintln!("bench-gate: unknown workload {name:?} in {}", opts.path);
         return ExitCode::from(2);
     };
-    let summary = baseline::measure(workload, opts.samples);
+    let summary = baseline::measure(workload, opts.samples.unwrap_or(workload.samples));
     let json = baseline::to_json(workload, &summary);
     if let Err(e) = std::fs::write(&opts.path, json) {
         eprintln!("bench-gate: cannot write {}: {e}", opts.path);

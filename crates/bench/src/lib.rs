@@ -33,6 +33,15 @@ pub struct Workload {
     pub events_per_run: u64,
     /// Executes one run and returns the dispatched-event count.
     pub run: fn() -> u64,
+    /// Default measured samples per capture (`bench-gate --samples`
+    /// overrides). Crypto-bound workloads take more: their historical
+    /// min/max spread is wide relative to the 15% gate tolerance, and a
+    /// deeper sample pool steadies the median.
+    pub samples: usize,
+    /// Unmeasured warm-up runs before sampling, so one-time costs —
+    /// backend detection, key schedules, page faults, branch training —
+    /// never land in the first measured sample.
+    pub warmup: usize,
 }
 
 // ---------------------------------------------------------------------------
@@ -93,6 +102,8 @@ pub const KERNEL: Workload = Workload {
     name: "kernel/ping_storm_1k_actors",
     events_per_run: KERNEL_ACTORS as u64 * (KERNEL_ROUNDS + 1),
     run: ping_storm,
+    samples: 10,
+    warmup: 1,
 };
 
 // ---------------------------------------------------------------------------
@@ -146,6 +157,8 @@ pub const TIMER_STORM: Workload = Workload {
     name: "wheel/timer_storm",
     events_per_run: TIMER_ACTORS as u64 * TIMER_TICKS,
     run: timer_storm,
+    samples: 10,
+    warmup: 1,
 };
 
 // ---------------------------------------------------------------------------
@@ -203,6 +216,8 @@ pub const CANCEL_STORM: Workload = Workload {
     name: "wheel/cancel_storm",
     events_per_run: CANCEL_ACTORS as u64 * CANCEL_ROUNDS,
     run: cancel_storm,
+    samples: 10,
+    warmup: 1,
 };
 
 // ---------------------------------------------------------------------------
@@ -308,6 +323,10 @@ pub const SEALED_FABRIC: Workload = Workload {
     // Per pair: one kick-off timer plus two deliveries per round trip.
     events_per_run: FABRIC_PAIRS as u64 * (1 + 2 * FABRIC_ROUNDS),
     run: sealed_fabric,
+    // Crypto-bound: deeper pool + warm-up (backend detection, key
+    // schedules) keep the median out of the historical 294k-487k spread.
+    samples: 15,
+    warmup: 3,
 };
 
 // ---------------------------------------------------------------------------
@@ -362,8 +381,14 @@ pub fn serving_storm() -> u64 {
 /// `events_per_run` is the exact dispatched count of the seeded run
 /// (asserted by `workload_event_counts_are_exact` and re-checked on
 /// every gate replay).
-pub const SERVING_STORM: Workload =
-    Workload { name: "service/serving_storm", events_per_run: 13_919, run: serving_storm };
+pub const SERVING_STORM: Workload = Workload {
+    name: "service/serving_storm",
+    events_per_run: 13_919,
+    run: serving_storm,
+    // Crypto-bound (sealed request/response per served answer).
+    samples: 15,
+    warmup: 3,
+};
 
 // ---------------------------------------------------------------------------
 // service: quorum-read storm
@@ -413,8 +438,14 @@ pub fn quorum_storm() -> u64 {
 /// `events_per_run` is the exact dispatched count of the seeded run
 /// (asserted by `workload_event_counts_are_exact` and re-checked on
 /// every gate replay).
-pub const QUORUM_STORM: Workload =
-    Workload { name: "service/quorum_storm", events_per_run: 24_075, run: quorum_storm };
+pub const QUORUM_STORM: Workload = Workload {
+    name: "service/quorum_storm",
+    events_per_run: 24_075,
+    run: quorum_storm,
+    // Crypto-bound (sealed fan-out and attestations per read).
+    samples: 15,
+    warmup: 3,
+};
 
 // ---------------------------------------------------------------------------
 // live: real-UDP serve round trips
@@ -465,8 +496,15 @@ pub fn live_loopback() -> u64 {
 }
 
 /// The live-loopback workload (real sockets; see [`live_loopback`]).
-pub const LIVE_LOOPBACK: Workload =
-    Workload { name: "live/serve_round_trips", events_per_run: LIVE_ROUNDS, run: live_loopback };
+pub const LIVE_LOOPBACK: Workload = Workload {
+    name: "live/serve_round_trips",
+    events_per_run: LIVE_ROUNDS,
+    run: live_loopback,
+    // Latency-bound on real sockets: more samples would only lengthen
+    // the capture, and the first run already opens every socket.
+    samples: 10,
+    warmup: 1,
+};
 
 /// All gate-eligible workloads.
 pub const WORKLOADS: [Workload; 7] =
@@ -494,7 +532,8 @@ pub mod baseline {
         pub max_events_per_sec: f64,
     }
 
-    /// Runs `workload` `samples` times and summarizes events/s.
+    /// Runs `workload` `samples` times (after its declared unmeasured
+    /// warm-up runs) and summarizes events/s.
     ///
     /// # Panics
     ///
@@ -502,6 +541,9 @@ pub mod baseline {
     /// workload declares (the workload definition drifted).
     pub fn measure(workload: &Workload, samples: usize) -> Summary {
         assert!(samples > 0, "at least one sample");
+        for _ in 0..workload.warmup {
+            std::hint::black_box((workload.run)());
+        }
         let mut rates: Vec<f64> = (0..samples)
             .map(|_| {
                 let t0 = std::time::Instant::now();

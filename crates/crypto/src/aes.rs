@@ -89,6 +89,20 @@ impl Aes256 {
         self.encrypt_block(&mut out);
         out
     }
+
+    /// The expanded schedule as 15 round-key blocks in FIPS-197 byte
+    /// order — exactly the bytes `add_round_key` XORs, which is also the
+    /// layout AES-NI's `aesenc` consumes. Lets the accelerated backend
+    /// share this schedule instead of re-deriving its own.
+    pub(crate) fn round_key_blocks(&self) -> [[u8; 16]; 15] {
+        let mut rk = [[0u8; 16]; 15];
+        for (r, block) in rk.iter_mut().enumerate() {
+            for c in 0..4 {
+                block[4 * c..4 * c + 4].copy_from_slice(&self.round_keys[4 * r + c].to_be_bytes());
+            }
+        }
+        rk
+    }
 }
 
 impl std::fmt::Debug for Aes256 {

@@ -1,0 +1,268 @@
+//! Runtime crypto-backend selection and the accelerated per-key state.
+//!
+//! The crate carries two implementations of the AES-GCM primitives:
+//!
+//! - **Soft** — the portable table-based path (`aes.rs`/`ghash.rs`),
+//!   always available, and the differential oracle for the fast path;
+//! - **Accel** — AES-NI + PCLMULQDQ kernels (`clmul.rs`), selected only
+//!   when the CPU advertises both feature bits at runtime.
+//!
+//! Selection happens **once per process** ([`CryptoBackend::active`],
+//! cached in a `OnceLock`) so the hot path never re-detects. The two
+//! backends are *value-identical* — same ciphertexts, same tags — so
+//! backend choice can never leak into simulation artifacts; it only
+//! changes how fast the bytes are produced. `TT_CRYPTO_BACKEND=soft`
+//! forces the portable path (CI exercises this lane), and Miri builds
+//! always take it (intrinsics are not interpretable).
+
+use std::sync::OnceLock;
+
+use crate::ghash::gf_mul;
+
+#[cfg(all(target_arch = "x86_64", not(miri)))]
+use crate::clmul;
+
+/// Which AES-GCM implementation this process uses.
+///
+/// Obtain via [`CryptoBackend::active`]; construct explicitly only in
+/// differential tests (`Aes256Gcm::with_backend`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CryptoBackend {
+    /// Portable table-based AES + 4-bit-table GHASH. Always available.
+    Soft,
+    /// AES-NI block kernel + PCLMULQDQ GHASH. x86-64 with runtime-
+    /// detected `aes` and `pclmulqdq` feature bits only.
+    Accel,
+}
+
+static ACTIVE: OnceLock<CryptoBackend> = OnceLock::new();
+
+impl CryptoBackend {
+    /// The process-wide backend, detected on first call and cached.
+    ///
+    /// Honors `TT_CRYPTO_BACKEND=soft` (or `table`) to force the
+    /// portable path; any other value (or none) means auto-detect.
+    pub fn active() -> CryptoBackend {
+        *ACTIVE.get_or_init(Self::detect)
+    }
+
+    fn detect() -> CryptoBackend {
+        // tt-lint: allow(ambient-io) — backend selection only: both backends produce byte-identical ciphertexts, so this env read can never change a simulation artifact, only the speed at which it is produced.
+        match std::env::var("TT_CRYPTO_BACKEND") {
+            Ok(v) if v == "soft" || v == "table" => return CryptoBackend::Soft,
+            _ => {}
+        }
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
+        {
+            // tt-lint: allow(unsafe-intrinsics) — the runtime feature probe that licenses every unsafe intrinsic call in clmul.rs.
+            let aes = std::arch::is_x86_feature_detected!("aes");
+            // tt-lint: allow(unsafe-intrinsics) — second half of the same probe.
+            let clmul = std::arch::is_x86_feature_detected!("pclmulqdq");
+            if aes && clmul {
+                return CryptoBackend::Accel;
+            }
+        }
+        CryptoBackend::Soft
+    }
+}
+
+/// Per-key accelerated state: the AES round keys laid out for `aesenc`
+/// and the GHASH key powers `[H, H², …, H⁸]` for aggregated reduction.
+///
+/// Existence of a value of this type is the safety proof for calling
+/// into `clmul.rs`: [`Accel::new`] returns `Some` only when the active
+/// backend is [`CryptoBackend::Accel`], which in turn requires the
+/// runtime feature probe to have passed.
+#[cfg(all(target_arch = "x86_64", not(miri)))]
+#[derive(Clone)]
+pub(crate) struct Accel {
+    rk: [[u8; 16]; clmul::ROUND_KEYS],
+    powers: [u128; clmul::POWERS],
+}
+
+#[cfg(all(target_arch = "x86_64", not(miri)))]
+impl Accel {
+    /// Builds the accelerated state from the already-expanded portable
+    /// schedule, or `None` when the backend is [`CryptoBackend::Soft`].
+    ///
+    /// `h` is the GHASH subkey `E(K, 0^128)` as a big-endian `u128`.
+    /// The powers are computed with the bitwise oracle [`gf_mul`] — key
+    /// setup is cold, and sharing the oracle keeps one source of truth.
+    pub(crate) fn new(backend: CryptoBackend, rk: [[u8; 16]; 15], h: u128) -> Option<Accel> {
+        if backend != CryptoBackend::Accel {
+            return None;
+        }
+        let mut powers = [h; clmul::POWERS];
+        for i in 1..clmul::POWERS {
+            powers[i] = gf_mul(powers[i - 1], h);
+        }
+        Some(Accel { rk, powers })
+    }
+
+    /// AES-256-encrypts every block in place (8-wide AES-NI sweep).
+    #[inline]
+    #[allow(unsafe_code)]
+    pub(crate) fn encrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
+        // SAFETY: constructing `Accel` required `CryptoBackend::Accel`,
+        // i.e. the `aes` feature bit was runtime-detected.
+        // tt-lint: allow(unsafe-intrinsics) — sole safe wrapper over the feature-gated AES kernel; the Accel value is the detection proof.
+        unsafe { clmul::encrypt_blocks(&self.rk, blocks) }
+    }
+
+    /// Absorbs one zero-padded GHASH section into accumulator `y`
+    /// (differential-test harness for the aggregated kernel).
+    #[cfg(test)]
+    #[inline]
+    #[allow(unsafe_code)]
+    pub(crate) fn ghash_padded(&self, y: u128, data: &[u8]) -> u128 {
+        // SAFETY: as in `encrypt_blocks` — `pclmulqdq` was detected.
+        unsafe { clmul::ghash_padded(&self.powers, y, data) }
+    }
+
+    /// The complete GHASH digest (`aad` ∥ `ct` ∥ lengths) of one message.
+    #[inline]
+    #[allow(unsafe_code)]
+    pub(crate) fn ghash_tag(&self, aad: &[u8], ct: &[u8]) -> u128 {
+        // SAFETY: as in `encrypt_blocks` — `pclmulqdq` was detected.
+        // tt-lint: allow(unsafe-intrinsics) — sole safe wrapper over the feature-gated one-call digest kernel; the Accel value is the detection proof.
+        unsafe { clmul::ghash_tag(&self.powers, aad, ct) }
+    }
+
+    /// Seals one frame (encrypt in place + tag) in one kernel call.
+    #[inline]
+    #[allow(unsafe_code)]
+    pub(crate) fn seal_frame(&self, j0: &[u8; 16], aad: &[u8], data: &mut [u8]) -> [u8; 16] {
+        // SAFETY: as in `encrypt_blocks` — both feature bits were detected.
+        // tt-lint: allow(unsafe-intrinsics) — sole safe wrapper over the fused seal kernel; the Accel value is the detection proof.
+        unsafe { clmul::seal_frame(&self.rk, &self.powers, j0, aad, data) }
+    }
+
+    /// Verifies one frame's tag and, on success, decrypts in place.
+    #[inline]
+    #[allow(unsafe_code)]
+    pub(crate) fn open_frame(
+        &self,
+        j0: &[u8; 16],
+        aad: &[u8],
+        data: &mut [u8],
+        tag: &[u8],
+    ) -> bool {
+        // SAFETY: as in `encrypt_blocks` — both feature bits were detected.
+        // tt-lint: allow(unsafe-intrinsics) — sole safe wrapper over the fused open kernel; the Accel value is the detection proof.
+        unsafe { clmul::open_frame(&self.rk, &self.powers, j0, aad, data, tag) }
+    }
+
+    /// Multiplies `x` by the GHASH subkey `H` (the final length-block
+    /// step of a tag; differential-test harness).
+    #[cfg(test)]
+    #[inline]
+    #[allow(unsafe_code)]
+    pub(crate) fn mul_h(&self, x: u128) -> u128 {
+        // SAFETY: as in `encrypt_blocks` — `pclmulqdq` was detected.
+        unsafe { clmul::gf_mul_clmul(x, self.powers[0]) }
+    }
+}
+
+/// On non-x86-64 targets (and under Miri) no accelerated state can
+/// exist: the type is uninhabited and every method is unreachable, so
+/// `Option<Accel>` is always `None` and the soft path is taken
+/// unconditionally.
+#[cfg(not(all(target_arch = "x86_64", not(miri))))]
+#[derive(Clone)]
+pub(crate) enum Accel {}
+
+#[cfg(not(all(target_arch = "x86_64", not(miri))))]
+impl Accel {
+    pub(crate) fn new(_backend: CryptoBackend, _rk: [[u8; 16]; 15], _h: u128) -> Option<Accel> {
+        None
+    }
+
+    pub(crate) fn encrypt_blocks(&self, _blocks: &mut [[u8; 16]]) {
+        match *self {}
+    }
+
+    pub(crate) fn ghash_tag(&self, _aad: &[u8], _ct: &[u8]) -> u128 {
+        match *self {}
+    }
+
+    pub(crate) fn seal_frame(&self, _j0: &[u8; 16], _aad: &[u8], _data: &mut [u8]) -> [u8; 16] {
+        match *self {}
+    }
+
+    pub(crate) fn open_frame(
+        &self,
+        _j0: &[u8; 16],
+        _aad: &[u8],
+        _data: &mut [u8],
+        _tag: &[u8],
+    ) -> bool {
+        match *self {}
+    }
+}
+
+impl std::fmt::Debug for Accel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Round keys and GHASH powers are key material: never leak them.
+        f.write_str("Accel { .. }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn active_is_stable_across_calls() {
+        assert_eq!(CryptoBackend::active(), CryptoBackend::active());
+    }
+
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
+    #[test]
+    #[allow(unsafe_code)]
+    fn clmul_mul_matches_bitwise_oracle() {
+        if CryptoBackend::active() != CryptoBackend::Accel {
+            eprintln!("skipping: no AES-NI/PCLMULQDQ on this host or forced soft");
+            return;
+        }
+        let mut samples = vec![0u128, 1, 1 << 127, u128::MAX, 0xe1 << 120];
+        let mut x = 0x0123_4567_89ab_cdef_fedc_ba98_7654_3210u128;
+        for _ in 0..64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            samples.push(x);
+        }
+        for &a in &samples {
+            for &b in &samples {
+                // SAFETY: backend is Accel, so pclmulqdq was detected.
+                let got = unsafe { clmul::gf_mul_clmul(a, b) };
+                assert_eq!(got, gf_mul(a, b), "a={a:032x} b={b:032x}");
+            }
+        }
+    }
+
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
+    #[test]
+    fn aggregated_ghash_matches_table_path() {
+        use crate::ghash::{Ghash, GhashKey};
+        if CryptoBackend::active() != CryptoBackend::Accel {
+            eprintln!("skipping: no AES-NI/PCLMULQDQ on this host or forced soft");
+            return;
+        }
+        let h_bytes = [0x5e; 16];
+        let h = u128::from_be_bytes(h_bytes);
+        let accel = Accel::new(CryptoBackend::Accel, [[0; 16]; 15], h).unwrap();
+        let key = GhashKey::new(&h_bytes);
+        // Lengths straddling the 4-block aggregation boundary, including
+        // partial final blocks and multi-section updates.
+        let data: Vec<u8> = (0..=255u8).cycle().take(200).collect();
+        for len in [0, 1, 15, 16, 17, 63, 64, 65, 100, 128, 130, 200] {
+            let mut g = Ghash::new(&key);
+            g.update_padded(&data[..len]);
+            let want = g.finalize(len, 0);
+            let mut y = accel.ghash_padded(0, &data[..len]);
+            y = accel.mul_h(y ^ ((len as u128 * 8) << 64));
+            assert_eq!(y.to_be_bytes(), want, "len={len}");
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! x86-64 AES-NI / PCLMULQDQ kernels — the only unsafe code in the crate.
+//!
+//! Everything here is `#[target_feature]`-gated and therefore unsafe to
+//! call: callers must have proven at runtime that the CPU supports the
+//! `aes` and `pclmulqdq` feature bits. That proof lives in exactly one
+//! place — [`crate::backend::CryptoBackend::active`] — and the safe
+//! wrappers in `backend.rs` are the only callers, so the unsafety is
+//! confined to this module pair (enforced by the workspace `tt-lint`
+//! `unsafe-intrinsics` lint).
+//!
+//! The kernels are *value-identical* to the portable table path:
+//!
+//! - AES: `aesenc`/`aesenclast` over the same FIPS-197 round keys the
+//!   table path expands (the schedule bytes are shared, not re-derived).
+//! - GHASH: a carry-less multiply in GCM's reflected bit order. The
+//!   64×64 products come from `pclmulqdq`; the Karatsuba combination,
+//!   the reflection shift, and the two-fold reduction by
+//!   `x^128 + x^7 + x^2 + x + 1` are plain `u128` arithmetic, which keeps
+//!   the algebra auditable against [`crate::ghash::gf_mul`].
+//!
+//! Both are differentially tested against the portable implementations
+//! (unit tests below plus `tests/props.rs`), so a wrong constant here
+//! cannot survive `cargo test`.
+
+// tt-lint: allow-file(unsafe-intrinsics) — designated intrinsics module; every entry point is feature-gated and only reachable through backend.rs detection.
+#![allow(unsafe_code)]
+
+use core::arch::x86_64::{
+    __m128i, _mm_aesenc_si128, _mm_aesenclast_si128, _mm_clmulepi64_si128, _mm_loadu_si128,
+    _mm_set_epi64x, _mm_slli_si128, _mm_srli_si128, _mm_storeu_si128, _mm_xor_si128,
+};
+
+/// Number of AES-256 round keys (initial whitening + 13 rounds + last).
+pub(crate) const ROUND_KEYS: usize = 15;
+
+/// Precomputed GHASH key powers `[H, H², …, H^POWERS]`: 4-way aggregation
+/// in the streaming body, whole-digest aggregation for frames of up to
+/// `POWERS` blocks (aad + ciphertext + length block).
+pub(crate) const POWERS: usize = 8;
+
+#[inline(always)]
+fn load(b: &[u8; 16]) -> __m128i {
+    // SAFETY: `b` is a valid 16-byte read; `loadu` has no alignment
+    // requirement. SSE2 is part of the x86-64 baseline.
+    unsafe { _mm_loadu_si128(b.as_ptr().cast()) }
+}
+
+#[inline(always)]
+fn store(b: &mut [u8; 16], v: __m128i) {
+    // SAFETY: `b` is a valid 16-byte write; `storeu` is unaligned-safe.
+    unsafe { _mm_storeu_si128(b.as_mut_ptr().cast(), v) }
+}
+
+/// Encrypts every 16-byte block in place with AES-256, eight blocks in
+/// flight so the `aesenc` pipeline stays full.
+///
+/// `rk` is the expanded schedule in FIPS-197 byte order (exactly the
+/// bytes the table path XORs in `add_round_key`), so the output is
+/// bit-identical to [`crate::Aes256::encrypt_block`].
+///
+/// # Safety
+///
+/// The CPU must support the `aes` feature (runtime-detected by the
+/// backend before any `Accel` state exists).
+#[target_feature(enable = "aes")]
+pub(crate) unsafe fn encrypt_blocks(rk: &[[u8; 16]; ROUND_KEYS], blocks: &mut [[u8; 16]]) {
+    let k: [__m128i; ROUND_KEYS] = core::array::from_fn(|i| load(&rk[i]));
+    for chunk in blocks.chunks_mut(8) {
+        // Short flights (protocol frames are 2–5 blocks) interleave just
+        // like full ones: every lane is independent, so the `aesenc`s of
+        // a round issue back to back and pipeline across lanes.
+        let n = chunk.len();
+        let mut s = [k[0]; 8];
+        for i in 0..n {
+            s[i] = _mm_xor_si128(load(&chunk[i]), k[0]);
+        }
+        for key in &k[1..14] {
+            for lane in &mut s[..n] {
+                *lane = _mm_aesenc_si128(*lane, *key);
+            }
+        }
+        for (lane, out) in s.into_iter().zip(chunk.iter_mut()) {
+            store(out, _mm_aesenclast_si128(lane, k[14]));
+        }
+    }
+}
+
+/// Generates the CTR keystream for one frame and XORs it into `data`
+/// in place, returning `E(J0)` (the tag mask).
+///
+/// Virtual block 0 is `J0` itself; block `i` is `J0` with the 32-bit
+/// big-endian counter advanced by `i`. With `include_j0 = false` the
+/// `J0` lane is skipped (the open path already derived the mask during
+/// verification). Flights of eight keep the `aesenc` pipeline full, and
+/// whole-register XOR replaces the byte loop of the portable path.
+#[target_feature(enable = "aes")]
+unsafe fn cipher_frame(
+    k: &[__m128i; ROUND_KEYS],
+    j0: &[u8; 16],
+    data: &mut [u8],
+    include_j0: bool,
+) -> __m128i {
+    let counter = u32::from_be_bytes([j0[12], j0[13], j0[14], j0[15]]);
+    let total = data.len().div_ceil(16) + 1;
+    let mut ej0 = k[0];
+    let mut done = usize::from(!include_j0);
+    while done < total {
+        let flight = (total - done).min(8);
+        let mut s = [k[0]; 8];
+        for (i, lane) in s[..flight].iter_mut().enumerate() {
+            let v = done + i;
+            let mut b = *j0;
+            if v > 0 {
+                b[12..].copy_from_slice(&counter.wrapping_add(v as u32).to_be_bytes());
+            }
+            *lane = _mm_xor_si128(load(&b), k[0]);
+        }
+        for key in &k[1..14] {
+            for lane in &mut s[..flight] {
+                *lane = _mm_aesenc_si128(*lane, *key);
+            }
+        }
+        for (i, lane) in s[..flight].iter().enumerate() {
+            let v = done + i;
+            let ks = _mm_aesenclast_si128(*lane, k[14]);
+            if v == 0 {
+                ej0 = ks;
+                continue;
+            }
+            let off = (v - 1) * 16;
+            let end = data.len().min(off + 16);
+            if end - off == 16 {
+                let chunk: &mut [u8; 16] = (&mut data[off..end]).try_into().expect("16B");
+                store(chunk, _mm_xor_si128(load(chunk), ks));
+            } else {
+                let mut kb = [0u8; 16];
+                store(&mut kb, ks);
+                for (b, kk) in data[off..end].iter_mut().zip(kb.iter()) {
+                    *b ^= kk;
+                }
+            }
+        }
+        done += flight;
+    }
+    ej0
+}
+
+/// Seals one frame in a single feature-gated call: CTR-encrypts
+/// `data` (plaintext in, ciphertext out), GHASHes `aad ∥ ct ∥ lens`,
+/// and returns the masked tag. One call boundary and one round-key
+/// load per frame, with AES, XOR, and GHASH all in registers.
+///
+/// # Safety
+///
+/// The CPU must support the `aes` and `pclmulqdq` features.
+#[target_feature(enable = "aes,pclmulqdq")]
+pub(crate) unsafe fn seal_frame(
+    rk: &[[u8; 16]; ROUND_KEYS],
+    powers: &[u128; POWERS],
+    j0: &[u8; 16],
+    aad: &[u8],
+    data: &mut [u8],
+) -> [u8; 16] {
+    let k: [__m128i; ROUND_KEYS] = core::array::from_fn(|i| load(&rk[i]));
+    let ej0 = cipher_frame(&k, j0, data, true);
+    let digest = ghash_tag(powers, aad, data);
+    let mut mask = [0u8; 16];
+    store(&mut mask, ej0);
+    (digest ^ u128::from_be_bytes(mask)).to_be_bytes()
+}
+
+/// Opens one frame in a single feature-gated call: GHASHes the
+/// ciphertext, derives `E(J0)`, compares the tag branch-free, and only
+/// on success CTR-decrypts `data` in place. Returns whether the tag
+/// verified; on `false`, `data` still holds the ciphertext.
+///
+/// # Safety
+///
+/// The CPU must support the `aes` and `pclmulqdq` features.
+#[target_feature(enable = "aes,pclmulqdq")]
+pub(crate) unsafe fn open_frame(
+    rk: &[[u8; 16]; ROUND_KEYS],
+    powers: &[u128; POWERS],
+    j0: &[u8; 16],
+    aad: &[u8],
+    data: &mut [u8],
+    tag: &[u8],
+) -> bool {
+    let k: [__m128i; ROUND_KEYS] = core::array::from_fn(|i| load(&rk[i]));
+    let digest = ghash_tag(powers, aad, data);
+    let mut e = _mm_xor_si128(load(j0), k[0]);
+    for key in &k[1..14] {
+        e = _mm_aesenc_si128(e, *key);
+    }
+    let mut mask = [0u8; 16];
+    store(&mut mask, _mm_aesenclast_si128(e, k[14]));
+    let expected = (digest ^ u128::from_be_bytes(mask)).to_be_bytes();
+    let mut diff = 0u8;
+    for (a, b) in expected.iter().zip(tag.iter()) {
+        diff |= a ^ b;
+    }
+    if diff != 0 {
+        return false;
+    }
+    cipher_frame(&k, j0, data, false);
+    true
+}
+
+#[inline(always)]
+fn to_u128(v: __m128i) -> u128 {
+    let mut out = [0u8; 16];
+    // SAFETY: 16-byte unaligned store into a local array.
+    unsafe { _mm_storeu_si128(out.as_mut_ptr().cast(), v) };
+    u128::from_le_bytes(out)
+}
+
+#[inline(always)]
+fn from_u128(x: u128) -> __m128i {
+    // SAFETY: `set_epi64x` only moves GPRs into an XMM register (SSE2,
+    // x86-64 baseline).
+    unsafe { _mm_set_epi64x((x >> 64) as i64, x as i64) }
+}
+
+/// 128×128 → 256 carry-less multiply (schoolbook: four `pclmulqdq`s,
+/// no cross-lane dependencies until the final XOR).
+///
+/// Returns `(high, low)` halves of the unreduced 256-bit product, kept
+/// in XMM registers so callers can XOR-aggregate many products without
+/// round-tripping through memory; [`reduce`] converts to scalar once.
+#[inline]
+#[target_feature(enable = "pclmulqdq")]
+fn mul_wide(a: __m128i, b: __m128i) -> (__m128i, __m128i) {
+    let lo = _mm_clmulepi64_si128(a, b, 0x00);
+    let hi = _mm_clmulepi64_si128(a, b, 0x11);
+    // Carry-less: the cross term folds in with XOR, no carries to ripple.
+    let mid = _mm_xor_si128(_mm_clmulepi64_si128(a, b, 0x01), _mm_clmulepi64_si128(a, b, 0x10));
+    (_mm_xor_si128(hi, _mm_srli_si128(mid, 8)), _mm_xor_si128(lo, _mm_slli_si128(mid, 8)))
+}
+
+/// Reduces an unreduced 256-bit product (as XMM `(high, low)` halves)
+/// to GF(2^128) in GCM's reflected bit order.
+///
+/// The operands fed to [`mul_wide`] are bit-reflected (SP 800-38D block
+/// order: coefficient `k` lives at bit `127 - k`), so the raw product is
+/// the reflection of the true polynomial product *shifted down by one*
+/// — hence the 256-bit left-shift first. The two folds then apply
+/// `x^128 ≡ x^7 + x^2 + x + 1 (mod g)`; in reflected order multiplying
+/// by `x^k` is a right shift by `k`, and the bits a fold pushes past the
+/// 128-bit boundary are collected and folded once more (the second
+/// residue is at most degree 12, so two folds always suffice).
+#[inline]
+fn reduce(v_hi: __m128i, v_lo: __m128i) -> u128 {
+    let (p_hi, p_lo) = (to_u128(v_hi), to_u128(v_lo));
+    // Undo the reflection offset: product of two reflected operands sits
+    // one bit low in the 256-bit register pair.
+    let q_hi = (p_hi << 1) | (p_lo >> 127);
+    let q_lo = p_lo << 1;
+    // Fold 1: the high 128 coefficients (held, reflected, in q_lo).
+    let e_hi = q_lo ^ (q_lo >> 1) ^ (q_lo >> 2) ^ (q_lo >> 7);
+    let e_lo = (q_lo << 127) ^ (q_lo << 126) ^ (q_lo << 121);
+    // Fold 2: the ≤ 7 residual bits the first fold spilled back out.
+    (q_hi ^ e_hi) ^ e_lo ^ (e_lo >> 1) ^ (e_lo >> 2) ^ (e_lo >> 7)
+}
+
+/// GF(2^128) multiply in GCM's representation — the carry-less-multiply
+/// twin of [`crate::ghash::gf_mul`].
+///
+/// # Safety
+///
+/// The CPU must support the `pclmulqdq` feature.
+#[cfg(test)]
+#[target_feature(enable = "pclmulqdq")]
+pub(crate) unsafe fn gf_mul_clmul(x: u128, y: u128) -> u128 {
+    let (hi, lo) = mul_wide(from_u128(x), from_u128(y));
+    reduce(hi, lo)
+}
+
+/// Absorbs `data` into a GHASH accumulator `y`, zero-padding the final
+/// partial block, using 4-way aggregated reduction.
+///
+/// `powers` is `[H, H², H³, H⁴]`. Four blocks at a time the update
+///
+/// ```text
+/// y' = (((((y ⊕ B₀)·H ⊕ B₁)·H ⊕ B₂)·H ⊕ B₃)·H
+///    = (y ⊕ B₀)·H⁴ ⊕ B₁·H³ ⊕ B₂·H² ⊕ B₃·H
+/// ```
+///
+/// is evaluated with the four unreduced 256-bit products XORed together
+/// and a *single* reduction — same field value, a quarter of the
+/// reduction work. Identical to [`crate::ghash::Ghash::update_padded`]
+/// by the distributivity the table path's own tests pin down.
+///
+/// # Safety
+///
+/// The CPU must support the `pclmulqdq` feature.
+#[cfg(test)]
+#[target_feature(enable = "pclmulqdq")]
+pub(crate) unsafe fn ghash_padded(powers: &[u128; POWERS], y: u128, data: &[u8]) -> u128 {
+    ghash_section(powers, y, data)
+}
+
+/// The whole GHASH digest of one GCM message in a single feature-gated
+/// call: `aad` section, ciphertext section, and the closing length
+/// block. Keeps the accumulator in registers across sections instead of
+/// paying a call boundary per section.
+///
+/// # Safety
+///
+/// The CPU must support the `pclmulqdq` feature.
+#[target_feature(enable = "pclmulqdq")]
+pub(crate) unsafe fn ghash_tag(powers: &[u128; POWERS], aad: &[u8], ct: &[u8]) -> u128 {
+    let lens = ((aad.len() as u128 * 8) << 64) | (ct.len() as u128 * 8);
+    let ma = aad.len().div_ceil(16);
+    let mc = ct.len().div_ceil(16);
+    let m = ma + mc + 1;
+    if m <= POWERS {
+        // Whole message in one aggregated reduction: every block’s
+        // carry-less products are independent, so the multiplier
+        // pipelines across the full digest — the common case for
+        // protocol-sized frames.
+        let (mut acc_hi, mut acc_lo) = mul_wide(from_u128(lens), from_u128(powers[0]));
+        let mut idx = 0;
+        for section in [aad, ct] {
+            for chunk in section.chunks(16) {
+                let mut block = [0u8; 16];
+                block[..chunk.len()].copy_from_slice(chunk);
+                let (hi, lo) =
+                    mul_wide(from_u128(u128::from_be_bytes(block)), from_u128(powers[m - 1 - idx]));
+                acc_hi = _mm_xor_si128(acc_hi, hi);
+                acc_lo = _mm_xor_si128(acc_lo, lo);
+                idx += 1;
+            }
+        }
+        return reduce(acc_hi, acc_lo);
+    }
+    let mut y = ghash_section(powers, 0, aad);
+    y = ghash_section(powers, y, ct);
+    let (hi, lo) = mul_wide(from_u128(y ^ lens), from_u128(powers[0]));
+    reduce(hi, lo)
+}
+
+#[inline]
+#[target_feature(enable = "pclmulqdq")]
+unsafe fn ghash_section(powers: &[u128; POWERS], mut y: u128, data: &[u8]) -> u128 {
+    let mut quads = data.chunks_exact(64);
+    for quad in &mut quads {
+        let b0 = u128::from_be_bytes(first16(&quad[0..]));
+        let b1 = u128::from_be_bytes(first16(&quad[16..]));
+        let b2 = u128::from_be_bytes(first16(&quad[32..]));
+        let b3 = u128::from_be_bytes(first16(&quad[48..]));
+        let (a_hi, a_lo) = mul_wide(from_u128(y ^ b0), from_u128(powers[3]));
+        let (b_hi, b_lo) = mul_wide(from_u128(b1), from_u128(powers[2]));
+        let (c_hi, c_lo) = mul_wide(from_u128(b2), from_u128(powers[1]));
+        let (d_hi, d_lo) = mul_wide(from_u128(b3), from_u128(powers[0]));
+        y = reduce(
+            _mm_xor_si128(_mm_xor_si128(a_hi, b_hi), _mm_xor_si128(c_hi, d_hi)),
+            _mm_xor_si128(_mm_xor_si128(a_lo, b_lo), _mm_xor_si128(c_lo, d_lo)),
+        );
+    }
+    let rem = quads.remainder();
+    if !rem.is_empty() {
+        // Tail of 1–4 blocks: one aggregated reduction, like the body.
+        let m = rem.len().div_ceil(16);
+        let zero = from_u128(0);
+        let (mut acc_hi, mut acc_lo) = (zero, zero);
+        for (idx, chunk) in rem.chunks(16).enumerate() {
+            let mut block = [0u8; 16];
+            block[..chunk.len()].copy_from_slice(chunk);
+            let mut b = u128::from_be_bytes(block);
+            if idx == 0 {
+                b ^= y;
+            }
+            let (hi, lo) = mul_wide(from_u128(b), from_u128(powers[m - 1 - idx]));
+            acc_hi = _mm_xor_si128(acc_hi, hi);
+            acc_lo = _mm_xor_si128(acc_lo, lo);
+        }
+        y = reduce(acc_hi, acc_lo);
+    }
+    y
+}
+
+#[inline(always)]
+fn first16(s: &[u8]) -> [u8; 16] {
+    let mut b = [0u8; 16];
+    b.copy_from_slice(&s[..16]);
+    b
+}

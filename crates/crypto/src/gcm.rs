@@ -1,6 +1,7 @@
 //! AES-256-GCM authenticated encryption (SP 800-38D, 96-bit nonces).
 
 use crate::aes::Aes256;
+use crate::backend::{Accel, CryptoBackend};
 use crate::ghash::{Ghash, GhashKey};
 
 /// Length of the authentication tag appended to every ciphertext.
@@ -40,26 +41,69 @@ impl std::error::Error for AuthError {}
 pub struct Aes256Gcm {
     cipher: Aes256,
     h: GhashKey,
+    /// Accelerated per-key state; `None` on the soft backend. Both
+    /// paths produce identical bytes, so this never affects outputs.
+    accel: Option<Accel>,
 }
 
 impl Aes256Gcm {
-    /// Creates an AEAD from a 256-bit key.
+    /// Creates an AEAD from a 256-bit key on the process-wide backend
+    /// ([`CryptoBackend::active`]).
     ///
     /// Key setup precomputes the AES round keys and the GHASH subkey's
-    /// multiplication tables, so per-message work is lookups only.
+    /// multiplication tables (plus, on the accelerated backend, the
+    /// GHASH key powers), so per-message work is table lookups or
+    /// AES-NI/PCLMULQDQ instructions only.
     pub fn new(key: &[u8; 32]) -> Self {
-        let cipher = Aes256::new(key);
-        let h = GhashKey::new(&cipher.encrypt_block_copy(&[0u8; 16]));
-        Aes256Gcm { cipher, h }
+        Self::with_backend(key, CryptoBackend::active())
     }
 
-    fn j0(nonce: &[u8; NONCE_LEN]) -> [u8; 16] {
+    /// Creates an AEAD pinned to a specific backend.
+    ///
+    /// Production code uses [`Aes256Gcm::new`]; this exists so
+    /// differential tests can hold both implementations side by side in
+    /// one process and assert byte-identical outputs.
+    pub fn with_backend(key: &[u8; 32], backend: CryptoBackend) -> Self {
+        let cipher = Aes256::new(key);
+        let h0 = cipher.encrypt_block_copy(&[0u8; 16]);
+        let h = GhashKey::new(&h0);
+        let accel = Accel::new(backend, cipher.round_key_blocks(), u128::from_be_bytes(h0));
+        Aes256Gcm { cipher, h, accel }
+    }
+
+    /// The backend this instance actually runs on ([`CryptoBackend::Accel`]
+    /// only when the CPU probe passed).
+    pub fn backend(&self) -> CryptoBackend {
+        if self.accel.is_some() {
+            CryptoBackend::Accel
+        } else {
+            CryptoBackend::Soft
+        }
+    }
+
+    pub(crate) fn j0(nonce: &[u8; NONCE_LEN]) -> [u8; 16] {
         let mut j0 = [0u8; 16];
         j0[..12].copy_from_slice(nonce);
         j0[15] = 1;
         j0
     }
 
+    /// AES-encrypts every 16-byte block in place — counter blocks on the
+    /// batch-seal path. One backend dispatch for the whole slice: the
+    /// accelerated path sweeps 8 blocks per AES-NI round trip.
+    pub(crate) fn encrypt_counter_blocks(&self, blocks: &mut [[u8; 16]]) {
+        match &self.accel {
+            Some(a) => a.encrypt_blocks(blocks),
+            None => {
+                for b in blocks {
+                    self.cipher.encrypt_block(b);
+                }
+            }
+        }
+    }
+
+    /// Portable CTR keystream XOR (the accelerated path fuses this into
+    /// [`Accel::seal_frame`]/[`Accel::open_frame`]).
     fn ctr_xor(&self, j0: &[u8; 16], data: &mut [u8]) {
         let mut counter = u32::from_be_bytes([j0[12], j0[13], j0[14], j0[15]]);
         for chunk in data.chunks_mut(16) {
@@ -73,17 +117,32 @@ impl Aes256Gcm {
         }
     }
 
-    fn tag(&self, j0: &[u8; 16], aad: &[u8], ciphertext: &[u8]) -> [u8; 16] {
+    /// GHASH digest over `aad || ciphertext` (each zero-padded) plus the
+    /// length block — the tag before the `E(J0)` mask.
+    fn ghash_digest(&self, aad: &[u8], ciphertext: &[u8]) -> [u8; 16] {
+        if let Some(a) = &self.accel {
+            return a.ghash_tag(aad, ciphertext).to_be_bytes();
+        }
         let mut ghash = Ghash::new(&self.h);
         ghash.update_padded(aad);
         ghash.update_padded(ciphertext);
-        let s = ghash.finalize(aad.len(), ciphertext.len());
-        let ek_j0 = self.cipher.encrypt_block_copy(j0);
+        ghash.finalize(aad.len(), ciphertext.len())
+    }
+
+    /// Computes a tag from an *already encrypted* `J0` block — the
+    /// batch-seal path, where all `E(J0)`s of a batch were produced in
+    /// one counter-block sweep.
+    pub(crate) fn tag_with_ej0(&self, ek_j0: &[u8; 16], aad: &[u8], ct: &[u8]) -> [u8; 16] {
+        let s = self.ghash_digest(aad, ct);
         let mut tag = [0u8; 16];
         for i in 0..16 {
             tag[i] = s[i] ^ ek_j0[i];
         }
         tag
+    }
+
+    fn tag(&self, j0: &[u8; 16], aad: &[u8], ciphertext: &[u8]) -> [u8; 16] {
+        self.tag_with_ej0(&self.cipher.encrypt_block_copy(j0), aad, ciphertext)
     }
 
     /// Encrypts and authenticates `plaintext` (authenticating `aad` as
@@ -107,6 +166,15 @@ impl Aes256Gcm {
         out: &mut Vec<u8>,
     ) {
         let j0 = Self::j0(nonce);
+        if let Some(a) = &self.accel {
+            // One fused kernel call per frame: CTR keystream, in-place
+            // XOR, GHASH, and tag mask behind a single round-key load.
+            let start = out.len();
+            out.extend_from_slice(plaintext);
+            let tag = a.seal_frame(&j0, aad, &mut out[start..]);
+            out.extend_from_slice(&tag);
+            return;
+        }
         let start = out.len();
         out.extend_from_slice(plaintext);
         self.ctr_xor(&j0, &mut out[start..]);
@@ -150,6 +218,19 @@ impl Aes256Gcm {
         }
         let (ciphertext, tag) = sealed.split_at(sealed.len() - TAG_LEN);
         let j0 = Self::j0(nonce);
+        if let Some(a) = &self.accel {
+            // Same fused shape as the sealing side. The ciphertext is
+            // staged into `out` (it is public data) and only decrypted
+            // in place after the tag verifies; on failure the staging is
+            // truncated away, so no plaintext is ever materialized.
+            let start = out.len();
+            out.extend_from_slice(ciphertext);
+            if !a.open_frame(&j0, aad, &mut out[start..], tag) {
+                out.truncate(start);
+                return Err(AuthError);
+            }
+            return Ok(());
+        }
         let expected = self.tag(&j0, aad, ciphertext);
         // Branch-free comparison; full constant-time operation is a non-goal
         // (see crate docs) but there is no reason to be sloppy here.
@@ -241,6 +322,45 @@ mod tests {
         );
         assert_eq!(to_hex(tag), "76fc6ece0f4e1768cddf8853bb2d551b");
         assert_eq!(aead.open(&iv, &aad, &sealed).unwrap(), pt);
+    }
+
+    /// Every NIST vector above, replayed against *both* backends
+    /// explicitly — `Aes256Gcm::new` above already exercises whichever
+    /// backend the host detects, this pins down the other one too.
+    #[test]
+    fn nist_vectors_pass_on_both_backends() {
+        let k16 = key("feffe9928665731c6d6a8f9467308308feffe9928665731c6d6a8f9467308308");
+        let iv16 = nonce("cafebabefacedbaddecaf888");
+        let pt16 = from_hex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+        );
+        let aad16 = from_hex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+        for backend in [crate::CryptoBackend::Soft, crate::CryptoBackend::active()] {
+            let zero = Aes256Gcm::with_backend(&[0u8; 32], backend);
+            // TC13: empty plaintext, empty AAD.
+            let sealed = zero.seal(&[0u8; 12], b"", b"");
+            assert_eq!(to_hex(&sealed), "530f8afbc74536b9a963b4f1c4cb738b", "{backend:?}");
+            // TC14: one zero block.
+            let sealed = zero.seal(&[0u8; 12], b"", &[0u8; 16]);
+            assert_eq!(
+                to_hex(&sealed),
+                "cea7403d4d606b6e074ec5d3baf39d18d0d1c8a799996bf0265b98b5d48ab919",
+                "{backend:?}"
+            );
+            // TC16: truncated plaintext plus AAD.
+            let aead = Aes256Gcm::with_backend(&k16, backend);
+            let sealed = aead.seal(&iv16, &aad16, &pt16);
+            let (ct, tag) = sealed.split_at(sealed.len() - 16);
+            assert_eq!(
+                to_hex(ct),
+                "522dc1f099567d07f47f37a32a84427d643a8cdcbfe5c0c97598a2bd2555d1aa\
+                 8cb08e48590dbb3da7b08b1056828838c5f61e6393ba7a0abcc9f662",
+                "{backend:?}"
+            );
+            assert_eq!(to_hex(tag), "76fc6ece0f4e1768cddf8853bb2d551b", "{backend:?}");
+            assert_eq!(aead.open(&iv16, &aad16, &sealed).unwrap(), pt16, "{backend:?}");
+        }
     }
 
     #[test]

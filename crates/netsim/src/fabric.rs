@@ -1,13 +1,12 @@
 //! The datagram fabric: delay, loss, partitions, duplication, reordering,
 //! interception, per-link statistics.
 
-use std::collections::{BTreeMap, BTreeSet};
-
 use rand::rngs::StdRng;
 use rand::Rng;
 use sim::{SimDuration, SimTime};
 
 use crate::delay::DelayModel;
+use crate::hash::FastMap;
 use crate::intercept::{Addr, InterceptAction, Interceptor, MsgMeta};
 
 /// A datagram scheduled for delivery.
@@ -67,15 +66,27 @@ pub struct LinkStats {
 #[derive(Debug)]
 pub struct Network {
     default_delay: DelayModel,
-    link_delay: BTreeMap<(Addr, Addr), DelayModel>,
     loss_probability: f64,
-    link_loss: BTreeMap<(Addr, Addr), f64>,
-    blocked: BTreeSet<(Addr, Addr)>,
     duplicate_probability: f64,
     reorder_probability: f64,
     reorder_window: SimDuration,
     interceptors: Vec<Box<dyn Interceptor>>,
-    stats: BTreeMap<(Addr, Addr), LinkStats>,
+    /// All per-link state consolidated behind one lookup: the dispatch
+    /// hot path touches exactly one map entry per datagram instead of
+    /// separate stats/partition/override tables.
+    links: FastMap<(Addr, Addr), LinkState>,
+}
+
+/// Everything the fabric knows about one directed link.
+#[derive(Debug, Default)]
+struct LinkState {
+    stats: LinkStats,
+    /// Partitioned: every datagram is dropped until healed.
+    blocked: bool,
+    /// Per-link loss override (fabric default when `None`).
+    loss: Option<f64>,
+    /// Per-link delay override (fabric default when `None`).
+    delay: Option<DelayModel>,
 }
 
 fn assert_probability(p: f64, what: &str) {
@@ -94,21 +105,18 @@ impl Network {
         assert_probability(loss_probability, "loss probability");
         Network {
             default_delay,
-            link_delay: BTreeMap::new(),
             loss_probability,
-            link_loss: BTreeMap::new(),
-            blocked: BTreeSet::new(),
             duplicate_probability: 0.0,
             reorder_probability: 0.0,
             reorder_window: SimDuration::ZERO,
             interceptors: Vec::new(),
-            stats: BTreeMap::new(),
+            links: FastMap::default(),
         }
     }
 
     /// Overrides the delay model of one directed link.
     pub fn set_link_delay(&mut self, src: Addr, dst: Addr, model: DelayModel) {
-        self.link_delay.insert((src, dst), model);
+        self.links.entry((src, dst)).or_default().delay = Some(model);
     }
 
     /// Overrides the loss probability of one directed link (`1.0` makes the
@@ -119,23 +127,27 @@ impl Network {
     /// Panics unless `p ∈ [0, 1]`.
     pub fn set_link_loss(&mut self, src: Addr, dst: Addr, p: f64) {
         assert_probability(p, "link loss probability");
-        self.link_loss.insert((src, dst), p);
+        self.links.entry((src, dst)).or_default().loss = Some(p);
     }
 
     /// Removes a per-link loss override, reverting to the fabric default.
     pub fn clear_link_loss(&mut self, src: Addr, dst: Addr) {
-        self.link_loss.remove(&(src, dst));
+        if let Some(link) = self.links.get_mut(&(src, dst)) {
+            link.loss = None;
+        }
     }
 
     /// Blocks one directed link: every datagram on it is dropped (counted
     /// as `partition_dropped`) until [`Network::heal_link`].
     pub fn block_link(&mut self, src: Addr, dst: Addr) {
-        self.blocked.insert((src, dst));
+        self.links.entry((src, dst)).or_default().blocked = true;
     }
 
     /// Unblocks one directed link.
     pub fn heal_link(&mut self, src: Addr, dst: Addr) {
-        self.blocked.remove(&(src, dst));
+        if let Some(link) = self.links.get_mut(&(src, dst)) {
+            link.blocked = false;
+        }
     }
 
     /// Blocks both directions between two endpoints (a symmetric
@@ -153,7 +165,7 @@ impl Network {
 
     /// Whether a directed link is currently blocked by a partition.
     pub fn is_blocked(&self, src: Addr, dst: Addr) -> bool {
-        self.blocked.contains(&(src, dst))
+        self.links.get(&(src, dst)).is_some_and(|l| l.blocked)
     }
 
     /// Sets the fabric-wide probability that a delivered datagram is
@@ -187,13 +199,13 @@ impl Network {
 
     /// Statistics for a directed link (zeroes if never used).
     pub fn link_stats(&self, src: Addr, dst: Addr) -> LinkStats {
-        self.stats.get(&(src, dst)).copied().unwrap_or_default()
+        self.links.get(&(src, dst)).map(|l| l.stats).unwrap_or_default()
     }
 
     /// Aggregated statistics over all links.
     pub fn total_stats(&self) -> LinkStats {
         let mut total = LinkStats::default();
-        for s in self.stats.values() {
+        for s in self.links.values().map(|l| &l.stats) {
             total.sent += s.sent;
             total.delivered += s.delivered;
             total.lost += s.lost;
@@ -211,7 +223,12 @@ impl Network {
     /// Every directed link with traffic, with its counters, sorted by
     /// `(src, dst)` so output is deterministic.
     pub fn per_link_stats(&self) -> Vec<(Addr, Addr, LinkStats)> {
-        let mut rows: Vec<_> = self.stats.iter().map(|(&(src, dst), &s)| (src, dst, s)).collect();
+        let mut rows: Vec<_> = self
+            .links
+            .iter()
+            .filter(|(_, l)| l.stats.sent > 0)
+            .map(|(&(src, dst), l)| (src, dst, l.stats))
+            .collect();
         rows.sort_by_key(|&(src, dst, _)| (src.0, dst.0));
         rows
     }
@@ -248,21 +265,23 @@ impl Network {
         payload: &[u8],
         out: &mut Vec<(SimTime, Delivery)>,
     ) {
-        let stats = self.stats.entry((src, dst)).or_default();
-        stats.sent += 1;
+        // One map access covers partition state, overrides, and every
+        // counter this datagram can touch.
+        let link = self.links.entry((src, dst)).or_default();
+        link.stats.sent += 1;
 
-        if self.blocked.contains(&(src, dst)) {
-            stats.partition_dropped += 1;
+        if link.blocked {
+            link.stats.partition_dropped += 1;
             return;
         }
 
-        let loss = self.link_loss.get(&(src, dst)).copied().unwrap_or(self.loss_probability);
+        let loss = link.loss.unwrap_or(self.loss_probability);
         if loss > 0.0 && rng.gen_bool(loss) {
-            stats.lost += 1;
+            link.stats.lost += 1;
             return;
         }
 
-        let model = self.link_delay.get(&(src, dst)).unwrap_or(&self.default_delay);
+        let model = link.delay.unwrap_or(self.default_delay);
         let mut delay = model.sample(rng);
 
         // Fault-driven reordering: an extra uniform delay lets datagrams
@@ -273,7 +292,7 @@ impl Network {
             if window_ns > 0 {
                 delay += SimDuration::from_nanos(rng.gen_range(0..=window_ns));
             }
-            self.stats.entry((src, dst)).or_default().reordered += 1;
+            link.stats.reordered += 1;
         }
 
         let meta = MsgMeta { src, dst, size: payload.len(), send_time: now };
@@ -291,8 +310,7 @@ impl Network {
                     replay_after = Some(d);
                 }
                 InterceptAction::Drop => {
-                    let stats = self.stats.entry((src, dst)).or_default();
-                    stats.attacker_dropped += 1;
+                    link.stats.attacker_dropped += 1;
                     return;
                 }
             }
@@ -303,28 +321,26 @@ impl Network {
         // link delay, so it can land before or after the original.
         let duplicate_delay =
             if self.duplicate_probability > 0.0 && rng.gen_bool(self.duplicate_probability) {
-                let model = self.link_delay.get(&(src, dst)).unwrap_or(&self.default_delay);
                 Some(model.sample(rng) + attacker_delay)
             } else {
                 None
             };
 
-        let stats = self.stats.entry((src, dst)).or_default();
-        stats.delivered += 1;
+        link.stats.delivered += 1;
         if delayed {
-            stats.attacker_delayed += 1;
-            stats.attacker_delay_ns += attacker_delay.as_nanos();
+            link.stats.attacker_delayed += 1;
+            link.stats.attacker_delay_ns += attacker_delay.as_nanos();
         }
         out.push((now + delay, Delivery { src, dst, payload: payload.to_vec(), send_time: now }));
         if let Some(extra) = replay_after {
-            stats.attacker_replayed += 1;
+            link.stats.attacker_replayed += 1;
             out.push((
                 now + delay + extra,
                 Delivery { src, dst, payload: payload.to_vec(), send_time: now },
             ));
         }
         if let Some(dup_delay) = duplicate_delay {
-            stats.duplicated += 1;
+            link.stats.duplicated += 1;
             out.push((
                 now + dup_delay,
                 Delivery { src, dst, payload: payload.to_vec(), send_time: now },

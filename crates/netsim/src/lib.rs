@@ -16,8 +16,10 @@
 
 mod delay;
 mod fabric;
+mod hash;
 mod intercept;
 
 pub use delay::DelayModel;
 pub use fabric::{Delivery, LinkStats, Network};
+pub use hash::{FastHasher, FastMap, FastSet};
 pub use intercept::{Addr, InterceptAction, Interceptor, MsgMeta, PassThrough};

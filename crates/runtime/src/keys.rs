@@ -5,9 +5,7 @@
 //! scenario seed). What matters for the reproduction is the consequence:
 //! the on-path attacker sees only AEAD-sealed bytes.
 
-use std::collections::HashMap;
-
-use netsim::Addr;
+use netsim::{Addr, FastMap};
 use tt_crypto::{AuthError, SealingKey};
 
 /// Returns the direction byte endpoint `a` uses on the `(a, b)` pair key.
@@ -26,7 +24,9 @@ pub fn link_aad(src: Addr, dst: Addr) -> [u8; 4] {
 /// All pairwise AEAD sessions of one deployment.
 #[derive(Debug, Default)]
 pub struct KeyTable {
-    sessions: HashMap<(Addr, Addr), SealingKey>,
+    /// Keyed by `(local, remote)`; the hot path looks a session up per
+    /// seal and per open, so this uses the fabric's fast small-key map.
+    sessions: FastMap<(Addr, Addr), SealingKey>,
 }
 
 impl KeyTable {
@@ -42,8 +42,13 @@ impl KeyTable {
     /// Panics if `a == b`.
     pub fn provision_pair(&mut self, a: Addr, b: Addr, key: [u8; 32]) {
         assert_ne!(a, b, "an endpoint does not share a key with itself");
-        self.sessions.insert((a, b), SealingKey::new(&key, direction_of(a, b)));
-        self.sessions.insert((b, a), SealingKey::new(&key, direction_of(b, a)));
+        // One key setup for both directions: the AES round keys and
+        // GHASH tables/powers live behind a shared `Arc`, halving both
+        // provisioning work and per-deployment key-schedule memory.
+        let (d0, d1) = SealingKey::pair(&key);
+        let (ab, ba) = if direction_of(a, b) == 0 { (d0, d1) } else { (d1, d0) };
+        self.sessions.insert((a, b), ab);
+        self.sessions.insert((b, a), ba);
     }
 
     /// True when `src` can seal to `dst`.
@@ -74,6 +79,52 @@ impl KeyTable {
             .get_mut(&(src, dst))
             .unwrap_or_else(|| panic!("no key provisioned for {src} -> {dst}"));
         session.seal_into(&link_aad(src, dst), plaintext, out);
+    }
+
+    /// Seals a whole batch of plaintexts from `src` to `dst` in one
+    /// AEAD pass (see [`tt_crypto::SealingKey::seal_batch_into`]): one
+    /// wire frame per `parts` range is appended to `out`, with each
+    /// frame's byte range pushed into `frames`. Bytes are identical to
+    /// calling [`KeyTable::seal_into`] once per part.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair was never provisioned.
+    pub fn seal_batch_into(
+        &mut self,
+        src: Addr,
+        dst: Addr,
+        plain: &[u8],
+        parts: &[std::ops::Range<usize>],
+        out: &mut Vec<u8>,
+        frames: &mut Vec<std::ops::Range<usize>>,
+    ) {
+        let session = self
+            .sessions
+            .get_mut(&(src, dst))
+            .unwrap_or_else(|| panic!("no key provisioned for {src} -> {dst}"));
+        session.seal_batch_into(&link_aad(src, dst), plain, parts, out, frames);
+    }
+
+    /// Opens a whole batch of wire frames received by `me` from `from`
+    /// in one AEAD pass — the receiving twin of
+    /// [`KeyTable::seal_batch_into`].
+    ///
+    /// # Errors
+    ///
+    /// All-or-nothing: fails without appending anything when the pair
+    /// has no key or any frame fails to authenticate.
+    pub fn open_batch_into(
+        &mut self,
+        me: Addr,
+        from: Addr,
+        wire: &[u8],
+        frames: &[std::ops::Range<usize>],
+        out: &mut Vec<u8>,
+        parts: &mut Vec<std::ops::Range<usize>>,
+    ) -> Result<(), AuthError> {
+        let session = self.sessions.get_mut(&(me, from)).ok_or(AuthError)?;
+        session.open_batch_into(&link_aad(from, me), wire, frames, out, parts)
     }
 
     /// Opens a sealed payload received by `me` from `from`.

@@ -18,7 +18,7 @@ use trace::{NodeStateTag, Recorder};
 use wire::Message;
 
 use crate::event::SysEvent;
-use crate::messaging::{open_delivery, send_message};
+use crate::messaging::{open_delivery, send_message, send_message_batch};
 use crate::world::World;
 
 /// Adapts a [`proto::Machine`] into a simulation [`Actor`].
@@ -138,6 +138,10 @@ impl Env for SimEnv<'_, '_> {
 
     fn send(&mut self, dst: Addr, msg: &Message) -> bool {
         send_message(self.ctx, self.me, dst, msg)
+    }
+
+    fn send_batch(&mut self, batch: &[(Addr, Message)]) -> usize {
+        send_message_batch(self.ctx, self.me, batch)
     }
 
     fn set_timer(&mut self, token: u64, after: SimDuration) {

@@ -1,9 +1,7 @@
 //! The shared simulation world: hosts, network, keys, clock blackboard,
 //! measurement recorder.
 
-use std::collections::BTreeMap;
-
-use netsim::{Addr, Network};
+use netsim::{Addr, FastMap, Network};
 use sim::{ActorId, SimTime};
 use trace::Recorder;
 use tsc::{CoreFrequency, IncModel, TscClock};
@@ -22,6 +20,10 @@ pub(crate) struct Scratch {
     pub wire: Vec<u8>,
     /// Deliveries staged by the fabric for the message being sent.
     pub deliveries: Vec<(SimTime, netsim::Delivery)>,
+    /// Plaintext ranges of the batch being sealed (one per message).
+    pub parts: Vec<std::ops::Range<usize>>,
+    /// Wire-frame ranges of the batch just sealed (one per message).
+    pub frames: Vec<std::ops::Range<usize>>,
 }
 
 /// One node's physical platform: its TSC, its monitoring core's frequency,
@@ -68,7 +70,7 @@ pub struct World {
     /// Per-node active lying-node fault (same indexing as `hosts`).
     /// `None` everywhere unless a fault plan injects a [`Lie`].
     pub lies: Vec<Option<Lie>>,
-    actors: BTreeMap<Addr, ActorId>,
+    actors: FastMap<Addr, ActorId>,
     /// Messaging hot-path scratch buffers (see [`Scratch`]).
     pub(crate) scratch: Scratch,
 }
@@ -85,7 +87,7 @@ impl World {
             keys: KeyTable::new(),
             ta_online: true,
             lies: vec![None; n],
-            actors: BTreeMap::new(),
+            actors: FastMap::default(),
             scratch: Scratch::default(),
         }
     }

@@ -77,6 +77,10 @@ pub struct Frontend {
     /// Answers served while a lying-node fault is active; drives the
     /// equivocation alternation in [`Lie::skew_ns`].
     lie_seq: u64,
+    /// The batch of answers being assembled by [`Frontend::flush`],
+    /// handed to [`Env::send_batch`] in one call so the driver can seal
+    /// same-client runs in one AEAD pass. Reused across flushes.
+    outbox: Vec<(Addr, Message)>,
 }
 
 impl Frontend {
@@ -95,6 +99,7 @@ impl Frontend {
             floor_ns: 0,
             degraded_since: None,
             lie_seq: 0,
+            outbox: Vec::new(),
         }
     }
 
@@ -185,6 +190,7 @@ impl Frontend {
         let lie = env.lie(self.node_index);
 
         let drained = self.queue.len().min(self.spec.batch_max);
+        self.outbox.clear();
         for _ in 0..drained {
             let Queued { client, nonce, kind } =
                 self.queue.pop_front().expect("drained within queue length");
@@ -229,8 +235,12 @@ impl Frontend {
                     Message::AttestResponse { nonce, outcome }
                 }
             };
-            env.send(client, &answer);
+            self.outbox.push((client, answer));
         }
+        // One driver call for the whole batch: same bytes and ordering as
+        // per-answer sends, but same-client runs seal in a single pass.
+        env.send_batch(&self.outbox);
+        self.outbox.clear();
         if !self.queue.is_empty() {
             // Backlog remains: drain it at the paced batch rate rather
             // than instantly, so a saturated node sheds instead of

@@ -259,6 +259,9 @@ pub struct QuorumGen {
     cursor: usize,
     pending: BTreeMap<u64, PendingRead>,
     next_nonce: u64,
+    /// The fan-out batch being assembled by `issue`, handed to
+    /// [`Env::send_batch`] in one call. Reused across reads.
+    outbox: Vec<(Addr, Message)>,
 }
 
 impl QuorumGen {
@@ -284,6 +287,7 @@ impl QuorumGen {
             cursor: 0,
             pending: BTreeMap::new(),
             next_nonce: 0,
+            outbox: Vec::new(),
         }
     }
 
@@ -332,9 +336,15 @@ impl QuorumGen {
         }
         self.next_nonce += 1;
         let nonce = self.next_nonce & TOKEN_PAYLOAD;
+        // One driver call for the whole fan-out; panel members are
+        // distinct addresses, so this batches the dispatch plumbing
+        // rather than the sealing itself.
+        self.outbox.clear();
         for &i in &panel {
-            env.send(self.frontends[i], &Message::AttestRequest { nonce });
+            self.outbox.push((self.frontends[i], Message::AttestRequest { nonce }));
         }
+        env.send_batch(&self.outbox);
+        self.outbox.clear();
         env.set_timer(TOKEN_DEADLINE | nonce, self.spec.quorum.collect_timeout);
         self.pending.insert(
             nonce,

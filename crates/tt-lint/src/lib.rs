@@ -63,6 +63,15 @@ pub const NON_DETERMINISTIC_CRATES: &[&str] = &["net", "bench"];
 pub const OUTPUT_MODULES: &[&str] =
     &["crates/trace/src/sink.rs", "crates/experiments/src/output.rs"];
 
+/// The designated intrinsics module pair, the only files where
+/// `unsafe-intrinsics` hits may be waived: the safe-wrapper/detection
+/// layer and the kernels themselves. An allow directive (or allowlist
+/// entry) for the lint anywhere else is a policy error, not an
+/// exception — the point of the lint is that the audit surface for
+/// unsafe code cannot silently grow.
+pub const INTRINSICS_MODULES: &[&str] =
+    &["crates/crypto/src/backend.rs", "crates/crypto/src/clmul.rs"];
+
 /// The message-handling hot path (wire decode → machine input) where
 /// `panic-surface` applies.
 pub const HOT_PATH_MODULES: &[&str] = &[
@@ -129,6 +138,7 @@ struct FileClass {
     deterministic: bool,
     output_module: bool,
     hot_path: bool,
+    intrinsics_module: bool,
 }
 
 fn classify(rel: &str) -> Option<FileClass> {
@@ -148,6 +158,7 @@ fn classify(rel: &str) -> Option<FileClass> {
         deterministic,
         output_module: OUTPUT_MODULES.contains(&rel),
         hot_path: HOT_PATH_MODULES.contains(&rel),
+        intrinsics_module: INTRINSICS_MODULES.contains(&rel),
     })
 }
 
@@ -158,6 +169,7 @@ fn lint_applies(lint: &Lint, class: FileClass) -> bool {
         }
         Scope::MachineImpls => true, // narrowed to impl spans per file
         Scope::HotPathModules => class.hot_path,
+        Scope::AllCrates => true,
     }
 }
 
@@ -199,6 +211,15 @@ pub fn lint_source(
                      `// tt-lint: allow({}) — <why>`",
                     d.lint, d.lint
                 ),
+            });
+        } else if d.lint == "unsafe-intrinsics" && !class.intrinsics_module {
+            policy.push(PolicyError {
+                file: rel.to_string(),
+                line: d.at,
+                message: "unsafe-intrinsics cannot be waived here — unsafe code and CPU \
+                          intrinsics are licensed only in crates/crypto/src/backend.rs and \
+                          crates/crypto/src/clmul.rs"
+                    .to_string(),
             });
         } else {
             directives.push((d.clone(), std::cell::Cell::new(0usize)));
@@ -307,6 +328,16 @@ pub fn check_workspace(root: &Path, allowlist_path: &Path) -> std::io::Result<Re
                 file: allow_rel.clone(),
                 line: e.line,
                 message: format!("allowlist entry names no known lint `{}`", e.lint),
+            });
+        } else if e.lint == "unsafe-intrinsics" && !INTRINSICS_MODULES.contains(&e.path.as_str()) {
+            report.policy_errors.push(PolicyError {
+                file: allow_rel.clone(),
+                line: e.line,
+                message: format!(
+                    "allowlist cannot waive unsafe-intrinsics for `{}` — unsafe code is \
+                     licensed only in crates/crypto/src/backend.rs and clmul.rs",
+                    e.path
+                ),
             });
         }
     }

@@ -10,7 +10,12 @@
 //!   capability must come through `proto::Env`,
 //! - the **panic-surface lint** (`panic-surface`) fires only in the
 //!   message-handling hot-path modules (wire decode → machine input),
-//!   where fault plans require graceful degradation instead of aborts.
+//!   where fault plans require graceful degradation instead of aborts,
+//! - the **unsafe-intrinsics lint** (`unsafe-intrinsics`) fires in every
+//!   scanned crate: `unsafe` and CPU-intrinsic machinery are licensed
+//!   only inside the designated crypto kernel pair
+//!   (`crates/crypto/src/{backend,clmul}.rs`), where each use carries a
+//!   justified allow; an allow anywhere else is itself a policy error.
 
 use crate::lexer::CodeLine;
 
@@ -23,6 +28,8 @@ pub enum Scope {
     MachineImpls,
     /// Only the configured hot-path modules.
     HotPathModules,
+    /// Every file of every scanned crate, deterministic or not.
+    AllCrates,
 }
 
 /// One lint: a name, a scope, the tokens that trigger it, and the
@@ -96,6 +103,16 @@ pub const LINTS: &[Lint] = &[
         message: "direct platform capability inside an `impl Machine` block",
         help: "machines run unchanged under the sim and the live UDP runtime; every clock, RNG, \
                socket, or cross-thread effect must go through `proto::Env`",
+    },
+    Lint {
+        name: "unsafe-intrinsics",
+        scope: Scope::AllCrates,
+        patterns: &["unsafe", "is_x86_feature_detected", "core::arch", "std::arch"],
+        message: "unsafe code / CPU intrinsics outside the designated crypto kernel pair",
+        help: "intrinsics live only in crates/crypto/src/backend.rs (safe wrappers, runtime \
+               feature detection) and crates/crypto/src/clmul.rs (kernels); everything else \
+               stays forbid(unsafe_code) so the determinism and memory-safety audit surface \
+               is two files",
     },
     Lint {
         name: "panic-surface",

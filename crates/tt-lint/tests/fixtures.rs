@@ -99,6 +99,42 @@ fn panic_surface_applies_only_to_hot_path_modules() {
 }
 
 #[test]
+fn unsafe_intrinsics_flagged_everywhere_but_the_kernel_pair() {
+    let src = "pub fn f(x: u128, h: u128) -> u128 {\n    unsafe { core::arch::x86_64::_mm_clmulepi64_si128(a, b, 0) }\n}\n";
+    let f = lint("crates/sim/src/lib.rs", src);
+    assert_eq!(f.len(), 2, "`unsafe` and `core::arch`: {f:?}");
+    assert!(f.iter().all(|f| f.lint == "unsafe-intrinsics"), "{f:?}");
+    // The live crate is NOT exempt: the lint spans every scanned crate.
+    assert_eq!(lint("crates/net/src/x.rs", src).len(), 2);
+    // The designated kernel pair may waive it with a justified allow.
+    let waived = format!("// tt-lint: allow-file(unsafe-intrinsics) — kernels\n{src}");
+    let (f, p, suppressed, _) = lint_source("crates/crypto/src/clmul.rs", &waived, &[]);
+    assert!(f.is_empty() && p.is_empty(), "{f:?} {p:?}");
+    assert_eq!(suppressed, 2);
+}
+
+#[test]
+fn unsafe_intrinsics_boundaries_spare_the_lint_attributes() {
+    // `forbid(unsafe_code)` and the feature-probe macro name inside a
+    // string/comment must not fire; a real probe outside the pair must.
+    let src = "#![forbid(unsafe_code)]\n// unsafe is discussed here only\n";
+    assert!(lint("crates/proto/src/lib.rs", src).is_empty());
+    let probe = "fn d() -> bool { std::arch::is_x86_feature_detected!(\"aes\") }\n";
+    let f = lint("crates/tsc/src/lib.rs", probe);
+    assert_eq!(f.len(), 2, "`std::arch` and the probe macro: {f:?}");
+    assert!(f.iter().all(|f| f.lint == "unsafe-intrinsics"));
+}
+
+#[test]
+fn unsafe_intrinsics_allow_outside_kernel_pair_is_a_policy_error() {
+    let src = "// tt-lint: allow(unsafe-intrinsics) — trust me\nunsafe { transmute(x) }\n";
+    let (f, p, _, _) = lint_source("crates/runtime/src/machine.rs", src, &[]);
+    assert_eq!(f.len(), 1, "the allow must not suppress the finding: {f:?}");
+    assert_eq!(p.len(), 1);
+    assert!(p[0].message.contains("cannot be waived"), "{p:?}");
+}
+
+#[test]
 fn inline_allow_suppresses_and_requires_justification() {
     let good = "// tt-lint: allow(hash-collections) — lookup only, never iterated\n\
                 use std::collections::HashMap;\n";
