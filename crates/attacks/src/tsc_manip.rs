@@ -22,6 +22,49 @@ pub struct PlannedManipulation {
     pub manipulation: TscManipulation,
 }
 
+impl PlannedManipulation {
+    /// Encodes as `<at_ns> <victim> <kind> <value>` — one reproducer-file
+    /// line, round-tripped exactly by [`PlannedManipulation::decode`].
+    pub fn encode(&self) -> String {
+        format!("{} {} {}", self.at.as_nanos(), self.victim.0, self.manipulation.encode())
+    }
+
+    /// Decodes one `<at_ns> <victim> <kind> <value>` line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed token (including
+    /// manipulation values [`tsc::TscClock::manipulate`] would panic on).
+    pub fn decode(s: &str) -> Result<PlannedManipulation, String> {
+        let mut parts = s.trim().splitn(3, ' ');
+        let at = parts
+            .next()
+            .filter(|t| !t.is_empty())
+            .ok_or_else(|| "empty manipulation line".to_string())?;
+        let at = at.parse().map_err(|_| format!("unparseable timestamp {at:?}"))?;
+        let victim = parts.next().ok_or_else(|| "missing victim".to_string())?;
+        let victim = victim.parse().map_err(|_| format!("unparseable victim {victim:?}"))?;
+        let manipulation = TscManipulation::decode(
+            parts.next().ok_or_else(|| "missing manipulation".to_string())?,
+        )?;
+        Ok(PlannedManipulation { at: SimTime::from_nanos(at), victim: Addr(victim), manipulation })
+    }
+
+    /// Bounds-checks against an `n_nodes` cluster: the victim must be a
+    /// node address (`1..=n_nodes` — the TA's clock is the reference and
+    /// cannot be manipulated) and the manipulation value must be safe.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated bound.
+    pub fn validate(&self, n_nodes: usize) -> Result<(), String> {
+        if self.victim.0 == 0 || self.victim.0 as usize > n_nodes {
+            return Err(format!("victim {} outside 1..={n_nodes}", self.victim.0));
+        }
+        self.manipulation.validate()
+    }
+}
+
 /// Applies a fixed schedule of TSC manipulations.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TscAttackSchedule {
@@ -64,6 +107,36 @@ mod tests {
     use netsim::{DelayModel, Network};
     use runtime::Host;
     use sim::{SimDuration, Simulation};
+
+    #[test]
+    fn planned_manipulation_codec_round_trips() {
+        for p in [
+            PlannedManipulation {
+                at: SimTime::from_secs(42),
+                victim: Addr(2),
+                manipulation: TscManipulation::OffsetJump(-29_000_000),
+            },
+            PlannedManipulation {
+                at: SimTime::from_nanos(1),
+                victim: Addr(1),
+                manipulation: TscManipulation::ScaleRate(1.000_05),
+            },
+        ] {
+            assert_eq!(PlannedManipulation::decode(&p.encode()), Ok(p));
+            assert!(p.validate(3).is_ok());
+        }
+        assert!(PlannedManipulation::decode("5 1").is_err());
+        assert!(PlannedManipulation::decode("x 1 offset-jump 5").is_err());
+        assert!(PlannedManipulation::decode("5 1 scale-rate -1").is_err());
+        let ta = PlannedManipulation {
+            at: SimTime::ZERO,
+            victim: Addr(0),
+            manipulation: TscManipulation::OffsetJump(1),
+        };
+        assert!(ta.validate(3).is_err());
+        let oob = PlannedManipulation { victim: Addr(4), ..ta };
+        assert!(oob.validate(3).is_err());
+    }
 
     #[test]
     fn schedule_applies_in_order() {

@@ -594,6 +594,10 @@ impl TriadNode {
                             let ppm = (ratio / baseline - 1.0).abs() * 1e6;
                             if ppm > self.cfg.monitor_threshold_ppm {
                                 self.monitor_detections += 1;
+                                env.recorder()
+                                    .node_mut(self.index)
+                                    .monitor_detections
+                                    .increment(now);
                                 self.inc_ticks_per_inc = None;
                                 self.monitor_anchor = Some((now, ticks_now));
                                 self.schedule_monitor(env);

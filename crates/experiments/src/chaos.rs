@@ -67,7 +67,9 @@ impl FaultClass {
         }
     }
 
-    fn plan(self, seed: u64) -> FaultPlan {
+    /// The class's fault plan (shared with E23, which uses the chaos
+    /// suite's hand-written plans as search baselines).
+    pub(crate) fn plan(self, seed: u64) -> FaultPlan {
         let from = SimTime::from_secs(FAULT_FROM_S);
         let window = SimDuration::from_secs(FAULT_TO_S - FAULT_FROM_S);
         let to = SimTime::from_secs(FAULT_TO_S);
@@ -180,6 +182,9 @@ pub struct CellResult {
     pub unc_final_ms: f64,
     /// Worst |drift| of the faulted node over the run (ms).
     pub max_abs_drift_ms: f64,
+    /// Worst |drift| across all nodes with no detection event within
+    /// [`trace::DETECTION_GRACE`] — the E23 search's drift fitness.
+    pub max_undetected_drift_ms: f64,
     /// Probe retransmissions on the faulted node.
     pub retries: u64,
     /// Circuit-breaker openings on the faulted node.
@@ -257,6 +262,9 @@ fn run_cell(opts: &RunOpts, cell: &RunCell<(FaultClass, Variant)>) -> CellOutput
         unc_peak_ms: unc_peak / 1e6,
         unc_final_ms: t.reading_uncertainty_ns.last().map(|(_, u)| u / 1e6).unwrap_or(0.0),
         max_abs_drift_ms: d_lo.abs().max(d_hi.abs()),
+        max_undetected_drift_ms: (0..world.node_count())
+            .map(|i| world.recorder.node(i).max_undetected_drift_ms(trace::DETECTION_GRACE))
+            .fold(0.0f64, f64::max),
         retries: t.probe_retries.count(),
         breaker_opens: t.breaker_opens.count(),
         crashes: t.crashes.count(),
@@ -356,6 +364,7 @@ pub fn run(opts: &RunOpts) -> ChaosResult {
             "unc_peak_ms",
             "unc_final_ms",
             "max_abs_drift_ms",
+            "max_undetected_drift_ms",
             "retries",
             "breaker_opens",
             "crashes",
@@ -370,6 +379,7 @@ pub fn run(opts: &RunOpts) -> ChaosResult {
                 format!("{:.3}", c.unc_peak_ms),
                 format!("{:.3}", c.unc_final_ms),
                 format!("{:.1}", c.max_abs_drift_ms),
+                format!("{:.3}", c.max_undetected_drift_ms),
                 c.retries.to_string(),
                 c.breaker_opens.to_string(),
                 c.crashes.to_string(),

@@ -1,6 +1,6 @@
 //! # experiments — regenerating the paper's evaluation
 //!
-//! One module per table/figure of §IV plus the two extension experiments;
+//! One module per table/figure of §IV plus the extension experiments;
 //! each exposes `run(&RunOpts) -> …Result` with `render()` (human text),
 //! CSV side-outputs, and `comparisons()` — the paper-vs-measured rows
 //! aggregated into EXPERIMENTS.md.
@@ -21,6 +21,7 @@
 //! | [`chaos`] | E20 — fault-injection chaos suite (availability under faults) |
 //! | [`serve`] | E21 — trusted-timestamp serving under load and faults |
 //! | [`quorum`] | E22 — quorum-attested reads vs lying nodes (Byzantine detection) |
+//! | [`search`] | E23 — adversarial scenario search (seeded mutation + shrinking) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +39,7 @@ pub mod inc_table;
 mod output;
 pub mod quorum;
 pub mod resilience;
+pub mod search;
 pub mod serve;
 pub mod sweeps;
 pub mod tsc_detect;
@@ -45,7 +47,7 @@ pub mod tsc_detect;
 pub use output::{comparison_markdown, comparison_table, write_text, Comparison, RunOpts};
 
 /// Every experiment id accepted by the runner.
-pub const ALL_EXPERIMENTS: [&str; 14] = [
+pub const ALL_EXPERIMENTS: [&str; 15] = [
     "fig1",
     "inc-table",
     "fig2",
@@ -60,6 +62,7 @@ pub const ALL_EXPERIMENTS: [&str; 14] = [
     "chaos",
     "serve",
     "quorum",
+    "search",
 ];
 
 /// Runs one experiment by id, returning its rendered report and
@@ -124,6 +127,10 @@ pub fn run_by_id(id: &str, opts: &RunOpts) -> (String, Vec<Comparison>) {
         }
         "quorum" => {
             let r = quorum::run(opts);
+            (r.render(), r.comparisons())
+        }
+        "search" => {
+            let r = search::run(opts);
             (r.render(), r.comparisons())
         }
         other => panic!("unknown experiment id {other:?} (known: {ALL_EXPERIMENTS:?})"),

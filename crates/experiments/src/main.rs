@@ -2,17 +2,21 @@
 //!
 //! ```text
 //! triad-experiments [EXPERIMENT ...] [--quick] [--smoke] [--jobs N]
-//!                   [--seed N] [--out DIR]
+//!                   [--seed N] [--budget N] [--out DIR]
+//! triad-experiments replay FILE... [--jobs N]
 //!
 //! EXPERIMENT   one or more of: fig1 inc-table fig2 fig3 fig4 fig5 fig6
 //!              resilience tsc-detect sweeps baseline chaos serve quorum
-//!              all (default: all)
+//!              search all (default: all)
+//! replay       re-run search reproducer files (results/search/corpus/
+//!              *.scn) and exit nonzero on any fitness mismatch
 //! --quick      shortened horizons (minutes instead of the paper's hours)
 //! --smoke      CI liveness mode: implies --quick, shrinks grid
 //!              experiments (chaos runs a mini-grid)
 //! --jobs N     worker threads for grid experiments (default: all cores;
 //!              results are bit-identical for any N)
 //! --seed N     base RNG seed (default: the release seed)
+//! --budget N   override E23's per-cell search budget (evaluations)
 //! --out DIR    output directory (default: results/)
 //! ```
 //!
@@ -30,11 +34,48 @@ use experiments::{
 fn usage() -> ! {
     eprintln!(
         "usage: triad-experiments [EXPERIMENT ...] [--quick] [--smoke] [--jobs N] \
-         [--seed N] [--out DIR]\n\
+         [--seed N] [--budget N] [--out DIR]\n\
+         \x20      triad-experiments replay FILE...\n\
          experiments: {} all",
         ALL_EXPERIMENTS.join(" ")
     );
     std::process::exit(2);
+}
+
+/// Replays search reproducer files; any fitness mismatch fails the run.
+fn replay(paths: &[String]) -> ExitCode {
+    if paths.is_empty() {
+        eprintln!("replay: no reproducer files given");
+        return ExitCode::from(2);
+    }
+    let mut ok = true;
+    for path in paths {
+        let rep = match search::Reproducer::load(std::path::Path::new(path)) {
+            Ok(r) => r,
+            Err(e) => {
+                println!("{path}: UNREADABLE ({e})");
+                ok = false;
+                continue;
+            }
+        };
+        let measured = rep.replay();
+        let matches = experiments::search::replay_close(&measured, &rep.fitness);
+        println!(
+            "{}: {} (recorded detections={} value={:.6}, measured detections={} value={:.6})",
+            rep.name,
+            if matches { "ok" } else { "MISMATCH" },
+            rep.fitness.detections,
+            rep.fitness.value,
+            measured.detections,
+            measured.value,
+        );
+        ok &= matches;
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn main() -> ExitCode {
@@ -56,6 +97,10 @@ fn main() -> ExitCode {
                 let v = args.next().unwrap_or_else(|| usage());
                 opts.seed = v.parse().unwrap_or_else(|_| usage());
             }
+            "--budget" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.budget = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
             "--out" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 opts.out_dir = PathBuf::from(v);
@@ -64,6 +109,9 @@ fn main() -> ExitCode {
             id if id.starts_with('-') => usage(),
             id => ids.push(id.to_string()),
         }
+    }
+    if ids.first().is_some_and(|i| i == "replay") {
+        return replay(&ids[1..]);
     }
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ids = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();

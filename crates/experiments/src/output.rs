@@ -20,6 +20,9 @@ pub struct RunOpts {
     /// Worker threads for grid experiments (`0` = one per core). Results
     /// are bit-identical for any value; this is a wall-clock knob only.
     pub jobs: usize,
+    /// Override for E23's per-cell search budget (scenario evaluations);
+    /// `None` uses the mode's default.
+    pub budget: Option<usize>,
     /// Where CSVs and rendered text go.
     pub out_dir: PathBuf,
 }
@@ -31,6 +34,7 @@ impl Default for RunOpts {
             quick: false,
             smoke: false,
             jobs: 0,
+            budget: None,
             out_dir: PathBuf::from("results"),
         }
     }

@@ -197,6 +197,9 @@ pub struct CellResult {
     pub all_liars_quarantined: bool,
     /// Quorum accept rate (accepted / offered) during the lie window.
     pub accept_rate_during: f64,
+    /// Worst |drift| across all nodes with no detection event within
+    /// [`trace::DETECTION_GRACE`] — the E23 search's drift fitness.
+    pub max_undetected_drift_ms: f64,
     /// Per-node `(attestations, suspected, quarantined)` counts.
     pub per_node: Vec<(u64, u64, u64)>,
 }
@@ -297,6 +300,9 @@ fn run_cell(opts: &RunOpts, cell: &RunCell<(usize, LieLevel, LoadLevel)>) -> Cel
         all_liars_suspected: liars.iter().all(|&i| per_node[i].1 > 0),
         all_liars_quarantined: liars.iter().all(|&i| per_node[i].2 > 0),
         accept_rate_during: accepted_during as f64 / offered_during.max(1) as f64,
+        max_undetected_drift_ms: (0..world.node_count())
+            .map(|i| world.recorder.node(i).max_undetected_drift_ms(trace::DETECTION_GRACE))
+            .fold(0.0f64, f64::max),
         per_node,
     }
 }
@@ -367,6 +373,7 @@ pub fn run(opts: &RunOpts) -> QuorumResult {
             "s_p99_ms",
             "single_ok",
             "accept_rate_during",
+            "max_undetected_drift_ms",
         ],
         cells.iter().map(|c| {
             vec![
@@ -388,6 +395,7 @@ pub fn run(opts: &RunOpts) -> QuorumResult {
                 format!("{:.3}", c.single_ms[2]),
                 c.single_ok.to_string(),
                 format!("{:.4}", c.accept_rate_during),
+                format!("{:.3}", c.max_undetected_drift_ms),
             ]
         }),
     )

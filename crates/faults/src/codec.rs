@@ -1,0 +1,402 @@
+//! A deterministic text codec for fault plans.
+//!
+//! The search subsystem commits shrunk adversary plans as reviewable
+//! reproducer files, so fault actions need a serialization that (a)
+//! round-trips exactly, (b) diffs cleanly, and (c) rejects out-of-bounds
+//! plans at decode time instead of panicking mid-simulation. The format
+//! is one event per line:
+//!
+//! ```text
+//! <at_ns> <action-keyword> [key=value ...]
+//! ```
+//!
+//! e.g. `40000000000 partition-pair a=1 b=0`. Addresses are raw [`Addr`]
+//! values (`0` is the TA, `1..=n` the nodes); durations and instants are
+//! nanoseconds; floats use Rust's shortest-round-trip `Display`, so
+//! `decode(encode(x)) == x` holds exactly (see the proptest below).
+
+use netsim::Addr;
+use sim::{SimDuration, SimTime};
+
+use crate::plan::{FaultAction, FaultEvent, FaultPlan};
+
+/// Splits `key=value`, or errors with the offending token.
+fn kv(token: &str) -> Result<(&str, &str), String> {
+    token.split_once('=').ok_or_else(|| format!("expected key=value, got {token:?}"))
+}
+
+/// A tiny field reader over the `key=value` tail of one encoded action.
+struct Fields<'a> {
+    tokens: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Fields<'a> {
+    fn new(tokens: &'a [&'a str]) -> Result<Self, String> {
+        Ok(Fields { tokens: tokens.iter().map(|t| kv(t)).collect::<Result<_, _>>()? })
+    }
+
+    fn raw(&self, key: &str) -> Result<&'a str, String> {
+        self.tokens
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|&(_, v)| v)
+            .ok_or_else(|| format!("missing field {key}"))
+    }
+
+    fn parse<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
+        self.raw(key)?.parse().map_err(|_| format!("unparseable field {key}"))
+    }
+
+    fn addr(&self, key: &str) -> Result<Addr, String> {
+        Ok(Addr(self.parse::<u16>(key)?))
+    }
+
+    fn duration(&self, key: &str) -> Result<SimDuration, String> {
+        Ok(SimDuration::from_nanos(self.parse::<u64>(key)?))
+    }
+}
+
+impl FaultAction {
+    /// Encodes the action as `keyword key=value ...` (no timestamp).
+    pub fn encode(&self) -> String {
+        match self {
+            FaultAction::PartitionPair { a, b } => format!("partition-pair a={} b={}", a.0, b.0),
+            FaultAction::PartitionLink { src, dst } => {
+                format!("partition-link src={} dst={}", src.0, dst.0)
+            }
+            FaultAction::HealPair { a, b } => format!("heal-pair a={} b={}", a.0, b.0),
+            FaultAction::HealLink { src, dst } => format!("heal-link src={} dst={}", src.0, dst.0),
+            FaultAction::SetLinkLoss { src, dst, loss } => {
+                format!("set-link-loss src={} dst={} loss={}", src.0, dst.0, loss)
+            }
+            FaultAction::ClearLinkLoss { src, dst } => {
+                format!("clear-link-loss src={} dst={}", src.0, dst.0)
+            }
+            FaultAction::SetDuplication { probability } => {
+                format!("set-duplication p={probability}")
+            }
+            FaultAction::SetReordering { probability, window } => {
+                format!("set-reordering p={} window={}", probability, window.as_nanos())
+            }
+            FaultAction::TaOutage => "ta-outage".to_string(),
+            FaultAction::TaRestore => "ta-restore".to_string(),
+            FaultAction::CrashNode { node } => format!("crash node={node}"),
+            FaultAction::RestartNode { node } => format!("restart node={node}"),
+            FaultAction::AexStorm { node, count, spacing } => {
+                let target = node.map(|i| i.to_string()).unwrap_or_else(|| "all".to_string());
+                format!("aex-storm node={target} count={count} spacing={}", spacing.as_nanos())
+            }
+            FaultAction::StartLie { node, offset_ns, equivocate } => {
+                format!("start-lie node={node} offset={offset_ns} equivocate={equivocate}")
+            }
+            FaultAction::StopLie { node } => format!("stop-lie node={node}"),
+        }
+    }
+
+    /// Decodes one `keyword key=value ...` action.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed token.
+    pub fn decode(s: &str) -> Result<FaultAction, String> {
+        let tokens: Vec<&str> = s.split_whitespace().collect();
+        let (&keyword, rest) =
+            tokens.split_first().ok_or_else(|| "empty fault action".to_string())?;
+        let f = Fields::new(rest)?;
+        let action = match keyword {
+            "partition-pair" => FaultAction::PartitionPair { a: f.addr("a")?, b: f.addr("b")? },
+            "partition-link" => {
+                FaultAction::PartitionLink { src: f.addr("src")?, dst: f.addr("dst")? }
+            }
+            "heal-pair" => FaultAction::HealPair { a: f.addr("a")?, b: f.addr("b")? },
+            "heal-link" => FaultAction::HealLink { src: f.addr("src")?, dst: f.addr("dst")? },
+            "set-link-loss" => FaultAction::SetLinkLoss {
+                src: f.addr("src")?,
+                dst: f.addr("dst")?,
+                loss: f.parse("loss")?,
+            },
+            "clear-link-loss" => {
+                FaultAction::ClearLinkLoss { src: f.addr("src")?, dst: f.addr("dst")? }
+            }
+            "set-duplication" => FaultAction::SetDuplication { probability: f.parse("p")? },
+            "set-reordering" => FaultAction::SetReordering {
+                probability: f.parse("p")?,
+                window: f.duration("window")?,
+            },
+            "ta-outage" => FaultAction::TaOutage,
+            "ta-restore" => FaultAction::TaRestore,
+            "crash" => FaultAction::CrashNode { node: f.parse("node")? },
+            "restart" => FaultAction::RestartNode { node: f.parse("node")? },
+            "aex-storm" => FaultAction::AexStorm {
+                node: match f.raw("node")? {
+                    "all" => None,
+                    i => Some(i.parse().map_err(|_| "unparseable field node".to_string())?),
+                },
+                count: f.parse("count")?,
+                spacing: f.duration("spacing")?,
+            },
+            "start-lie" => FaultAction::StartLie {
+                node: f.parse("node")?,
+                offset_ns: f.parse("offset")?,
+                equivocate: f.parse("equivocate")?,
+            },
+            "stop-lie" => FaultAction::StopLie { node: f.parse("node")? },
+            other => return Err(format!("unknown fault action {other:?}")),
+        };
+        Ok(action)
+    }
+
+    /// Bounds-checks the action against an `n_nodes` cluster (addresses
+    /// `0` = TA, `1..=n_nodes` = nodes; probabilities in `[0, 1]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated bound.
+    pub fn validate(&self, n_nodes: usize) -> Result<(), String> {
+        let addr_ok = |a: Addr| -> Result<(), String> {
+            if (a.0 as usize) <= n_nodes {
+                Ok(())
+            } else {
+                Err(format!("address {} outside 0..={n_nodes}", a.0))
+            }
+        };
+        let node_ok = |i: usize| -> Result<(), String> {
+            if i < n_nodes {
+                Ok(())
+            } else {
+                Err(format!("node index {i} outside 0..{n_nodes}"))
+            }
+        };
+        let prob_ok = |p: f64, what: &str| -> Result<(), String> {
+            if p.is_finite() && (0.0..=1.0).contains(&p) {
+                Ok(())
+            } else {
+                Err(format!("{what} {p} outside [0, 1]"))
+            }
+        };
+        match *self {
+            FaultAction::PartitionPair { a, b } | FaultAction::HealPair { a, b } => {
+                addr_ok(a)?;
+                addr_ok(b)
+            }
+            FaultAction::PartitionLink { src, dst }
+            | FaultAction::HealLink { src, dst }
+            | FaultAction::ClearLinkLoss { src, dst } => {
+                addr_ok(src)?;
+                addr_ok(dst)
+            }
+            FaultAction::SetLinkLoss { src, dst, loss } => {
+                addr_ok(src)?;
+                addr_ok(dst)?;
+                prob_ok(loss, "loss")
+            }
+            FaultAction::SetDuplication { probability } => prob_ok(probability, "probability"),
+            FaultAction::SetReordering { probability, .. } => prob_ok(probability, "probability"),
+            FaultAction::TaOutage | FaultAction::TaRestore => Ok(()),
+            FaultAction::CrashNode { node }
+            | FaultAction::RestartNode { node }
+            | FaultAction::StopLie { node } => node_ok(node),
+            FaultAction::AexStorm { node, count, .. } => {
+                if let Some(i) = node {
+                    node_ok(i)?;
+                }
+                if count == 0 {
+                    return Err("aex-storm count must be >= 1".to_string());
+                }
+                Ok(())
+            }
+            FaultAction::StartLie { node, .. } => node_ok(node),
+        }
+    }
+}
+
+impl FaultEvent {
+    /// Encodes as `<at_ns> <action>`.
+    pub fn encode(&self) -> String {
+        format!("{} {}", self.at.as_nanos(), self.action.encode())
+    }
+
+    /// Decodes one `<at_ns> <action>` line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed token.
+    pub fn decode(s: &str) -> Result<FaultEvent, String> {
+        let (at, action) = s
+            .trim()
+            .split_once(' ')
+            .ok_or_else(|| format!("expected '<at_ns> <action>': {s:?}"))?;
+        let at = at.parse().map_err(|_| format!("unparseable timestamp {at:?}"))?;
+        Ok(FaultEvent { at: SimTime::from_nanos(at), action: FaultAction::decode(action)? })
+    }
+}
+
+impl FaultPlan {
+    /// Encodes the plan, one event per line, in insertion order.
+    pub fn encode(&self) -> String {
+        self.events().iter().map(FaultEvent::encode).collect::<Vec<_>>().join("\n")
+    }
+
+    /// Decodes a plan (one event per line; blank lines ignored).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first offending line and why.
+    pub fn decode(s: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::new();
+        for (i, line) in s.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let ev = FaultEvent::decode(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+            plan = plan.at(ev.at, ev.action);
+        }
+        Ok(plan)
+    }
+
+    /// Bounds-checks every event against an `n_nodes` cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first offending event and why.
+    pub fn validate(&self, n_nodes: usize) -> Result<(), String> {
+        for (i, ev) in self.events().iter().enumerate() {
+            ev.action.validate(n_nodes).map_err(|e| format!("event {}: {e}", i + 1))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_actions() -> Vec<FaultAction> {
+        vec![
+            FaultAction::PartitionPair { a: Addr(1), b: Addr(0) },
+            FaultAction::PartitionLink { src: Addr(2), dst: Addr(3) },
+            FaultAction::HealPair { a: Addr(1), b: Addr(0) },
+            FaultAction::HealLink { src: Addr(2), dst: Addr(3) },
+            FaultAction::SetLinkLoss { src: Addr(0), dst: Addr(1), loss: 0.9 },
+            FaultAction::ClearLinkLoss { src: Addr(0), dst: Addr(1) },
+            FaultAction::SetDuplication { probability: 0.05 },
+            FaultAction::SetReordering { probability: 0.1, window: SimDuration::from_millis(2) },
+            FaultAction::TaOutage,
+            FaultAction::TaRestore,
+            FaultAction::CrashNode { node: 0 },
+            FaultAction::RestartNode { node: 2 },
+            FaultAction::AexStorm { node: None, count: 8, spacing: SimDuration::from_millis(200) },
+            FaultAction::AexStorm {
+                node: Some(1),
+                count: 3,
+                spacing: SimDuration::from_millis(50),
+            },
+            FaultAction::StartLie { node: 1, offset_ns: -250_000_000, equivocate: true },
+            FaultAction::StopLie { node: 1 },
+        ]
+    }
+
+    #[test]
+    fn every_action_round_trips() {
+        for action in sample_actions() {
+            let encoded = action.encode();
+            let decoded = FaultAction::decode(&encoded).expect(&encoded);
+            assert_eq!(action, decoded, "{encoded}");
+        }
+    }
+
+    #[test]
+    fn plans_round_trip_preserving_order() {
+        let plan = FaultPlan::new()
+            .ta_outage(SimTime::from_secs(40), SimDuration::from_secs(60))
+            .crash_window(0, SimTime::from_secs(45), SimDuration::from_secs(5))
+            .at(SimTime::from_secs(10), FaultAction::SetDuplication { probability: 0.25 });
+        let decoded = FaultPlan::decode(&plan.encode()).expect("round trip");
+        assert_eq!(plan, decoded);
+        assert_eq!(plan.encode(), decoded.encode());
+        assert!(FaultPlan::decode("").expect("empty").is_empty());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(FaultAction::decode("warp-core-breach node=1").is_err());
+        assert!(FaultAction::decode("crash").is_err());
+        assert!(FaultAction::decode("crash node=banana").is_err());
+        assert!(FaultEvent::decode("ta-outage").is_err());
+        assert!(FaultPlan::decode("5 ta-outage\nnonsense").is_err());
+    }
+
+    #[test]
+    fn validate_enforces_cluster_bounds() {
+        assert!(FaultAction::CrashNode { node: 2 }.validate(3).is_ok());
+        assert!(FaultAction::CrashNode { node: 3 }.validate(3).is_err());
+        assert!(FaultAction::PartitionPair { a: Addr(3), b: Addr(0) }.validate(3).is_ok());
+        assert!(FaultAction::PartitionPair { a: Addr(4), b: Addr(0) }.validate(3).is_err());
+        assert!(FaultAction::SetLinkLoss { src: Addr(0), dst: Addr(1), loss: 1.5 }
+            .validate(3)
+            .is_err());
+        assert!(FaultAction::AexStorm { node: None, count: 0, spacing: SimDuration::ZERO }
+            .validate(3)
+            .is_err());
+        let plan = FaultPlan::new().crash_window(5, SimTime::from_secs(1), SimDuration::ZERO);
+        assert!(plan.validate(3).is_err());
+        assert!(plan.validate(6).is_ok());
+    }
+
+    /// Strategy over arbitrary (not merely sample) actions, floats
+    /// included: Rust's `Display` for `f64` is shortest-round-trip, so
+    /// the codec must be exact for any probability.
+    fn arb_action() -> impl Strategy<Value = FaultAction> {
+        prop_oneof![
+            (0..8u16, 0..8u16)
+                .prop_map(|(a, b)| FaultAction::PartitionPair { a: Addr(a), b: Addr(b) }),
+            (0..8u16, 0..8u16, 0.0..=1.0f64).prop_map(|(s, d, loss)| FaultAction::SetLinkLoss {
+                src: Addr(s),
+                dst: Addr(d),
+                loss
+            }),
+            (0.0..=1.0f64).prop_map(|probability| FaultAction::SetDuplication { probability }),
+            (0.0..=1.0f64, 0..10_000_000_000u64).prop_map(|(probability, w)| {
+                FaultAction::SetReordering { probability, window: SimDuration::from_nanos(w) }
+            }),
+            Just(FaultAction::TaOutage),
+            Just(FaultAction::TaRestore),
+            (0..8usize).prop_map(|node| FaultAction::CrashNode { node }),
+            (0..8usize).prop_map(|node| FaultAction::RestartNode { node }),
+            (proptest::option::of(0..8usize), 1..50u32, 0..1_000_000_000u64).prop_map(
+                |(node, count, s)| FaultAction::AexStorm {
+                    node,
+                    count,
+                    spacing: SimDuration::from_nanos(s)
+                }
+            ),
+            (0..8usize, any::<i64>(), any::<bool>()).prop_map(|(node, offset_ns, equivocate)| {
+                FaultAction::StartLie { node, offset_ns, equivocate }
+            }),
+            (0..8usize).prop_map(|node| FaultAction::StopLie { node }),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn decode_encode_is_identity(at in 0..u64::MAX / 2, action in arb_action()) {
+            let ev = FaultEvent { at: SimTime::from_nanos(at), action };
+            let decoded = FaultEvent::decode(&ev.encode()).unwrap();
+            prop_assert_eq!(ev, decoded);
+        }
+
+        #[test]
+        fn plan_decode_encode_is_identity(
+            events in proptest::collection::vec((0..u64::MAX / 2, arb_action()), 0..12)
+        ) {
+            let mut plan = FaultPlan::new();
+            for (at, action) in events {
+                plan = plan.at(SimTime::from_nanos(at), action);
+            }
+            let decoded = FaultPlan::decode(&plan.encode()).unwrap();
+            prop_assert_eq!(&plan, &decoded);
+            prop_assert_eq!(plan.encode(), decoded.encode());
+        }
+    }
+}

@@ -92,6 +92,90 @@ impl AttackSpec {
             sleep_threshold: SimDuration::from_millis(500),
         }
     }
+
+    /// Encodes as a reproducer-file line, round-tripped exactly by
+    /// [`AttackSpec::decode`].
+    pub fn encode(&self) -> String {
+        match self {
+            AttackSpec::CalibrationDelay { victim, mode, added_delay, sleep_threshold } => {
+                let mode = match mode {
+                    DelayAttackMode::FPlus => "f+",
+                    DelayAttackMode::FMinus => "f-",
+                };
+                format!(
+                    "calibration-delay victim={} mode={mode} delay={} threshold={}",
+                    victim.0,
+                    added_delay.as_nanos(),
+                    sleep_threshold.as_nanos(),
+                )
+            }
+        }
+    }
+
+    /// Decodes one attack line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed token.
+    pub fn decode(s: &str) -> Result<AttackSpec, String> {
+        let mut parts = s.trim().split(' ').filter(|t| !t.is_empty());
+        match parts.next() {
+            Some("calibration-delay") => {}
+            Some(other) => return Err(format!("unknown attack {other:?}")),
+            None => return Err("empty attack line".to_string()),
+        }
+        let (mut victim, mut mode, mut delay, mut threshold) = (None, None, None, None);
+        for kv in parts {
+            let (k, v) = kv.split_once('=').ok_or_else(|| format!("expected k=v, got {kv:?}"))?;
+            match k {
+                "victim" => {
+                    victim =
+                        Some(v.parse().map_err(|_| format!("unparseable victim {v:?}")).map(Addr)?);
+                }
+                "mode" => {
+                    mode = Some(match v {
+                        "f+" => DelayAttackMode::FPlus,
+                        "f-" => DelayAttackMode::FMinus,
+                        _ => return Err(format!("unknown mode {v:?} (expected f+ or f-)")),
+                    });
+                }
+                "delay" => {
+                    delay = Some(SimDuration::from_nanos(
+                        v.parse().map_err(|_| format!("unparseable delay {v:?}"))?,
+                    ));
+                }
+                "threshold" => {
+                    threshold = Some(SimDuration::from_nanos(
+                        v.parse().map_err(|_| format!("unparseable threshold {v:?}"))?,
+                    ));
+                }
+                _ => return Err(format!("unknown field {k:?}")),
+            }
+        }
+        Ok(AttackSpec::CalibrationDelay {
+            victim: victim.ok_or("missing victim")?,
+            mode: mode.ok_or("missing mode")?,
+            added_delay: delay.ok_or("missing delay")?,
+            sleep_threshold: threshold.ok_or("missing threshold")?,
+        })
+    }
+
+    /// Bounds-checks against an `n_nodes` cluster: the victim must be a
+    /// node address (`1..=n_nodes`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated bound.
+    pub fn validate(&self, n_nodes: usize) -> Result<(), String> {
+        match self {
+            AttackSpec::CalibrationDelay { victim, .. } => {
+                if victim.0 == 0 || victim.0 as usize > n_nodes {
+                    return Err(format!("victim {} outside 1..={n_nodes}", victim.0));
+                }
+                Ok(())
+            }
+        }
+    }
 }
 
 /// Which protocol implementation the nodes run.
@@ -427,6 +511,30 @@ mod tests {
         assert_eq!(summarize(&a), summarize(&b));
         assert_ne!(summarize(&a), summarize(&c));
         assert!(a.recorder.node(0).latest_calibrated_hz().is_some());
+    }
+
+    #[test]
+    fn attack_spec_codec_round_trips() {
+        for spec in [
+            AttackSpec::calibration_delay_paper(Addr(3), DelayAttackMode::FMinus),
+            AttackSpec::CalibrationDelay {
+                victim: Addr(1),
+                mode: DelayAttackMode::FPlus,
+                added_delay: SimDuration::from_nanos(17),
+                sleep_threshold: SimDuration::from_millis(499),
+            },
+        ] {
+            assert_eq!(AttackSpec::decode(&spec.encode()), Ok(spec.clone()));
+            assert!(spec.validate(3).is_ok());
+        }
+        assert!(AttackSpec::decode("calibration-delay victim=1 mode=f*").is_err());
+        assert!(AttackSpec::decode("replay-storm victim=1").is_err());
+        assert!(AttackSpec::decode("calibration-delay victim=1 mode=f+ delay=5").is_err());
+        let oob = AttackSpec::calibration_delay_paper(Addr(4), DelayAttackMode::FPlus);
+        assert!(oob.validate(3).is_err());
+        assert!(AttackSpec::calibration_delay_paper(Addr(0), DelayAttackMode::FPlus)
+            .validate(3)
+            .is_err());
     }
 
     #[test]

@@ -1,0 +1,315 @@
+//! The searchable adversary description and the scenario it runs in.
+
+use attacks::PlannedManipulation;
+use faults::{FaultEvent, FaultPlan};
+use scenario::{AexSpec, AttackSpec, FaultSpec, NodeImplSpec, ScenarioSpec};
+use service::{QuorumLoopSpec, QuorumSpec, ServiceSpec};
+use sim::{SimDuration, SimTime};
+
+/// The fixed part of an evaluation: cluster shape, horizon and workload.
+///
+/// Everything the adversary may *not* vary lives here, so two genomes
+/// compared under the same space differ only in adversarial behaviour.
+/// The defender is always the §V hardened node — the strongest one the
+/// repo has — so a winning genome beats the best defence, not a strawman.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenomeSpace {
+    /// Cluster size (nodes, excluding the TA).
+    pub n: usize,
+    /// Run horizon in whole seconds.
+    pub horizon_s: u64,
+    /// Whether the serving layer (open loop + quorum loop) runs; required
+    /// for SLO-damage fitness, optional ballast for drift fitness.
+    pub service: bool,
+}
+
+impl GenomeSpace {
+    /// The run horizon as a simulation instant.
+    pub fn horizon(&self) -> SimTime {
+        SimTime::from_secs(self.horizon_s)
+    }
+
+    /// The scenario a genome is evaluated in: `n` §V hardened nodes under
+    /// the paper's AEX regime, probing clients on node 0, and (when
+    /// enabled) a serving layer with an `f = (n-1)/2` quorum read loop.
+    pub fn spec(&self, genome: &AdversaryGenome) -> ScenarioSpec {
+        let mut spec = ScenarioSpec::new(self.n)
+            .horizon(self.horizon())
+            .all_nodes_aex(AexSpec::TriadLike)
+            .node_impl(NodeImplSpec::Resilient(Box::default()))
+            .client(0, SimDuration::from_millis(20))
+            .reading_client(0, SimDuration::from_millis(20));
+        if self.service {
+            let svc = ServiceSpec::default().quorum_loop(QuorumLoopSpec {
+                quorum: QuorumSpec { f: (self.n - 1) / 2, ..Default::default() },
+                ..Default::default()
+            });
+            spec = spec.service(svc);
+        }
+        if !genome.faults.is_empty() {
+            spec = spec.faults(FaultSpec::Fixed(genome.faults.clone()));
+        }
+        for &m in &genome.manipulations {
+            spec = spec.manipulation(m);
+        }
+        if let Some(attack) = &genome.attack {
+            spec = spec.attack(attack.clone());
+        }
+        spec
+    }
+
+    /// Encodes as `n=<n> horizon-s=<s> service=<bool>`.
+    pub fn encode(&self) -> String {
+        format!("n={} horizon-s={} service={}", self.n, self.horizon_s, self.service)
+    }
+
+    /// Decodes an [`GenomeSpace::encode`]d space.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed token.
+    pub fn decode(s: &str) -> Result<GenomeSpace, String> {
+        let (mut n, mut horizon_s, mut service) = (None, None, None);
+        for kv in s.trim().split(' ').filter(|t| !t.is_empty()) {
+            let (k, v) = kv.split_once('=').ok_or_else(|| format!("expected k=v, got {kv:?}"))?;
+            match k {
+                "n" => n = Some(v.parse().map_err(|_| format!("unparseable n {v:?}"))?),
+                "horizon-s" => {
+                    horizon_s = Some(v.parse().map_err(|_| format!("unparseable horizon {v:?}"))?);
+                }
+                "service" => {
+                    service = Some(v.parse().map_err(|_| format!("unparseable service {v:?}"))?);
+                }
+                _ => return Err(format!("unknown field {k:?}")),
+            }
+        }
+        let space = GenomeSpace {
+            n: n.ok_or("missing n")?,
+            horizon_s: horizon_s.ok_or("missing horizon-s")?,
+            service: service.ok_or("missing service")?,
+        };
+        if space.n == 0 {
+            return Err("n must be at least 1".to_string());
+        }
+        if space.horizon_s == 0 {
+            return Err("horizon-s must be at least 1".to_string());
+        }
+        Ok(space)
+    }
+}
+
+/// One candidate adversary: everything a malicious platform plus on-path
+/// attacker does over a run, as data.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AdversaryGenome {
+    /// Scripted infrastructure faults (partitions, outages, crashes, AEX
+    /// storms, serving-path lies).
+    pub faults: FaultPlan,
+    /// Hypervisor-level TSC manipulations.
+    pub manipulations: Vec<PlannedManipulation>,
+    /// At most one on-path protocol attack.
+    pub attack: Option<AttackSpec>,
+}
+
+impl AdversaryGenome {
+    /// Number of atomic elements (fault events + manipulations + attack):
+    /// the quantity shrinking minimizes.
+    pub fn size(&self) -> usize {
+        self.faults.len() + self.manipulations.len() + usize::from(self.attack.is_some())
+    }
+
+    /// Whether the genome does nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.size() == 0
+    }
+
+    /// Encodes as one `fault`/`manip`/`attack`-prefixed line per element,
+    /// order-preserving; round-tripped exactly by
+    /// [`AdversaryGenome::decode`].
+    pub fn encode(&self) -> String {
+        let mut lines = Vec::with_capacity(self.size());
+        if let Some(attack) = &self.attack {
+            lines.push(format!("attack {}", attack.encode()));
+        }
+        for m in &self.manipulations {
+            lines.push(format!("manip {}", m.encode()));
+        }
+        for e in self.faults.events() {
+            lines.push(format!("fault {}", e.encode()));
+        }
+        lines.join("\n")
+    }
+
+    /// Decodes an [`AdversaryGenome::encode`]d genome (blank lines are
+    /// ignored).
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending line and what was wrong with it.
+    pub fn decode(s: &str) -> Result<AdversaryGenome, String> {
+        let mut genome = AdversaryGenome::default();
+        for (i, line) in s.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |e: String| format!("line {}: {e}", i + 1);
+            let (kind, rest) = line
+                .split_once(' ')
+                .ok_or_else(|| err(format!("expected '<kind> ...', got {line:?}")))?;
+            match kind {
+                "attack" => {
+                    if genome.attack.is_some() {
+                        return Err(err("duplicate attack line".to_string()));
+                    }
+                    genome.attack = Some(AttackSpec::decode(rest).map_err(err)?);
+                }
+                "manip" => {
+                    genome.manipulations.push(PlannedManipulation::decode(rest).map_err(err)?);
+                }
+                "fault" => {
+                    let e = FaultEvent::decode(rest).map_err(err)?;
+                    genome.faults = std::mem::take(&mut genome.faults).at(e.at, e.action);
+                }
+                other => return Err(err(format!("unknown element kind {other:?}"))),
+            }
+        }
+        Ok(genome)
+    }
+
+    /// Bounds-checks every element against `space` (addresses in range,
+    /// probabilities and rates safe, times within the horizon).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated bound.
+    pub fn validate(&self, space: &GenomeSpace) -> Result<(), String> {
+        self.faults.validate(space.n)?;
+        for e in self.faults.events() {
+            if e.at > space.horizon() {
+                return Err(format!("fault at {} ns beyond the horizon", e.at.as_nanos()));
+            }
+        }
+        for m in &self.manipulations {
+            m.validate(space.n)?;
+            if m.at > space.horizon() {
+                return Err(format!("manipulation at {} ns beyond the horizon", m.at.as_nanos()));
+            }
+        }
+        if let Some(attack) = &self.attack {
+            attack.validate(space.n)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faults::FaultAction;
+    use netsim::Addr;
+    use tsc::TscManipulation;
+
+    fn sample() -> AdversaryGenome {
+        AdversaryGenome {
+            faults: FaultPlan::new()
+                .at(SimTime::from_secs(40), FaultAction::TaOutage)
+                .at(SimTime::from_secs(50), FaultAction::TaRestore)
+                .at(
+                    SimTime::from_secs(20),
+                    FaultAction::StartLie { node: 1, offset_ns: -250_000_000, equivocate: true },
+                ),
+            manipulations: vec![PlannedManipulation {
+                at: SimTime::from_secs(30),
+                victim: Addr(2),
+                manipulation: TscManipulation::ScaleRate(1.000_05),
+            }],
+            attack: Some(AttackSpec::calibration_delay_paper(
+                Addr(1),
+                attacks::DelayAttackMode::FMinus,
+            )),
+        }
+    }
+
+    #[test]
+    fn genome_codec_round_trips_in_order() {
+        let g = sample();
+        assert_eq!(g.size(), 5);
+        let decoded = AdversaryGenome::decode(&g.encode()).unwrap();
+        assert_eq!(decoded, g);
+        assert_eq!(decoded.encode(), g.encode());
+        assert_eq!(AdversaryGenome::decode("").unwrap(), AdversaryGenome::default());
+    }
+
+    #[test]
+    fn genome_decode_rejects_garbage() {
+        assert!(AdversaryGenome::decode("fault 5 warp-field a=1").is_err());
+        assert!(AdversaryGenome::decode("blob 5").is_err());
+        let duplicated = format!(
+            "{}\n{}",
+            sample().encode(),
+            "attack calibration-delay victim=1 mode=f+ delay=1 threshold=2"
+        );
+        assert!(AdversaryGenome::decode(&duplicated).is_err());
+    }
+
+    #[test]
+    fn genome_validation_bounds() {
+        let space = GenomeSpace { n: 3, horizon_s: 90, service: true };
+        assert!(sample().validate(&space).is_ok());
+        let late = AdversaryGenome {
+            faults: FaultPlan::new().at(SimTime::from_secs(91), FaultAction::TaOutage),
+            ..Default::default()
+        };
+        assert!(late.validate(&space).is_err());
+        let oob = AdversaryGenome {
+            manipulations: vec![PlannedManipulation {
+                at: SimTime::from_secs(1),
+                victim: Addr(4),
+                manipulation: TscManipulation::OffsetJump(5),
+            }],
+            ..Default::default()
+        };
+        assert!(oob.validate(&space).is_err());
+    }
+
+    #[test]
+    fn space_codec_round_trips() {
+        for space in [
+            GenomeSpace { n: 3, horizon_s: 90, service: true },
+            GenomeSpace { n: 5, horizon_s: 36, service: false },
+        ] {
+            assert_eq!(GenomeSpace::decode(&space.encode()), Ok(space));
+        }
+        assert!(GenomeSpace::decode("n=0 horizon-s=90 service=true").is_err());
+        assert!(GenomeSpace::decode("n=3 horizon-s=90").is_err());
+    }
+
+    #[test]
+    fn round_tripped_genome_evaluates_identically() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let space = GenomeSpace { n: 3, horizon_s: 10, service: false };
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..3 {
+            let g = crate::random_genome(&space, &mut rng);
+            let decoded = AdversaryGenome::decode(&g.encode()).unwrap();
+            assert_eq!(
+                crate::evaluate(&space, &g, crate::FitnessTarget::Drift, 1),
+                crate::evaluate(&space, &decoded, crate::FitnessTarget::Drift, 1),
+            );
+        }
+    }
+
+    #[test]
+    fn spec_builds_and_runs() {
+        let space = GenomeSpace { n: 3, horizon_s: 5, service: true };
+        let g = AdversaryGenome {
+            faults: FaultPlan::new().at(SimTime::from_secs(2), FaultAction::TaOutage),
+            ..Default::default()
+        };
+        let world = space.spec(&g).run(7);
+        assert_eq!(world.node_count(), 3);
+        assert!(!world.ta_online);
+    }
+}

@@ -29,7 +29,7 @@ mod sink;
 mod timeline;
 
 pub use counter::StepCounter;
-pub use recorder::{FaultLog, NodeTrace, Recorder};
+pub use recorder::{FaultLog, NodeTrace, Recorder, DETECTION_GRACE};
 pub use render::{
     ascii_chart, ascii_fault_overlay, ascii_gantt, availability_report, render_table,
 };

@@ -1,11 +1,17 @@
 //! Per-node and per-run measurement recording.
 
-use sim::SimTime;
+use sim::{SimDuration, SimTime};
 
 use crate::counter::StepCounter;
 use crate::series::TimeSeries;
 use crate::service::ServiceTrace;
 use crate::timeline::StateTimeline;
+
+/// Default grace window around a detection event inside which drift
+/// samples count as *detected*: wide enough to cover the monitor interval
+/// and a §V correction round-trip, narrow enough that a sustained
+/// sub-threshold attack still shows up as undetected drift.
+pub const DETECTION_GRACE: SimDuration = SimDuration::from_secs(5);
 
 /// Everything measured about one Triad node during a run — the inputs to
 /// every figure in §IV.
@@ -69,6 +75,10 @@ pub struct NodeTrace {
     /// Quorum reader: times this node was quarantined after repeated
     /// suspect flags.
     pub quarantined: StepCounter,
+    /// INC monitor: TSC-manipulation detections (the §IV-A.1 monitor saw
+    /// a ticks-per-INC ratio deviate beyond its ppm threshold and forced
+    /// a full recalibration).
+    pub monitor_detections: StepCounter,
 }
 
 impl NodeTrace {
@@ -80,6 +90,64 @@ impl NodeTrace {
     /// The most recent calibrated frequency, if any calibration completed.
     pub fn latest_calibrated_hz(&self) -> Option<f64> {
         self.calibrations_hz.last().map(|&(_, hz)| hz)
+    }
+
+    /// All instants at which *this node's defenses noticed something*:
+    /// INC-monitor detections, §V forced corrections, false-chimer
+    /// rejections, gossip alerts naming this node, and quorum-reader
+    /// Byzantine suspicions/quarantines — merged and sorted.
+    ///
+    /// Deliberately excluded: probe retries, breaker openings and crashes,
+    /// which are robustness responses to *faults*, not evidence that an
+    /// adversary was caught.
+    pub fn detection_times(&self) -> Vec<SimTime> {
+        let mut times: Vec<SimTime> = [
+            &self.monitor_detections,
+            &self.corrections,
+            &self.chimer_rejections,
+            &self.gossip_alerts,
+            &self.byzantine_suspected,
+            &self.quarantined,
+        ]
+        .iter()
+        .flat_map(|c| c.events().iter().copied())
+        .collect();
+        times.sort_unstable();
+        times
+    }
+
+    /// Total detection events (the sum behind [`NodeTrace::detection_times`]).
+    pub fn detection_count(&self) -> u64 {
+        self.monitor_detections.count()
+            + self.corrections.count()
+            + self.chimer_rejections.count()
+            + self.gossip_alerts.count()
+            + self.byzantine_suspected.count()
+            + self.quarantined.count()
+    }
+
+    /// The worst clock error that *escaped detection*: the largest
+    /// `|drift|` sample with no detection event within `± grace` of the
+    /// sample instant (ms). `0.0` when every sample sits next to a
+    /// detection, or when no drift was recorded.
+    ///
+    /// This is the reducer behind the chaos/quorum "max undetected drift"
+    /// columns and the search subsystem's drift fitness: a detected
+    /// excursion is the defense working, an undetected one is the damage
+    /// an adversary banked.
+    pub fn max_undetected_drift_ms(&self, grace: SimDuration) -> f64 {
+        let detections = self.detection_times();
+        let mut worst = 0.0f64;
+        for &(t, drift) in self.drift_ms.points() {
+            let lo = if t.as_nanos() >= grace.as_nanos() { t - grace } else { SimTime::ZERO };
+            let hi = t + grace;
+            let next = detections.partition_point(|&d| d < lo);
+            let covered = detections.get(next).is_some_and(|&d| d <= hi);
+            if !covered {
+                worst = worst.max(drift.abs());
+            }
+        }
+        worst
     }
 }
 
@@ -207,5 +275,37 @@ mod tests {
         assert!(t.latest_calibrated_hz().is_none());
         assert_eq!(t.aex_events.count(), 0);
         assert!(t.drift_ms.is_empty());
+        assert_eq!(t.detection_count(), 0);
+        assert!(t.detection_times().is_empty());
+        assert_eq!(t.max_undetected_drift_ms(DETECTION_GRACE), 0.0);
+    }
+
+    #[test]
+    fn detection_times_merge_sorted_across_counters() {
+        let mut t = NodeTrace::new("x");
+        t.corrections.increment(SimTime::from_secs(20));
+        t.monitor_detections.increment(SimTime::from_secs(5));
+        t.gossip_alerts.increment(SimTime::from_secs(12));
+        assert_eq!(t.detection_count(), 3);
+        assert_eq!(
+            t.detection_times(),
+            vec![SimTime::from_secs(5), SimTime::from_secs(12), SimTime::from_secs(20)]
+        );
+    }
+
+    #[test]
+    fn undetected_drift_skips_samples_near_detections() {
+        let mut t = NodeTrace::new("x");
+        // A big excursion at t=10 s that the monitor catches at t=11 s,
+        // and a smaller one at t=60 s nobody notices.
+        t.drift_ms.push(SimTime::from_secs(10), -80.0);
+        t.drift_ms.push(SimTime::from_secs(60), 12.5);
+        t.monitor_detections.increment(SimTime::from_secs(11));
+        let grace = SimDuration::from_secs(5);
+        assert_eq!(t.max_undetected_drift_ms(grace), 12.5);
+        // With no grace the detection covers nothing but its own instant.
+        assert_eq!(t.max_undetected_drift_ms(SimDuration::ZERO), 80.0);
+        // A huge grace blankets the whole run.
+        assert_eq!(t.max_undetected_drift_ms(SimDuration::from_secs(100)), 0.0);
     }
 }

@@ -24,6 +24,64 @@ pub enum TscManipulation {
     SetRateHz(f64),
 }
 
+impl TscManipulation {
+    /// Encodes as `<kind> <value>` (floats via shortest-round-trip
+    /// `Display`, so [`TscManipulation::decode`] is exact).
+    pub fn encode(&self) -> String {
+        match self {
+            TscManipulation::OffsetJump(ticks) => format!("offset-jump {ticks}"),
+            TscManipulation::ScaleRate(factor) => format!("scale-rate {factor}"),
+            TscManipulation::SetRateHz(hz) => format!("set-rate-hz {hz}"),
+        }
+    }
+
+    /// Decodes a `<kind> <value>` manipulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed input; decoded values are
+    /// additionally bounds-checked via [`TscManipulation::validate`], so
+    /// a plan that would panic [`TscClock::manipulate`] never decodes.
+    pub fn decode(s: &str) -> Result<TscManipulation, String> {
+        let (kind, value) = s
+            .trim()
+            .split_once(' ')
+            .ok_or_else(|| format!("expected '<kind> <value>', got {s:?}"))?;
+        let m = match kind {
+            "offset-jump" => TscManipulation::OffsetJump(
+                value.parse().map_err(|_| format!("unparseable ticks {value:?}"))?,
+            ),
+            "scale-rate" => TscManipulation::ScaleRate(
+                value.parse().map_err(|_| format!("unparseable factor {value:?}"))?,
+            ),
+            "set-rate-hz" => TscManipulation::SetRateHz(
+                value.parse().map_err(|_| format!("unparseable rate {value:?}"))?,
+            ),
+            other => return Err(format!("unknown manipulation {other:?}")),
+        };
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// Rejects the values [`TscClock::manipulate`] would panic on
+    /// (non-finite or non-positive rates/factors).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated bound.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            TscManipulation::OffsetJump(_) => Ok(()),
+            TscManipulation::ScaleRate(factor) if factor.is_finite() && factor > 0.0 => Ok(()),
+            TscManipulation::ScaleRate(factor) => {
+                Err(format!("scale factor {factor} must be finite and positive"))
+            }
+            TscManipulation::SetRateHz(hz) if hz.is_finite() && hz > 0.0 => Ok(()),
+            TscManipulation::SetRateHz(hz) => Err(format!("rate {hz} must be finite and positive")),
+        }
+    }
+}
+
 /// A per-host TimeStamp Counter.
 ///
 /// Reads are deterministic in reference time. The nominal rate is what the
@@ -233,5 +291,26 @@ mod tests {
         let mut c = TscClock::new(1_000_000.0);
         c.manipulate(SimTime::from_secs(10), TscManipulation::OffsetJump(0));
         let _ = c.read(SimTime::from_secs(9));
+    }
+
+    #[test]
+    fn manipulation_codec_round_trips() {
+        for m in [
+            TscManipulation::OffsetJump(-29_000_000),
+            TscManipulation::ScaleRate(1.000_05),
+            TscManipulation::SetRateHz(PAPER_TSC_HZ * 0.999_9),
+        ] {
+            assert_eq!(TscManipulation::decode(&m.encode()), Ok(m));
+        }
+    }
+
+    #[test]
+    fn manipulation_decode_rejects_unsafe_values() {
+        assert!(TscManipulation::decode("scale-rate 0").is_err());
+        assert!(TscManipulation::decode("scale-rate -1.5").is_err());
+        assert!(TscManipulation::decode("set-rate-hz inf").is_err());
+        assert!(TscManipulation::decode("offset-jump 1.5").is_err());
+        assert!(TscManipulation::decode("warp-factor 9").is_err());
+        assert!(TscManipulation::ScaleRate(f64::NAN).validate().is_err());
     }
 }

@@ -44,6 +44,7 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
     "resilient",
     "runtime",
     "scenario",
+    "search",
     "service",
     "sim",
     "stats",
@@ -60,8 +61,11 @@ pub const NON_DETERMINISTIC_CRATES: &[&str] = &["net", "bench"];
 
 /// The designated artifact-writing modules, exempt from `ambient-io`:
 /// every byte that leaves a run goes through one of these.
-pub const OUTPUT_MODULES: &[&str] =
-    &["crates/trace/src/sink.rs", "crates/experiments/src/output.rs"];
+pub const OUTPUT_MODULES: &[&str] = &[
+    "crates/trace/src/sink.rs",
+    "crates/experiments/src/output.rs",
+    "crates/search/src/corpus.rs",
+];
 
 /// The designated intrinsics module pair, the only files where
 /// `unsafe-intrinsics` hits may be waived: the safe-wrapper/detection

@@ -24,3 +24,37 @@ fn committed_workspace_is_clean_and_allowlist_is_live() {
     assert!(report.files_scanned > 50, "walker found the crates: {}", report.files_scanned);
     assert!(report.suppressed > 0, "the committed exceptions are exercised");
 }
+
+/// Every crate in the workspace must be explicitly classified as
+/// deterministic or live — an unknown crate is silently skipped by the
+/// analyzer, so a new crate that never lands in a list would escape the
+/// determinism contract entirely (as would a typo'd list entry).
+#[test]
+fn every_workspace_crate_is_classified() {
+    let crates_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("..");
+    let classified: Vec<&str> = tt_lint::DETERMINISTIC_CRATES
+        .iter()
+        .chain(tt_lint::NON_DETERMINISTIC_CRATES)
+        .copied()
+        .collect();
+    let mut seen = Vec::new();
+    for entry in std::fs::read_dir(&crates_dir).expect("crates dir readable") {
+        let entry = entry.expect("dir entry");
+        let name = entry.file_name().into_string().expect("utf-8 crate dir");
+        if !entry.path().is_dir() || name == "tt-lint" {
+            continue; // the analyzer itself is exempt by design
+        }
+        assert!(
+            classified.contains(&name.as_str()),
+            "crate {name:?} is in neither DETERMINISTIC_CRATES nor NON_DETERMINISTIC_CRATES"
+        );
+        seen.push(name);
+    }
+    // And no list entry names a crate that no longer exists.
+    for entry in classified {
+        assert!(
+            seen.iter().any(|s| s == entry),
+            "classified crate {entry:?} has no directory under crates/"
+        );
+    }
+}

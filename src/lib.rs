@@ -48,6 +48,7 @@
 //! | [`service`] | trusted-timestamp serving layer: load generation, batching front-ends, failover routing, quorum-attested reads with Byzantine detection, SLO accounting |
 //! | [`proto`] | runtime-agnostic protocol boundary: the `Env`/`Machine` effect surface both drivers interpret |
 //! | [`net`] | live UDP runtime: the same machines on real loopback sockets, OS clocks, and threads |
+//! | [`search`] | adversarial scenario search: seeded mutation over fault/attack plans, shrinking, reproducer corpus |
 //! | [`experiments`] | regeneration of every paper figure/table |
 
 #![forbid(unsafe_code)]
@@ -62,6 +63,7 @@ pub use net;
 pub use netsim;
 pub use proto;
 pub use resilient;
+pub use search;
 pub use service;
 pub use sim;
 pub use stats;

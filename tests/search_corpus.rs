@@ -1,0 +1,34 @@
+//! Regression corpus replay: every reproducer committed under
+//! `results/search/corpus/` re-runs in its recorded scenario and must
+//! reproduce its recorded fitness — exact detection count, damage value
+//! within CSV-printing tolerance.
+//!
+//! A defender improvement that neutralizes an old attack shows up here
+//! as a (welcome) failure prompting a corpus refresh; a simulator change
+//! that silently breaks replay determinism shows up the same way.
+
+use std::path::Path;
+
+use triad_tt::experiments::search::replay_close;
+use triad_tt::search::Reproducer;
+
+#[test]
+fn committed_reproducers_replay_to_recorded_fitness() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("results/search/corpus");
+    let corpus = Reproducer::load_dir(&dir).expect("corpus directory readable");
+    assert!(
+        !corpus.is_empty(),
+        "no committed reproducers under {} — run `triad-experiments search` and commit its corpus",
+        dir.display()
+    );
+    for rep in &corpus {
+        let measured = rep.replay();
+        assert!(
+            replay_close(&measured, &rep.fitness),
+            "reproducer {} drifted: recorded {:?}, measured {:?}",
+            rep.name,
+            rep.fitness,
+            measured
+        );
+    }
+}
